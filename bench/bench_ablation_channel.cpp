@@ -1,0 +1,120 @@
+// Experiment E10 (channel-assumption ablation): why the paper's IS-protocols
+// require a *reliable FIFO* channel between IS-processes.
+//
+// The same Section-3 workload (causally ordered write pairs in S0, a scanner
+// in S1) runs over three link configurations:
+//
+//   reliable FIFO   — the paper's assumption: no violations, no losses;
+//   non-FIFO        — jitter reorders pairs on the wire: the causal order of
+//                     propagated writes inverts and S^T stops being causal;
+//   lossy (20%)     — pairs disappear: besides losing the propagation
+//                     guarantee, a dropped ⟨x,v⟩ followed by a delivered
+//                     causally-later ⟨y,u⟩ creates an observable causal gap,
+//                     so causality breaks as well (only single-variable
+//                     workloads survive drops, by accident of legality).
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "checker/causal_checker.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace cim;
+
+struct Outcome {
+  std::size_t violations = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delivered = 0;
+};
+
+Outcome sweep(bool fifo, double drop, std::uint64_t seeds) {
+  Outcome out;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    isc::FederationConfig cfg;
+    cfg.seed = seed;
+    for (std::uint16_t s = 0; s < 2; ++s) {
+      mcs::SystemConfig sc;
+      sc.id = SystemId{s};
+      sc.num_app_processes = 2;
+      sc.protocol = proto::anbkh_protocol();
+      sc.seed = seed * 60 + s;
+      cfg.systems.push_back(std::move(sc));
+    }
+    isc::LinkSpec link;
+    link.system_a = 0;
+    link.system_b = 1;
+    link.fifo = fifo;
+    link.drop_probability = drop;
+    link.delay = [] {
+      return std::make_unique<net::UniformDelay>(sim::milliseconds(1),
+                                                 sim::milliseconds(60));
+    };
+    cfg.links.push_back(std::move(link));
+    isc::Federation fed(std::move(cfg));
+    auto& sim = fed.simulator();
+
+    const VarId x{0}, y{1};
+    for (int r = 0; r < 10; ++r) {
+      sim.at(sim::Time{} + sim::milliseconds(80 * r),
+             [&fed, x, r] { fed.system(0).app(0).write(x, 2 * r + 1); });
+      sim.at(sim::Time{} + sim::milliseconds(80 * r + 2),
+             [&fed, y, r] { fed.system(0).app(0).write(y, 2 * r + 2); });
+    }
+    auto scan = std::make_shared<std::function<void()>>();
+    auto* reader = &fed.system(1).app(0);
+    const sim::Time end = sim::Time{} + sim::milliseconds(900);
+    *scan = [scan, reader, &sim, x, y, end] {
+      reader->read(y);
+      reader->read(x);
+      if (sim.now() < end) {
+        sim.after(sim::milliseconds(1), [scan] { (*scan)(); });
+      }
+    };
+    (*scan)();
+    fed.run();
+
+    if (!chk::CausalChecker{}.check(fed.federation_history()).ok()) {
+      ++out.violations;
+    }
+    const auto cross =
+        fed.fabric().cross_system_stats(SystemId{0}, SystemId{1});
+    out.dropped += cross.dropped;
+    out.delivered += fed.interconnector().shared_isp(1).pairs_received();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E10 — ablating the reliable-FIFO link assumption (Section "
+               "2/3)\nworkload: repeated Section-3 counterexample over 20 "
+               "seeds\n\n";
+
+  const std::uint64_t kSeeds = 20;
+  const Outcome ok = sweep(/*fifo=*/true, /*drop=*/0.0, kSeeds);
+  const Outcome reorder = sweep(/*fifo=*/false, /*drop=*/0.0, kSeeds);
+  const Outcome lossy = sweep(/*fifo=*/true, /*drop=*/0.2, kSeeds);
+
+  stats::Table table({"link configuration", "causality violations",
+                      "pairs delivered", "pairs lost"});
+  table.add_row("reliable FIFO (paper)", ok.violations, ok.delivered,
+                ok.dropped);
+  table.add_row("reordering (no FIFO)", reorder.violations, reorder.delivered,
+                reorder.dropped);
+  table.add_row("lossy 20% (unreliable)", lossy.violations, lossy.delivered,
+                lossy.dropped);
+  table.print();
+
+  std::cout << "\nFIFO is what Lemma 1 leans on: without it causally ordered "
+               "pairs invert on the\nwire and S^T stops being causal. "
+               "Reliability matters twice: a lossy link loses\nthe "
+               "propagation guarantee AND creates causal gaps (a dropped "
+               "<x,v> followed by a\ndelivered causally-later <y,u> is "
+               "observable as a stale read), so both halves of\nthe paper's "
+               "channel assumption are necessary.\n";
+  return ok.violations == 0 ? 0 : 1;
+}

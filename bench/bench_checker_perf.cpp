@@ -1,0 +1,67 @@
+// Checker performance (supporting infrastructure): wall-clock cost of the
+// polynomial bad-pattern checker vs history size and verification level.
+// Uses google-benchmark; the other experiment binaries print simulated-time
+// tables instead.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "checker/causal_checker.h"
+
+namespace {
+
+using namespace cim;
+
+chk::History make_history(std::size_t ops_per_process, std::uint64_t seed) {
+  bench::FedParams params;
+  params.num_systems = 2;
+  params.procs_per_system = 4;
+  params.seed = seed;
+  isc::Federation fed(bench::make_config(params));
+  wl::UniformConfig wc;
+  wc.ops_per_process = ops_per_process;
+  wc.num_vars = 8;
+  wc.seed = seed + 1;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+  return fed.federation_history();
+}
+
+void BM_CausalCheckCC(benchmark::State& state) {
+  const auto history = make_history(static_cast<std::size_t>(state.range(0)), 3);
+  chk::CausalChecker checker;
+  for (auto _ : state) {
+    auto res = checker.check(history, chk::Level::kCC);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(history.size()));
+}
+
+void BM_CausalCheckCM(benchmark::State& state) {
+  const auto history = make_history(static_cast<std::size_t>(state.range(0)), 3);
+  chk::CausalChecker checker;
+  for (auto _ : state) {
+    auto res = checker.check(history, chk::Level::kCM);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(history.size()));
+}
+
+void BM_CausalOrderOnly(benchmark::State& state) {
+  const auto history = make_history(static_cast<std::size_t>(state.range(0)), 3);
+  chk::CausalChecker checker;
+  for (auto _ : state) {
+    auto co = checker.causal_order(history);
+    benchmark::DoNotOptimize(co);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CausalCheckCC)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK(BM_CausalCheckCM)->Arg(25)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+BENCHMARK(BM_CausalOrderOnly)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

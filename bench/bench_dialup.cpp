@@ -1,0 +1,95 @@
+// Experiment E7 (Section 1.1, dial-up links).
+//
+// Paper: "the reliable FIFO channel used does not need to be available all
+// the time. If the channel is not available during some period of time, the
+// variable updates can be queued up to be propagated at a later time. This
+// makes the protocol practical even with dial-up connections."
+//
+// We sweep the link duty cycle and report worst-case cross-system
+// visibility, pairs delivered, and the checker verdict: outages only delay
+// propagation; nothing is lost and causality always holds.
+#include <iostream>
+
+#include "bench_util.h"
+#include "checker/causal_checker.h"
+#include "stats/table.h"
+#include "stats/visibility.h"
+
+namespace {
+
+using namespace cim;
+
+struct Outcome {
+  sim::Duration worst{-1};
+  std::uint64_t pairs = 0;
+  bool causal = false;
+};
+
+Outcome run(double duty, std::uint64_t seed) {
+  const sim::Duration period = sim::milliseconds(100);
+  const auto up = sim::Duration{
+      static_cast<std::int64_t>(static_cast<double>(period.ns) * duty)};
+
+  isc::FederationConfig cfg;
+  cfg.seed = seed;
+  for (std::uint16_t s = 0; s < 2; ++s) {
+    mcs::SystemConfig sc;
+    sc.id = SystemId{s};
+    sc.num_app_processes = 3;
+    sc.protocol = proto::anbkh_protocol();
+    sc.seed = seed * 50 + s;
+    cfg.systems.push_back(std::move(sc));
+  }
+  isc::LinkSpec link;
+  link.system_a = 0;
+  link.system_b = 1;
+  link.delay = [] {
+    return std::make_unique<net::FixedDelay>(sim::milliseconds(2));
+  };
+  link.availability = [period, up] {
+    return std::make_unique<net::PeriodicDuty>(period, up);
+  };
+  cfg.links.push_back(std::move(link));
+  isc::Federation fed(std::move(cfg));
+
+  stats::VisibilityTracker vis;
+  fed.add_observer(&vis);
+
+  wl::UniformConfig wc;
+  wc.ops_per_process = 40;
+  wc.think_max = sim::milliseconds(20);
+  wc.seed = seed + 5;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+
+  Outcome out;
+  out.worst = vis.worst_visibility(bench::all_app_procs(fed))
+                  .value_or(sim::Duration{-1});
+  out.pairs = fed.interconnector().shared_isp(0).pairs_received() +
+              fed.interconnector().shared_isp(1).pairs_received();
+  out.causal = chk::CausalChecker{}.check(fed.federation_history()).ok();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E7 — interconnection over an intermittently available "
+               "(dial-up) link\nperiod 100ms, ANBKH systems, 2x3 processes\n\n";
+
+  stats::Table table({"link duty cycle", "worst visibility", "pairs delivered",
+                      "causal"});
+  for (double duty : {1.0, 0.5, 0.2, 0.05}) {
+    const Outcome o = run(duty, 11);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.0f%%", duty * 100);
+    table.add_row(label, bench::ms_string(o.worst), o.pairs,
+                  o.causal ? "yes" : "NO");
+  }
+  table.print();
+
+  std::cout << "\nLower duty cycles stretch visibility latency (updates queue "
+               "at the IS-process\nside of the link) but every update is "
+               "delivered in order and S^T stays causal.\n";
+  return 0;
+}

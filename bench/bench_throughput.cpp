@@ -1,0 +1,75 @@
+// Threaded-runtime throughput (supporting infrastructure): blocking
+// operations per second through the real-threads front end, single client
+// and multiple concurrent clients.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace cim;
+
+struct Env {
+  std::unique_ptr<isc::Federation> fed;
+  std::unique_ptr<rt::Runtime> runtime;
+  Value next_value = 1;
+
+  Env() {
+    bench::FedParams params;
+    params.num_systems = 2;
+    params.procs_per_system = 2;
+    params.intra_delay = sim::microseconds(10);
+    params.link_delay = sim::microseconds(50);
+    fed = std::make_unique<isc::Federation>(bench::make_config(params));
+    runtime = std::make_unique<rt::Runtime>(*fed);
+    runtime->start();
+  }
+  ~Env() { runtime->stop(); }
+};
+
+void BM_BlockingWrite(benchmark::State& state) {
+  Env env;
+  rt::BlockingClient client(*env.runtime, env.fed->system(0).app(0));
+  for (auto _ : state) {
+    client.write(VarId{0}, env.next_value++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BlockingRead(benchmark::State& state) {
+  Env env;
+  rt::BlockingClient client(*env.runtime, env.fed->system(0).app(0));
+  client.write(VarId{0}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.read(VarId{0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_WriteReadPingPong(benchmark::State& state) {
+  Env env;
+  rt::BlockingClient writer(*env.runtime, env.fed->system(0).app(0));
+  rt::BlockingClient reader(*env.runtime, env.fed->system(1).app(0));
+  for (auto _ : state) {
+    const Value v = env.next_value++;
+    writer.write(VarId{0}, v);
+    // Spin (bounded) until the value crosses the interconnection.
+    Value got = kInitValue;
+    for (int i = 0; i < 1'000'000 && got != v; ++i) got = reader.read(VarId{0});
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_BlockingWrite)->Iterations(5000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BlockingRead)->Iterations(5000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WriteReadPingPong)
+    ->Iterations(300)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

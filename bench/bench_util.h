@@ -1,0 +1,141 @@
+// Shared builders for the experiment binaries. Each bench regenerates one
+// row-set of the paper's Section-6 analysis (or a correctness experiment)
+// and prints a paper-vs-measured table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "interconnect/federation.h"
+#include "protocols/anbkh.h"
+#include "protocols/aw_seq.h"
+#include "protocols/lazy_batch.h"
+#include "protocols/tob_causal.h"
+#include "workload/generator.h"
+
+namespace cim::bench {
+
+enum class Topology { kChain, kStar, kBinaryTree };
+
+inline const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::kChain: return "chain";
+    case Topology::kStar: return "star";
+    case Topology::kBinaryTree: return "binary";
+  }
+  return "?";
+}
+
+/// Edges of a topology over m systems.
+inline std::vector<std::pair<std::size_t, std::size_t>> edges_of(
+    Topology topo, std::size_t m) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  switch (topo) {
+    case Topology::kChain:
+      for (std::size_t i = 0; i + 1 < m; ++i) edges.emplace_back(i, i + 1);
+      break;
+    case Topology::kStar:
+      for (std::size_t i = 1; i < m; ++i) edges.emplace_back(0, i);
+      break;
+    case Topology::kBinaryTree:
+      for (std::size_t i = 1; i < m; ++i) edges.emplace_back((i - 1) / 2, i);
+      break;
+  }
+  return edges;
+}
+
+/// Eccentricity of system `from` in the link graph (hops to the farthest
+/// system) — the `h` of the latency formula (h+1)·l + h·d.
+inline std::size_t eccentricity(
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    std::size_t m, std::size_t from) {
+  std::vector<std::vector<std::size_t>> adj(m);
+  for (auto [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<std::size_t> dist(m, SIZE_MAX);
+  std::queue<std::size_t> queue;
+  dist[from] = 0;
+  queue.push(from);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (std::size_t w : adj[v]) {
+      if (dist[w] == SIZE_MAX) {
+        dist[w] = dist[v] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  std::size_t ecc = 0;
+  for (std::size_t d : dist) {
+    if (d != SIZE_MAX && d > ecc) ecc = d;
+  }
+  return ecc;
+}
+
+struct FedParams {
+  std::size_t num_systems = 1;
+  std::uint16_t procs_per_system = 4;
+  Topology topology = Topology::kChain;
+  mcs::ProtocolFactory protocol;               // defaults to ANBKH
+  sim::Duration intra_delay = sim::milliseconds(1);   // the paper's `l`
+  sim::Duration link_delay = sim::milliseconds(10);   // the paper's `d`
+  isc::IspMode isp_mode = isc::IspMode::kSharedPerSystem;
+  isc::IsProtocolChoice choice = isc::IsProtocolChoice::kAuto;
+  std::uint64_t seed = 1;
+};
+
+inline isc::FederationConfig make_config(const FedParams& params) {
+  isc::FederationConfig cfg;
+  cfg.seed = params.seed;
+  cfg.isp_mode = params.isp_mode;
+  for (std::size_t s = 0; s < params.num_systems; ++s) {
+    mcs::SystemConfig sc;
+    sc.id = SystemId{static_cast<std::uint16_t>(s)};
+    sc.num_app_processes = params.procs_per_system;
+    sc.protocol = params.protocol ? params.protocol : proto::anbkh_protocol();
+    sc.seed = params.seed * 1000 + s;
+    sc.intra_delay = [d = params.intra_delay] {
+      return std::make_unique<net::FixedDelay>(d);
+    };
+    cfg.systems.push_back(std::move(sc));
+  }
+  for (auto [a, b] : edges_of(params.topology, params.num_systems)) {
+    isc::LinkSpec link;
+    link.system_a = a;
+    link.system_b = b;
+    link.delay = [d = params.link_delay] {
+      return std::make_unique<net::FixedDelay>(d);
+    };
+    link.choice_a = params.choice;
+    link.choice_b = params.choice;
+    cfg.links.push_back(std::move(link));
+  }
+  return cfg;
+}
+
+/// All application-process ids of the federation (the replicas "any other
+/// process" of the latency definition refers to).
+inline std::vector<ProcId> all_app_procs(isc::Federation& fed) {
+  std::vector<ProcId> out;
+  for (std::size_t s = 0; s < fed.num_systems(); ++s) {
+    for (std::uint16_t p = 0; p < fed.system(s).num_app_processes(); ++p) {
+      out.push_back(ProcId{fed.system(s).id(), p});
+    }
+  }
+  return out;
+}
+
+inline std::string ms_string(sim::Duration d) {
+  const double ms = static_cast<double>(d.ns) / 1e6;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3gms", ms);
+  return buf;
+}
+
+}  // namespace cim::bench

@@ -1,0 +1,71 @@
+// Quickstart: interconnect two causal DSM systems and watch a write
+// propagate.
+//
+//   $ ./quickstart
+//
+// Builds two systems of two application processes each (both running the
+// ANBKH causal memory protocol), joins them with one IS link (Fig. 1 of the
+// paper), performs a cross-system causal chain, and verifies the recorded
+// computation with the causal-consistency checker.
+#include <iostream>
+
+#include "checker/causal_checker.h"
+#include "interconnect/federation.h"
+#include "protocols/anbkh.h"
+
+using namespace cim;
+
+int main() {
+  // 1. Describe the federation: two systems, one link.
+  isc::FederationConfig cfg;
+  for (std::uint16_t s = 0; s < 2; ++s) {
+    mcs::SystemConfig sys;
+    sys.id = SystemId{s};
+    sys.num_app_processes = 2;
+    sys.protocol = proto::anbkh_protocol();
+    sys.seed = 100 + s;
+    cfg.systems.push_back(std::move(sys));
+  }
+  isc::LinkSpec link;
+  link.system_a = 0;
+  link.system_b = 1;
+  cfg.links.push_back(link);
+
+  // 2. Build it. The Interconnector reserves one IS-process per system,
+  //    wires the reliable FIFO link, and picks the IS-protocol variant
+  //    (protocol 1 here: ANBKH satisfies the Causal Updating Property).
+  isc::Federation fed(std::move(cfg));
+  std::cout << "IS-process of S0 uses pre-update reads? "
+            << (fed.interconnector().shared_isp(0).pre_reads_enabled()
+                    ? "yes (IS-protocol 2)"
+                    : "no (IS-protocol 1)")
+            << "\n";
+
+  const VarId x{0}, y{1};
+
+  // 3. A causal chain that crosses the interconnection twice:
+  //    S0.p0 writes x=1; S1.p0 reads it and writes y=2; S0.p1 reads both.
+  fed.system(0).app(0).write(x, 1);
+  fed.run();  // propagate
+
+  fed.system(1).app(0).read(x, [&](Value v) {
+    std::cout << "S1.p0 read x = " << v << "\n";
+    fed.system(1).app(0).write(y, 2);
+  });
+  fed.run();
+
+  fed.system(0).app(1).read(y, [&](Value v) {
+    std::cout << "S0.p1 read y = " << v << "\n";
+  });
+  fed.system(0).app(1).read(x, [&](Value v) {
+    std::cout << "S0.p1 read x = " << v
+              << "  (must be 1: w(x)1 causally precedes w(y)2)\n";
+  });
+  fed.run();
+
+  // 4. Verify the whole computation α^T (Theorem 1 says it must be causal).
+  auto verdict = chk::CausalChecker{}.check(fed.federation_history());
+  std::cout << "checker verdict on S^T: "
+            << (verdict.ok() ? "causal" : verdict.detail) << "\n";
+  return verdict.ok() ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Tree federation (Corollary 1): five sites with *different* causal MCS
+// protocols, interconnected pairwise into a tree. A causal chain of writes
+// relays through every site and back; the combined computation is verified
+// causal.
+//
+//              HQ (anbkh)
+//             |          |
+//     plant-1 (lazy)   plant-2 (aw-seq)
+//          |                |
+//     lab (anbkh)      depot (lazy)
+//
+// The paper: systems "possibly implemented with different algorithms" can be
+// interconnected without changing them; pairwise composition without cycles
+// yields one large causal system.
+#include <iostream>
+
+#include "checker/causal_checker.h"
+#include "interconnect/federation.h"
+#include "protocols/anbkh.h"
+#include "protocols/aw_seq.h"
+#include "protocols/lazy_batch.h"
+#include "workload/generator.h"
+
+using namespace cim;
+
+int main() {
+  const char* names[] = {"HQ", "plant-1", "plant-2", "lab", "depot"};
+
+  isc::FederationConfig cfg;
+  proto::LazyBatchConfig lazy;
+  lazy.order = proto::BatchOrder::kShuffleVars;
+  mcs::ProtocolFactory protocols[] = {
+      proto::anbkh_protocol(),            // HQ
+      proto::lazy_batch_protocol(lazy),   // plant-1
+      proto::aw_seq_protocol(),           // plant-2
+      proto::anbkh_protocol(),            // lab
+      proto::lazy_batch_protocol(lazy),   // depot
+  };
+  for (std::uint16_t s = 0; s < 5; ++s) {
+    mcs::SystemConfig sys;
+    sys.id = SystemId{s};
+    sys.num_app_processes = 2;
+    sys.protocol = protocols[s];
+    sys.seed = 40 + s;
+    cfg.systems.push_back(std::move(sys));
+  }
+  const std::pair<std::size_t, std::size_t> edges[] = {
+      {0, 1}, {0, 2}, {1, 3}, {2, 4}};
+  for (auto [a, b] : edges) {
+    isc::LinkSpec link;
+    link.system_a = a;
+    link.system_b = b;
+    link.delay = [] {
+      return std::make_unique<net::FixedDelay>(sim::milliseconds(8));
+    };
+    cfg.links.push_back(std::move(link));
+  }
+  isc::Federation fed(std::move(cfg));
+
+  std::cout << "federation topology (IS-protocol chosen per system):\n";
+  for (std::uint16_t s = 0; s < 5; ++s) {
+    std::cout << "  " << names[s] << " [" << fed.system(s).mcs(0).protocol_name()
+              << "] -> IS-protocol "
+              << (fed.interconnector().shared_isp(s).pre_reads_enabled() ? 2 : 1)
+              << "\n";
+  }
+
+  // A token relays through every site: lab -> plant-1 -> HQ -> plant-2 ->
+  // depot, each site writing its own step after seeing the previous one.
+  const VarId token{0};
+  auto& sim = fed.simulator();
+  std::vector<std::unique_ptr<wl::RelayDriver>> relays;
+  const std::size_t route[] = {3, 1, 0, 2, 4};
+  for (std::size_t i = 1; i < 5; ++i) {
+    relays.push_back(std::make_unique<wl::RelayDriver>(
+        sim, fed.system(route[i]).app(0), token, static_cast<Value>(i),
+        token, static_cast<Value>(i + 1), sim::milliseconds(3)));
+    relays.back()->start();
+  }
+  fed.system(route[0]).app(0).write(token, 1);
+  fed.run();
+
+  bool all_fired = true;
+  for (auto& r : relays) all_fired = all_fired && r->fired();
+  std::cout << "\nrelay chain lab->plant-1->HQ->plant-2->depot completed: "
+            << (all_fired ? "yes" : "NO") << "\n";
+
+  Value final_token = -1;
+  fed.system(3).app(1).read(token, [&](Value v) { final_token = v; });
+  fed.run();
+  std::cout << "final token value back at the lab: " << final_token
+            << " (expected 5)\n";
+
+  auto verdict = chk::CausalChecker{}.check(fed.federation_history());
+  std::cout << "checker verdict on the 5-site computation: "
+            << (verdict.ok() ? "causal" : verdict.detail) << "\n";
+  return (verdict.ok() && all_fired && final_token == 5) ? 0 : 1;
+}

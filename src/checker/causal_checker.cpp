@@ -1,0 +1,266 @@
+#include "checker/causal_checker.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace cim::chk {
+
+const char* to_string(BadPattern p) {
+  switch (p) {
+    case BadPattern::kNone: return "none";
+    case BadPattern::kDuplicateWrite: return "DuplicateWrite";
+    case BadPattern::kCyclicCO: return "CyclicCO";
+    case BadPattern::kThinAirRead: return "ThinAirRead";
+    case BadPattern::kWriteCOInitRead: return "WriteCOInitRead";
+    case BadPattern::kWriteCORead: return "WriteCORead";
+    case BadPattern::kCyclicHB: return "CyclicHB";
+    case BadPattern::kWriteHBInitRead: return "WriteHBInitRead";
+    case BadPattern::kCyclicCF: return "CyclicCF";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Analysis {
+  const History* history = nullptr;
+  // For each read op index: index of its rf-source write, or SIZE_MAX for a
+  // read of the initial value.
+  std::vector<std::size_t> rf_source;
+  // All write indices, per variable.
+  std::map<VarId, std::vector<std::size_t>> writes_on;
+  Relation base;  // po ∪ rf
+
+  CheckResult error;  // set if a precondition/base pattern failed
+};
+
+constexpr std::size_t kInitSource = SIZE_MAX;
+
+std::string describe(const History& h, std::size_t i) {
+  return h.ops()[i].to_string();
+}
+
+Analysis analyze(const History& h) {
+  Analysis a;
+  a.history = &h;
+  const auto& ops = h.ops();
+  const std::size_t n = ops.size();
+  a.base = Relation(n);
+  a.rf_source.assign(n, kInitSource);
+
+  // Writer lookup; the paper assumes each value is written at most once per
+  // variable, which makes reads-from a function of the read.
+  std::map<std::pair<VarId, Value>, std::size_t> writer;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].kind != OpKind::kWrite) continue;
+    a.writes_on[ops[i].var].push_back(i);
+    auto [it, inserted] = writer.try_emplace({ops[i].var, ops[i].value}, i);
+    if (!inserted) {
+      a.error = {BadPattern::kDuplicateWrite,
+                 "value written twice: " + describe(h, it->second) + " and " +
+                     describe(h, i)};
+      return a;
+    }
+  }
+
+  // Program order: consecutive ops of each process (closure adds the rest).
+  for (ProcId p : h.processes()) {
+    const auto& seq = h.process_ops(p);
+    for (std::size_t k = 1; k < seq.size(); ++k) {
+      a.base.set(seq[k - 1], seq[k]);
+    }
+  }
+
+  // Reads-from edges.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].kind != OpKind::kRead) continue;
+    if (ops[i].value == kInitValue) continue;  // read of the initial value
+    auto it = writer.find({ops[i].var, ops[i].value});
+    if (it == writer.end()) {
+      a.error = {BadPattern::kThinAirRead,
+                 "read of a never-written value: " + describe(h, i)};
+      return a;
+    }
+    a.rf_source[i] = it->second;
+    a.base.set(it->second, i);
+  }
+  return a;
+}
+
+// One round of the HB_i derivation rule; returns true if an edge was added.
+// hb must be transitively closed on entry; the caller re-closes after.
+bool derive_hb_edges(const Analysis& a, const std::vector<bool>& in_scope,
+                     ProcId proc, Relation& hb) {
+  const auto& ops = a.history->ops();
+  bool changed = false;
+  for (std::size_t r = 0; r < ops.size(); ++r) {
+    if (ops[r].kind != OpKind::kRead || ops[r].proc != proc) continue;
+    const std::size_t w2 = a.rf_source[r];
+    if (w2 == kInitSource) continue;
+    auto it = a.writes_on.find(ops[r].var);
+    if (it == a.writes_on.end()) continue;
+    for (std::size_t w1 : it->second) {
+      if (w1 == w2 || !in_scope[w1]) continue;
+      if (hb.test(w1, r) && !hb.test(w1, w2)) {
+        hb.set(w1, w2);
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::optional<Relation> CausalChecker::causal_order(
+    const History& history) const {
+  Analysis a = analyze(history);
+  if (!a.error.ok()) return std::nullopt;
+  ClosureResult cr = transitive_closure(a.base);
+  if (cr.cycle_witness) return std::nullopt;
+  return std::move(cr.closure);
+}
+
+CheckResult CausalChecker::check(const History& history, Level level) const {
+  const auto& ops = history.ops();
+  const std::size_t n = ops.size();
+
+  Analysis a = analyze(history);
+  if (!a.error.ok()) return a.error;
+
+  ClosureResult cr = transitive_closure(a.base);
+  if (cr.cycle_witness) {
+    auto [i, j] = *cr.cycle_witness;
+    return {BadPattern::kCyclicCO, "causal-order cycle through " +
+                                       describe(history, i) + " and " +
+                                       describe(history, j)};
+  }
+  const Relation& co = cr.closure;
+
+  // WriteCOInitRead and WriteCORead.
+  for (std::size_t r = 0; r < n; ++r) {
+    if (ops[r].kind != OpKind::kRead) continue;
+    auto it = a.writes_on.find(ops[r].var);
+    if (it == a.writes_on.end()) continue;
+    const std::size_t w1 = a.rf_source[r];
+    if (w1 == kInitSource) {
+      for (std::size_t w : it->second) {
+        if (co.test(w, r)) {
+          return {BadPattern::kWriteCOInitRead,
+                  describe(history, r) + " returns the initial value but " +
+                      describe(history, w) + " is causally before it"};
+        }
+      }
+    } else {
+      for (std::size_t w2 : it->second) {
+        if (w2 == w1) continue;
+        if (co.test(w1, w2) && co.test(w2, r)) {
+          return {BadPattern::kWriteCORead,
+                  describe(history, r) + " reads " + describe(history, w1) +
+                      " although " + describe(history, w2) +
+                      " causally overwrote it"};
+        }
+      }
+    }
+  }
+
+  if (level == Level::kCC) return {};
+
+  if (level == Level::kCCv) {
+    // Causal convergence: the conflict relation cf (w1 -> w2 when some read
+    // of w2 has w1 on the same variable causally before it) together with co
+    // must be acyclic — i.e., one global arbitration of concurrent
+    // same-variable writes must exist that all readers agree with.
+    Relation with_cf = a.base;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (ops[r].kind != OpKind::kRead) continue;
+      const std::size_t w2 = a.rf_source[r];
+      if (w2 == kInitSource) continue;
+      for (std::size_t w1 : a.writes_on[ops[r].var]) {
+        if (w1 != w2 && co.test(w1, r)) with_cf.set(w1, w2);
+      }
+    }
+    ClosureResult ccr = transitive_closure(with_cf);
+    if (ccr.cycle_witness) {
+      auto [i, j] = *ccr.cycle_witness;
+      return {BadPattern::kCyclicCF,
+              "no single arbitration of concurrent writes: cycle through " +
+                  describe(history, i) + " and " + describe(history, j)};
+    }
+    return {};
+  }
+
+  // Per-process happens-before fixpoint (CM-specific patterns).
+  for (ProcId proc : history.processes()) {
+    // Scope O_i: all writes plus the reads of `proc`.
+    std::vector<bool> in_scope(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      in_scope[i] =
+          ops[i].kind == OpKind::kWrite || ops[i].proc == proc;
+    }
+
+    // HB_i starts as co restricted to the scope.
+    Relation hb(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_scope[i]) continue;
+      co.for_successors(i, [&](std::size_t j) {
+        if (in_scope[j]) hb.set(i, j);
+      });
+    }
+
+    // Fixpoint: derive, re-close, repeat.
+    while (true) {
+      if (!derive_hb_edges(a, in_scope, proc, hb)) break;
+      ClosureResult hcr = transitive_closure(hb);
+      if (hcr.cycle_witness) {
+        auto [i, j] = *hcr.cycle_witness;
+        return {BadPattern::kCyclicHB,
+                "happens-before cycle for " + cim::to_string(proc) +
+                    " through " + describe(history, i) + " and " +
+                    describe(history, j)};
+      }
+      hb = std::move(hcr.closure);
+    }
+
+    // WriteHBInitRead: an init-read with a write to the variable hb-before it.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (ops[r].kind != OpKind::kRead || ops[r].proc != proc) continue;
+      if (a.rf_source[r] != kInitSource) continue;
+      auto it = a.writes_on.find(ops[r].var);
+      if (it == a.writes_on.end()) continue;
+      for (std::size_t w : it->second) {
+        if (hb.test(w, r)) {
+          return {BadPattern::kWriteHBInitRead,
+                  describe(history, r) +
+                      " returns the initial value but, for " +
+                      cim::to_string(proc) + ", " + describe(history, w) +
+                      " happens before it"};
+        }
+      }
+    }
+
+    // A WriteCORead-style pattern can also appear only under HB_i.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (ops[r].kind != OpKind::kRead || ops[r].proc != proc) continue;
+      const std::size_t w1 = a.rf_source[r];
+      if (w1 == kInitSource) continue;
+      auto it = a.writes_on.find(ops[r].var);
+      for (std::size_t w2 : it->second) {
+        if (w2 == w1) continue;
+        if (hb.test(w1, w2) && hb.test(w2, r)) {
+          return {BadPattern::kWriteCORead,
+                  describe(history, r) + " reads " + describe(history, w1) +
+                      " although " + describe(history, w2) +
+                      " overwrote it in happens-before of " +
+                      cim::to_string(proc)};
+        }
+      }
+    }
+  }
+
+  return {};
+}
+
+}  // namespace cim::chk

@@ -1,0 +1,87 @@
+// Causal-consistency verification.
+//
+// The paper (Definitions 1-5) uses Ahamad et al.'s *causal memory* (CM):
+// a computation α is causal iff for every process i there is a *causal view*
+// β_i — a permutation of α_i (all writes plus i's reads) that is legal and
+// preserves the causal order ⇝ (the transitive closure of program order and
+// writes-into order).
+//
+// Deciding this directly involves searching for a permutation; under the
+// paper's assumption that each value is written at most once per variable,
+// CM admits a polynomial characterization by *bad patterns* (Bouajjani,
+// Enea, Guerraoui, Hamza, "On verifying causal consistency", POPL 2017,
+// Theorem for CM): α is causal iff it exhibits none of
+//
+//   CyclicCO         — co := (po ∪ rf)+ has a cycle
+//   ThinAirRead      — a read returns a value never written to that variable
+//   WriteCOInitRead  — a read returns the initial value although some write
+//                      to the variable is co-before the read
+//   WriteCORead      — a read returns the value of w1 although another write
+//                      w2 to the same variable satisfies w1 →co w2 →co read
+//   CyclicHB         — the per-process happens-before fixpoint is cyclic
+//   WriteHBInitRead  — like WriteCOInitRead but under the per-process
+//                      happens-before
+//
+// where, for process i, HB_i is the least transitive relation containing co
+// restricted to (writes ∪ reads_i) and closed under: if r ∈ reads_i(x) reads
+// from w2 and w1 is another write to x with (w1, r) ∈ HB_i, then
+// (w1, w2) ∈ HB_i.
+//
+// SearchChecker (search_checker.h) decides the definition directly by
+// backtracking; property tests cross-validate the two on random histories.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "checker/history.h"
+#include "checker/relation.h"
+
+namespace cim::chk {
+
+enum class BadPattern {
+  kNone,
+  kDuplicateWrite,   // precondition violation: a value written twice to a var
+  kCyclicCO,
+  kThinAirRead,
+  kWriteCOInitRead,
+  kWriteCORead,
+  kCyclicHB,
+  kWriteHBInitRead,
+  kCyclicCF,         // CCv only: conflict/arbitration cycle
+};
+
+const char* to_string(BadPattern p);
+
+/// Consistency model to verify.
+enum class Level {
+  kCC,   // weak causal consistency: first four patterns only
+  kCM,   // causal memory (the paper's model): adds the per-process HB patterns
+  kCCv,  // causal convergence: adds CyclicCF — all replicas must agree on one
+         // arbitration of concurrent same-variable writes. None of the
+         // protocols here implement arbitration, so CCv is expected to FAIL
+         // on executions where readers order concurrent writes differently;
+         // the level exists to demonstrate that separation.
+};
+
+struct CheckResult {
+  BadPattern pattern = BadPattern::kNone;
+  std::string detail;  // human-readable witness description
+
+  bool ok() const { return pattern == BadPattern::kNone; }
+  explicit operator bool() const { return ok(); }
+};
+
+class CausalChecker {
+ public:
+  /// Verify `history` against the model. O(n^2) bit-parallel for kCC;
+  /// kCM adds per-process fixpoints (still polynomial).
+  CheckResult check(const History& history, Level level = Level::kCM) const;
+
+  /// The causal order co = (po ∪ rf)+ of a history, exposed for tests and
+  /// for the latency experiments. Fails (returns nullopt) on ThinAirRead /
+  /// DuplicateWrite preconditions.
+  std::optional<Relation> causal_order(const History& history) const;
+};
+
+}  // namespace cim::chk

@@ -1,0 +1,97 @@
+#include "checker/history.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cim::chk {
+
+std::string Op::to_string() const {
+  std::ostringstream os;
+  os << (kind == OpKind::kRead ? "r" : "w") << "(" << var << ")" << value
+     << "@" << cim::to_string(proc) << (is_isp ? "[isp]" : "") << "#"
+     << proc_seq;
+  return os.str();
+}
+
+History::History(std::vector<Op> ops) : ops_(std::move(ops)) {
+  std::stable_sort(ops_.begin(), ops_.end(), [](const Op& a, const Op& b) {
+    if (a.proc != b.proc) return a.proc < b.proc;
+    return a.proc_seq < b.proc_seq;
+  });
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    auto [it, inserted] = by_proc_.try_emplace(ops_[i].proc);
+    if (inserted) processes_.push_back(ops_[i].proc);
+    it->second.push_back(i);
+  }
+  std::sort(processes_.begin(), processes_.end());
+}
+
+const std::vector<std::size_t>& History::process_ops(ProcId p) const {
+  static const std::vector<std::size_t> kEmpty;
+  auto it = by_proc_.find(p);
+  return it == by_proc_.end() ? kEmpty : it->second;
+}
+
+std::string History::to_string() const {
+  std::ostringstream os;
+  for (ProcId p : processes_) {
+    os << cim::to_string(p) << ":";
+    for (std::size_t i : process_ops(p)) os << " " << ops_[i].to_string();
+    os << "\n";
+  }
+  return os.str();
+}
+
+OpId Recorder::begin(ProcId proc, bool is_isp, OpKind kind, VarId var,
+                     Value value, sim::Time now) {
+  Op op;
+  op.id = OpId{static_cast<std::uint64_t>(ops_.size())};
+  op.proc = proc;
+  op.is_isp = is_isp;
+  op.kind = kind;
+  op.var = var;
+  op.value = value;
+  op.proc_seq = next_seq_[proc]++;
+  op.invoked = now;
+  ops_.push_back(Pending{op, /*completed=*/false});
+  return op.id;
+}
+
+void Recorder::end_read(OpId id, Value result, sim::Time now) {
+  CIM_CHECK(id.value < ops_.size());
+  Pending& p = ops_[id.value];
+  CIM_CHECK_MSG(p.op.kind == OpKind::kRead, "end_read on a write op");
+  CIM_CHECK_MSG(!p.completed, "operation completed twice");
+  p.op.value = result;
+  p.op.responded = now;
+  p.completed = true;
+}
+
+void Recorder::end_write(OpId id, sim::Time now) {
+  CIM_CHECK(id.value < ops_.size());
+  Pending& p = ops_[id.value];
+  CIM_CHECK_MSG(p.op.kind == OpKind::kWrite, "end_write on a read op");
+  CIM_CHECK_MSG(!p.completed, "operation completed twice");
+  p.op.responded = now;
+  p.completed = true;
+}
+
+History Recorder::full() const {
+  std::vector<Op> ops;
+  for (const Pending& p : ops_) {
+    if (p.completed) ops.push_back(p.op);
+  }
+  return History(std::move(ops));
+}
+
+History Recorder::system(SystemId sys) const {
+  return full().filter([sys](const Op& op) { return op.proc.system == sys; });
+}
+
+History Recorder::federation() const {
+  return full().filter([](const Op& op) { return !op.is_isp; });
+}
+
+}  // namespace cim::chk

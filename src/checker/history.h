@@ -1,0 +1,118 @@
+// Execution histories: the computations α^q of the paper.
+//
+// A History is a set of completed read/write operations grouped by issuing
+// process in program order. The Recorder is the hook the MCS layer uses to
+// record every application-process operation (invocation and response).
+//
+// Terminology follows Section 2 of the paper:
+//  * a *system history* α^k contains the operations of all processes of S^k,
+//    including its IS-processes (whose writes are the propagated writes
+//    w^k_{isp^k}(x)v);
+//  * the *federation history* α^T contains the operations of all application
+//    processes of all systems, with IS-processes removed (the paper's ST
+//    excludes isp^0 and isp^1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "sim/time.h"
+
+namespace cim::chk {
+
+enum class OpKind : std::uint8_t { kRead, kWrite };
+
+inline const char* to_string(OpKind k) {
+  return k == OpKind::kRead ? "read" : "write";
+}
+
+struct Op {
+  OpId id;
+  ProcId proc;
+  bool is_isp = false;        // operation issued by an IS-process
+  OpKind kind = OpKind::kRead;
+  VarId var;
+  Value value = kInitValue;   // value written, or value returned by the read
+  std::uint64_t proc_seq = 0; // position in the issuing process's program order
+  sim::Time invoked;
+  sim::Time responded;
+
+  std::string to_string() const;
+};
+
+/// An immutable collection of operations with per-process program order.
+class History {
+ public:
+  History() = default;
+  explicit History(std::vector<Op> ops);
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Distinct processes appearing in the history, in ascending ProcId order.
+  const std::vector<ProcId>& processes() const { return processes_; }
+
+  /// Indices (into ops()) of the given process's operations, program order.
+  const std::vector<std::size_t>& process_ops(ProcId p) const;
+
+  /// Keep only operations satisfying `pred` (e.g., drop IS-process ops).
+  template <typename Pred>
+  History filter(Pred pred) const {
+    std::vector<Op> kept;
+    for (const Op& op : ops_) {
+      if (pred(op)) kept.push_back(op);
+    }
+    return History(std::move(kept));
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Op> ops_;                      // sorted by (proc, proc_seq)
+  std::vector<ProcId> processes_;
+  std::map<ProcId, std::vector<std::size_t>> by_proc_;
+};
+
+/// Records operations as executions run. Thread-compatible (the simulator is
+/// single-threaded); the threaded runtime wraps it in a mutex externally.
+class Recorder {
+ public:
+  /// Record the invocation of an operation. For writes, `value` is the value
+  /// being written; for reads it is ignored until end_read.
+  OpId begin(ProcId proc, bool is_isp, OpKind kind, VarId var, Value value,
+             sim::Time now);
+
+  void end_read(OpId id, Value result, sim::Time now);
+  void end_write(OpId id, sim::Time now);
+
+  /// Number of operations recorded so far (completed or not).
+  std::size_t count() const { return ops_.size(); }
+
+  /// All *completed* operations. Pending (never-responded) operations are
+  /// excluded: the paper's computations contain only completed operations.
+  History full() const;
+
+  /// Operations of the processes of one system (IS-processes included):
+  /// the computation α^k.
+  History system(SystemId sys) const;
+
+  /// Operations of all application processes, IS-processes excluded:
+  /// the computation α^T.
+  History federation() const;
+
+ private:
+  struct Pending {
+    Op op;
+    bool completed = false;
+  };
+  std::vector<Pending> ops_;
+  std::map<ProcId, std::uint64_t> next_seq_;
+};
+
+}  // namespace cim::chk

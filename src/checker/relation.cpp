@@ -1,0 +1,146 @@
+#include "checker/relation.h"
+
+#include <algorithm>
+
+namespace cim::chk {
+
+std::size_t Relation::edge_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t* r = row(i);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      count += static_cast<std::size_t>(__builtin_popcountll(r[w]));
+    }
+  }
+  return count;
+}
+
+namespace {
+
+// Iterative Tarjan SCC. Returns component id per node; components are
+// numbered in reverse topological order (a component's successors have
+// smaller ids).
+struct SccResult {
+  std::vector<std::size_t> comp;
+  std::size_t num_comps = 0;
+};
+
+SccResult tarjan_scc(const Relation& rel) {
+  const std::size_t n = rel.size();
+  SccResult out;
+  out.comp.assign(n, SIZE_MAX);
+
+  std::vector<std::size_t> index(n, SIZE_MAX), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::vector<std::size_t> succs;
+    std::size_t next_succ = 0;
+  };
+  std::vector<Frame> call_stack;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != SIZE_MAX) continue;
+    call_stack.push_back(Frame{root, {}, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    rel.for_successors(root, [&](std::size_t j) {
+      call_stack.back().succs.push_back(j);
+    });
+
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      if (f.next_succ < f.succs.size()) {
+        const std::size_t w = f.succs[f.next_succ++];
+        if (index[w] == SIZE_MAX) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back(Frame{w, {}, 0});
+          rel.for_successors(w, [&](std::size_t j) {
+            call_stack.back().succs.push_back(j);
+          });
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            out.comp[w] = out.num_comps;
+            if (w == f.v) break;
+          }
+          ++out.num_comps;
+        }
+        const std::size_t v = f.v;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          Frame& parent = call_stack.back();
+          lowlink[parent.v] = std::min(lowlink[parent.v], lowlink[v]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ClosureResult transitive_closure(const Relation& rel) {
+  const std::size_t n = rel.size();
+  ClosureResult out;
+  out.closure = Relation(n);
+  if (n == 0) return out;
+
+  const SccResult scc = tarjan_scc(rel);
+
+  // Group nodes per component; find a cycle witness (component of size >= 2,
+  // or a self-loop).
+  std::vector<std::vector<std::size_t>> members(scc.num_comps);
+  for (std::size_t v = 0; v < n; ++v) members[scc.comp[v]].push_back(v);
+  for (std::size_t c = 0; c < scc.num_comps && !out.cycle_witness; ++c) {
+    if (members[c].size() >= 2) {
+      out.cycle_witness = std::make_pair(members[c][0], members[c][1]);
+    }
+  }
+  if (!out.cycle_witness) {
+    for (std::size_t v = 0; v < n && !out.cycle_witness; ++v) {
+      if (rel.test(v, v)) out.cycle_witness = std::make_pair(v, v);
+    }
+  }
+
+  // Per-component reachability, processed in topological order (Tarjan
+  // numbers components in reverse topological order, so iterate ascending:
+  // successors first).
+  Relation comp_reach(scc.num_comps);
+  for (std::size_t c = 0; c < scc.num_comps; ++c) {
+    for (std::size_t v : members[c]) {
+      rel.for_successors(v, [&](std::size_t w) {
+        const std::size_t cw = scc.comp[w];
+        comp_reach.set(c, cw);                 // reaches the component itself
+        comp_reach.merge_row(c, cw);           // and everything it reaches
+      });
+    }
+    if (members[c].size() >= 2) comp_reach.set(c, c);  // internal cycle
+    for (std::size_t v : members[c]) {
+      if (rel.test(v, v)) comp_reach.set(c, c);
+    }
+  }
+
+  // Expand component reachability back to nodes.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t cv = scc.comp[v];
+    comp_reach.for_successors(cv, [&](std::size_t cw) {
+      for (std::size_t w : members[cw]) out.closure.set(v, w);
+    });
+  }
+  return out;
+}
+
+}  // namespace cim::chk

@@ -1,0 +1,79 @@
+// Dense binary relations over operation indices, with reachability utilities.
+//
+// The consistency checkers manipulate orders (program order, reads-from,
+// causal order, the per-process happens-before of the CM characterization) as
+// bit matrices: rel.test(i, j) means "i precedes j". Transitive closure uses
+// a reverse-topological DP over strongly connected components, so it also
+// works (and detects) cyclic relations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace cim::chk {
+
+/// Square bit matrix: n x n adjacency/closure representation.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::size_t n)
+      : n_(n), words_per_row_((n + 63) / 64), bits_(n * words_per_row_, 0) {}
+
+  std::size_t size() const { return n_; }
+
+  bool test(std::size_t i, std::size_t j) const {
+    return (row(i)[j >> 6] >> (j & 63)) & 1;
+  }
+
+  void set(std::size_t i, std::size_t j) { row(i)[j >> 6] |= 1ULL << (j & 63); }
+
+  /// row(i) |= row(j) — "everything j reaches, i reaches".
+  void merge_row(std::size_t i, std::size_t j) {
+    std::uint64_t* ri = row(i);
+    const std::uint64_t* rj = row(j);
+    for (std::size_t w = 0; w < words_per_row_; ++w) ri[w] |= rj[w];
+  }
+
+  std::size_t edge_count() const;
+
+  /// Iterate successors of i, invoking fn(j) for each set bit.
+  template <typename Fn>
+  void for_successors(std::size_t i, Fn fn) const {
+    const std::uint64_t* r = row(i);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = r[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const std::size_t j = (w << 6) + static_cast<std::size_t>(b);
+        if (j < n_) fn(j);
+      }
+    }
+  }
+
+  bool operator==(const Relation&) const = default;
+
+  std::uint64_t* row(std::size_t i) { return bits_.data() + i * words_per_row_; }
+  const std::uint64_t* row(std::size_t i) const {
+    return bits_.data() + i * words_per_row_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Result of closing a relation: the closure plus, if the relation has a
+/// cycle, one pair (i, j), i != j, with i and j mutually reachable.
+struct ClosureResult {
+  Relation closure;
+  std::optional<std::pair<std::size_t, std::size_t>> cycle_witness;
+};
+
+/// Transitive closure (reflexivity NOT added). Detects cycles.
+ClosureResult transitive_closure(const Relation& rel);
+
+}  // namespace cim::chk

@@ -1,0 +1,173 @@
+#include "checker/search_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "checker/causal_checker.h"
+#include "checker/relation.h"
+
+namespace cim::chk {
+
+namespace {
+
+// A scheduling problem: find a linear extension of `before` over `ops`
+// (indices into a local array) such that every read is *legal* when placed:
+// it returns the value of the most recently placed write to its variable, or
+// the initial value if no write to it has been placed.
+struct Problem {
+  std::vector<Op> ops;       // local operations
+  Relation before;           // precedence constraints (closed or not)
+  std::uint64_t budget = 0;  // remaining node budget
+};
+
+struct SearchState {
+  std::uint64_t scheduled = 0;                  // bitmask over <=64 ops
+  std::map<VarId, std::size_t> last_write;      // var -> local op index
+};
+
+std::uint64_t state_key(const SearchState& s) {
+  // Combine the mask with a hash of the variable state. Collisions merely
+  // cause a (sound) re-exploration to be skipped only if the full key
+  // matches, so we store full keys in a set of pairs folded into one hash —
+  // to stay exact we fold conservatively: same mask AND same last-write map
+  // produce the same key; different maps *may* collide, so we mix strongly.
+  std::uint64_t h = s.scheduled * 0x9E3779B97F4A7C15ULL;
+  for (const auto& [var, idx] : s.last_write) {
+    h ^= (static_cast<std::uint64_t>(var.value) + 1) * 0xBF58476D1CE4E5B9ULL +
+         idx * 0x94D049BB133111EBULL + (h << 7) + (h >> 3);
+  }
+  return h;
+}
+
+// Depth-first search for a legal linear extension. Returns true/false, or
+// nullopt if the budget is exhausted.
+std::optional<bool> solve(Problem& p) {
+  const std::size_t n = p.ops.size();
+  if (n > 64) return std::nullopt;
+  if (n == 0) return true;
+
+  // Precompute predecessor masks.
+  std::vector<std::uint64_t> preds(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.before.for_successors(i, [&](std::size_t j) {
+      preds[j] |= 1ULL << i;
+    });
+    if (p.before.test(i, i)) preds[i] |= 1ULL << i;  // self-loop: unsat
+  }
+
+  // Memoized states known to fail. Keyed by a strong hash of
+  // (mask, last-write map); a hash collision could wrongly prune, which is
+  // statistically negligible for test sizes but we accept it as this checker
+  // is advisory (the polynomial checker is authoritative).
+  std::unordered_set<std::uint64_t> failed;
+
+  struct Frame {
+    SearchState state;
+    std::vector<std::size_t> candidates;
+    std::size_t next = 0;
+  };
+
+  auto candidates_of = [&](const SearchState& s) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t bit = 1ULL << i;
+      if (s.scheduled & bit) continue;
+      if ((preds[i] & ~s.scheduled) != 0) continue;  // unscheduled preds
+      if (p.ops[i].kind == OpKind::kRead) {
+        auto it = s.last_write.find(p.ops[i].var);
+        if (it == s.last_write.end()) {
+          if (p.ops[i].value != kInitValue) continue;  // init read only
+        } else if (p.ops[it->second].value != p.ops[i].value) {
+          continue;  // would read a stale/overwritten value
+        }
+      }
+      out.push_back(i);
+    }
+    return out;
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back(Frame{SearchState{}, candidates_of(SearchState{}), 0});
+
+  const std::uint64_t all = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.state.scheduled == all) return true;
+    if (f.next >= f.candidates.size()) {
+      failed.insert(state_key(f.state));
+      stack.pop_back();
+      continue;
+    }
+    if (p.budget-- == 0) return std::nullopt;
+    const std::size_t pick = f.candidates[f.next++];
+    SearchState next = f.state;
+    next.scheduled |= 1ULL << pick;
+    if (p.ops[pick].kind == OpKind::kWrite) {
+      next.last_write[p.ops[pick].var] = pick;
+    }
+    if (failed.count(state_key(next))) continue;
+    auto cands = candidates_of(next);
+    stack.push_back(Frame{std::move(next), std::move(cands), 0});
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<bool> SearchChecker::is_causal(const History& history,
+                                             std::uint64_t node_budget) const {
+  CausalChecker cc;
+  std::optional<Relation> co = cc.causal_order(history);
+  if (!co) return false;  // cyclic co or thin-air / duplicate values
+
+  const auto& ops = history.ops();
+
+  for (ProcId proc : history.processes()) {
+    // α_i: all writes plus this process's reads, with co restricted.
+    std::vector<std::size_t> global_idx;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == OpKind::kWrite || ops[i].proc == proc) {
+        global_idx.push_back(i);
+      }
+    }
+    if (global_idx.size() > 64) return std::nullopt;
+
+    Problem p;
+    p.budget = node_budget;
+    p.before = Relation(global_idx.size());
+    for (std::size_t a = 0; a < global_idx.size(); ++a) {
+      p.ops.push_back(ops[global_idx[a]]);
+      for (std::size_t b = 0; b < global_idx.size(); ++b) {
+        if (a != b && co->test(global_idx[a], global_idx[b])) {
+          p.before.set(a, b);
+        }
+      }
+    }
+    std::optional<bool> result = solve(p);
+    if (!result) return std::nullopt;  // budget exceeded
+    if (!*result) return false;        // no causal view for this process
+  }
+  return true;
+}
+
+std::optional<bool> SearchChecker::is_sequential(
+    const History& history, std::uint64_t node_budget) const {
+  const auto& ops = history.ops();
+  if (ops.size() > 64) return std::nullopt;
+
+  Problem p;
+  p.budget = node_budget;
+  p.ops = ops;
+  p.before = Relation(ops.size());
+  for (ProcId proc : history.processes()) {
+    const auto& seq = history.process_ops(proc);
+    for (std::size_t k = 1; k < seq.size(); ++k) {
+      p.before.set(seq[k - 1], seq[k]);
+    }
+  }
+  return solve(p);
+}
+
+}  // namespace cim::chk

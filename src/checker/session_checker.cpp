@@ -1,0 +1,207 @@
+#include "checker/session_checker.h"
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "checker/causal_checker.h"
+#include "checker/relation.h"
+
+namespace cim::chk {
+
+const char* to_string(SessionGuarantee g) {
+  switch (g) {
+    case SessionGuarantee::kReadYourWrites: return "read-your-writes";
+    case SessionGuarantee::kMonotonicReads: return "monotonic-reads";
+    case SessionGuarantee::kMonotonicWrites: return "monotonic-writes";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::size_t kInit = SIZE_MAX;
+
+struct Prepared {
+  const History* history = nullptr;
+  Relation co;                          // (po ∪ rf)+
+  std::vector<std::size_t> rf_source;   // per read; kInit for initial value
+  bool ok = false;
+  std::string error;
+};
+
+Prepared prepare(const History& h) {
+  Prepared p;
+  p.history = &h;
+  const auto& ops = h.ops();
+  p.rf_source.assign(ops.size(), kInit);
+
+  std::map<std::pair<VarId, Value>, std::size_t> writer;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kWrite) continue;
+    if (!writer.try_emplace({ops[i].var, ops[i].value}, i).second) {
+      p.error = "duplicate write of " + ops[i].to_string();
+      return p;
+    }
+  }
+  Relation base(ops.size());
+  for (ProcId proc : h.processes()) {
+    const auto& seq = h.process_ops(proc);
+    for (std::size_t k = 1; k < seq.size(); ++k) base.set(seq[k - 1], seq[k]);
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kRead || ops[i].value == kInitValue) continue;
+    auto it = writer.find({ops[i].var, ops[i].value});
+    if (it == writer.end()) {
+      p.error = "thin-air read " + ops[i].to_string();
+      return p;
+    }
+    p.rf_source[i] = it->second;
+    base.set(it->second, i);
+  }
+  ClosureResult cr = transitive_closure(base);
+  if (cr.cycle_witness) {
+    p.error = "cyclic causal order";
+    return p;
+  }
+  p.co = std::move(cr.closure);
+  p.ok = true;
+  return p;
+}
+
+SessionResult violation(const std::string& detail) {
+  return SessionResult{false, detail};
+}
+
+SessionResult check_ryw(const Prepared& p) {
+  const auto& h = *p.history;
+  const auto& ops = h.ops();
+  for (ProcId proc : h.processes()) {
+    const auto& seq = h.process_ops(proc);
+    for (std::size_t k = 0; k < seq.size(); ++k) {
+      const std::size_t r = seq[k];
+      if (ops[r].kind != OpKind::kRead) continue;
+      const std::size_t src = p.rf_source[r];
+      // The state served to the read must have contained every own prior
+      // write to the variable. A *concurrent* remote value may legitimately
+      // have overwritten it; only the initial value or a value strictly
+      // causally OLDER than the own write is an observable violation.
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t w = seq[j];
+        if (ops[w].kind != OpKind::kWrite || ops[w].var != ops[r].var) continue;
+        const bool violated =
+            src == kInit || (src != w && p.co.test(src, w));
+        if (violated) {
+          return violation(ops[r].to_string() + " predates own write " +
+                           ops[w].to_string());
+        }
+      }
+    }
+  }
+  return {};
+}
+
+SessionResult check_monotonic_reads(const Prepared& p) {
+  const auto& h = *p.history;
+  const auto& ops = h.ops();
+  for (ProcId proc : h.processes()) {
+    const auto& seq = h.process_ops(proc);
+    // Track, per variable, the most recent non-init source read.
+    std::map<VarId, std::size_t> last_src;
+    std::map<VarId, std::size_t> last_read;
+    for (std::size_t idx : seq) {
+      if (ops[idx].kind != OpKind::kRead) continue;
+      const VarId var = ops[idx].var;
+      const std::size_t src = p.rf_source[idx];
+      auto it = last_src.find(var);
+      if (it != last_src.end()) {
+        const std::size_t prev = it->second;
+        const bool regressed =
+            src == kInit || (src != prev && p.co.test(src, prev));
+        if (regressed) {
+          return violation(ops[idx].to_string() +
+                           " is causally older than earlier " +
+                           ops[last_read[var]].to_string());
+        }
+      }
+      if (src != kInit) {
+        last_src[var] = src;
+        last_read[var] = idx;
+      }
+    }
+  }
+  return {};
+}
+
+SessionResult check_monotonic_writes(const Prepared& p) {
+  const auto& h = *p.history;
+  const auto& ops = h.ops();
+  for (ProcId proc : h.processes()) {
+    const auto& seq = h.process_ops(proc);
+    std::map<VarId, std::size_t> last_src;  // per var, previous read's source
+    std::map<VarId, std::size_t> last_read;
+    for (std::size_t idx : seq) {
+      if (ops[idx].kind != OpKind::kRead) continue;
+      const VarId var = ops[idx].var;
+      const std::size_t src = p.rf_source[idx];
+      auto it = last_src.find(var);
+      if (it != last_src.end() && src != kInit) {
+        const std::size_t prev = it->second;
+        // Same writer, inverted program order: the session observed the
+        // writer's writes out of order.
+        if (src != prev && ops[src].proc == ops[prev].proc &&
+            ops[src].proc_seq < ops[prev].proc_seq) {
+          return violation(ops[idx].to_string() + " observes " +
+                           ops[src].to_string() + " after the later " +
+                           ops[prev].to_string());
+        }
+      }
+      if (src != kInit) {
+        last_src[var] = src;
+        last_read[var] = idx;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+SessionResult SessionChecker::check(const History& history,
+                                    SessionGuarantee g) const {
+  Prepared p = prepare(history);
+  if (!p.ok) return violation(p.error);
+  switch (g) {
+    case SessionGuarantee::kReadYourWrites: return check_ryw(p);
+    case SessionGuarantee::kMonotonicReads: return check_monotonic_reads(p);
+    case SessionGuarantee::kMonotonicWrites: return check_monotonic_writes(p);
+  }
+  return {};
+}
+
+SessionResult SessionChecker::check_all(const History& history) const {
+  Prepared p = prepare(history);
+  if (!p.ok) return violation(p.error);
+  for (SessionGuarantee g :
+       {SessionGuarantee::kReadYourWrites, SessionGuarantee::kMonotonicReads,
+        SessionGuarantee::kMonotonicWrites}) {
+    SessionResult r;
+    switch (g) {
+      case SessionGuarantee::kReadYourWrites: r = check_ryw(p); break;
+      case SessionGuarantee::kMonotonicReads:
+        r = check_monotonic_reads(p);
+        break;
+      case SessionGuarantee::kMonotonicWrites:
+        r = check_monotonic_writes(p);
+        break;
+    }
+    if (!r.ok) {
+      r.detail = std::string(to_string(g)) + ": " + r.detail;
+      return r;
+    }
+  }
+  return {};
+}
+
+}  // namespace cim::chk

@@ -1,0 +1,55 @@
+// Session-guarantee checkers: the classic decomposition of causal memory
+// (Terry et al., "Session guarantees for weakly consistent replicated
+// data"). When the full causal check fails, these locate *which* guarantee
+// broke; they are also useful positively — every protocol in this
+// repository satisfies all of them on every execution.
+//
+// With the paper's distinct-values assumption the reads-from relation is a
+// function and each guarantee has a direct polynomial check:
+//
+//  * Read-your-writes  — every own write to x program-order-before a read
+//    of x must be in the causal past of the value read (reading the initial
+//    value, or a value that does not causally include the own write, is a
+//    violation);
+//  * Monotonic reads   — a later read of x must not return a value *causally
+//    older* than an earlier read's value (switching between concurrent
+//    values is not observable as a violation and is allowed);
+//  * Monotonic writes  — no process may observe two writes of one writer in
+//    inverted program order.
+//
+// Writes-follow-reads has no independent value-level witness beyond the
+// causal checker's WriteCORead/WriteCOInitRead patterns (its violations
+// surface there), so it is not duplicated here.
+#pragma once
+
+#include <string>
+
+#include "checker/history.h"
+
+namespace cim::chk {
+
+enum class SessionGuarantee {
+  kReadYourWrites,
+  kMonotonicReads,
+  kMonotonicWrites,
+};
+
+const char* to_string(SessionGuarantee g);
+
+struct SessionResult {
+  bool ok = true;
+  std::string detail;  // first violation found
+  explicit operator bool() const { return ok; }
+};
+
+class SessionChecker {
+ public:
+  /// Check one guarantee. Preconditions (distinct values, no thin-air reads)
+  /// are reported as violations of the guarantee being checked.
+  SessionResult check(const History& history, SessionGuarantee g) const;
+
+  /// Check all guarantees; returns the first violation.
+  SessionResult check_all(const History& history) const;
+};
+
+}  // namespace cim::chk

@@ -1,0 +1,99 @@
+#include "checker/trace_io.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace cim::chk {
+
+void write_trace(const History& history, std::ostream& os) {
+  os << "# cim trace v1: kind system proc var value invoked_ns responded_ns"
+        " [isp]\n";
+  // Interleave by invocation time so the file reads chronologically while
+  // preserving per-process program order (stable for equal times).
+  std::vector<const Op*> ops;
+  ops.reserve(history.size());
+  for (const Op& op : history.ops()) ops.push_back(&op);
+  std::stable_sort(ops.begin(), ops.end(), [](const Op* a, const Op* b) {
+    return a->invoked < b->invoked;
+  });
+  for (const Op* op : ops) {
+    os << (op->kind == OpKind::kRead ? "r" : "w") << " "
+       << op->proc.system.value << " " << op->proc.index << " "
+       << op->var.value << " " << op->value << " " << op->invoked.ns << " "
+       << op->responded.ns;
+    if (op->is_isp) os << " isp";
+    os << "\n";
+  }
+}
+
+std::string to_trace(const History& history) {
+  std::ostringstream os;
+  write_trace(history, os);
+  return os.str();
+}
+
+ParseResult read_trace(std::istream& is) {
+  std::vector<Op> ops;
+  std::map<ProcId, std::uint64_t> next_seq;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto fail = [&](const std::string& msg) {
+    ParseResult r;
+    r.error = "line " + std::to_string(line_no) + ": " + msg;
+    return r;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank or comment-only line
+    if (kind != "r" && kind != "w") {
+      return fail("expected 'r' or 'w', got '" + kind + "'");
+    }
+    std::uint32_t system = 0, proc = 0, var = 0;
+    std::int64_t value = 0;
+    if (!(ls >> system >> proc >> var >> value)) {
+      return fail("expected: kind system proc var value");
+    }
+    if (system > UINT16_MAX || proc > UINT16_MAX) {
+      return fail("system/proc id out of range");
+    }
+    Op op;
+    op.id = OpId{ops.size()};
+    op.proc = ProcId{SystemId{static_cast<std::uint16_t>(system)},
+                     static_cast<std::uint16_t>(proc)};
+    op.kind = kind == "r" ? OpKind::kRead : OpKind::kWrite;
+    op.var = VarId{var};
+    op.value = value;
+    op.proc_seq = next_seq[op.proc]++;
+
+    std::int64_t invoked = 0, responded = 0;
+    if (ls >> invoked) {
+      if (!(ls >> responded)) return fail("invoked time without responded");
+      op.invoked = sim::Time{invoked};
+      op.responded = sim::Time{responded};
+    }
+    std::string flag;
+    if (ls >> flag) {
+      if (flag != "isp") return fail("unknown trailer '" + flag + "'");
+      op.is_isp = true;
+    }
+    ops.push_back(op);
+  }
+  ParseResult r;
+  r.history = History(std::move(ops));
+  return r;
+}
+
+ParseResult parse_trace(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace cim::chk

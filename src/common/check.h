@@ -1,0 +1,43 @@
+// Internal invariant checking.
+//
+// CIM_CHECK is always on (these are distributed-protocol invariants whose
+// violation means a bug; the cost is negligible next to simulation work).
+// Failure throws InvariantViolation so tests can assert on it and the
+// simulator can surface a clean diagnostic instead of UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cim {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace cim
+
+#define CIM_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::cim::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CIM_CHECK_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream cim_check_os_;                           \
+      cim_check_os_ << msg;                                       \
+      ::cim::check_failed(#expr, __FILE__, __LINE__, cim_check_os_.str()); \
+    }                                                             \
+  } while (0)

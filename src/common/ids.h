@@ -1,0 +1,92 @@
+// Strong identifier types used throughout the library.
+//
+// The paper's model has *systems* S^0, S^1, ..., each containing *application
+// processes* attached 1:1 to *MCS-processes*. A process is therefore named by
+// a (system, local index) pair. Variables of the shared memory are named by
+// VarId. All identifiers are small integers wrapped in distinct types so that
+// they cannot be accidentally interchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace cim {
+
+/// Identifier of one DSM system (S^q in the paper).
+struct SystemId {
+  std::uint16_t value = 0;
+
+  friend constexpr auto operator<=>(SystemId, SystemId) = default;
+};
+
+/// A process within a system: the pair (system, local index).
+/// Application processes and IS-processes are both named this way; the
+/// IS-process of a link occupies a dedicated local slot (see mcs::System).
+struct ProcId {
+  SystemId system;
+  std::uint16_t index = 0;
+
+  friend constexpr auto operator<=>(ProcId, ProcId) = default;
+};
+
+/// Identifier of a shared variable (an index into a variable table).
+struct VarId {
+  std::uint32_t value = 0;
+
+  friend constexpr auto operator<=>(VarId, VarId) = default;
+};
+
+/// Globally unique identifier of a memory operation within one execution.
+struct OpId {
+  std::uint64_t value = 0;
+
+  friend constexpr auto operator<=>(OpId, OpId) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, SystemId s) {
+  return os << "S" << s.value;
+}
+inline std::ostream& operator<<(std::ostream& os, ProcId p) {
+  return os << "p(" << p.system.value << "," << p.index << ")";
+}
+inline std::ostream& operator<<(std::ostream& os, VarId v) {
+  return os << "x" << v.value;
+}
+inline std::ostream& operator<<(std::ostream& os, OpId o) {
+  return os << "op#" << o.value;
+}
+
+inline std::string to_string(ProcId p) {
+  return "p(" + std::to_string(p.system.value) + "," + std::to_string(p.index) + ")";
+}
+
+}  // namespace cim
+
+namespace std {
+template <>
+struct hash<cim::SystemId> {
+  size_t operator()(cim::SystemId s) const noexcept {
+    return std::hash<std::uint16_t>{}(s.value);
+  }
+};
+template <>
+struct hash<cim::ProcId> {
+  size_t operator()(cim::ProcId p) const noexcept {
+    return (static_cast<size_t>(p.system.value) << 16) ^ p.index;
+  }
+};
+template <>
+struct hash<cim::VarId> {
+  size_t operator()(cim::VarId v) const noexcept {
+    return std::hash<std::uint32_t>{}(v.value);
+  }
+};
+template <>
+struct hash<cim::OpId> {
+  size_t operator()(cim::OpId o) const noexcept {
+    return std::hash<std::uint64_t>{}(o.value);
+  }
+};
+}  // namespace std

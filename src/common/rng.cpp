@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+namespace cim {
+
+std::uint64_t Rng::next() {
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next();  // full 64-bit range
+  return lo + next() % span;
+}
+
+double Rng::uniform01() {
+  // 53 high-quality bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+}  // namespace cim

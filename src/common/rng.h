@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component (delay models, workload generators, the
+// scrambling lazy-batch protocol) draws from an Rng seeded explicitly, so any
+// execution is reproducible from its seed. The generator is SplitMix64 —
+// small, fast, and adequate for simulation randomness (not cryptography).
+#pragma once
+
+#include <cstdint>
+
+namespace cim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ^ 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cim

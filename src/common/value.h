@@ -1,0 +1,19 @@
+// Values stored in shared variables.
+//
+// Following the paper (Section 2) we assume "a given value is written at most
+// once in any given variable". Workload generators enforce this by drawing
+// values from a global counter. The distinguished kInitValue is the value a
+// variable holds before any write; the consistency checker models it with an
+// implicit initialization write that causally precedes every operation.
+#pragma once
+
+#include <cstdint>
+
+namespace cim {
+
+using Value = std::int64_t;
+
+/// Initial content of every variable before the first write.
+inline constexpr Value kInitValue = 0;
+
+}  // namespace cim

@@ -1,0 +1,56 @@
+#include "common/vector_clock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace cim {
+
+void VectorClock::merge(const VectorClock& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] = std::max(counts_[i], other.counts_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  assert(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > other.counts_[i]) return false;
+  }
+  return true;
+}
+
+bool VectorClock::lt(const VectorClock& other) const {
+  return leq(other) && counts_ != other.counts_;
+}
+
+bool VectorClock::concurrent_with(const VectorClock& other) const {
+  return !leq(other) && !other.leq(*this);
+}
+
+bool VectorClock::ready_at(const VectorClock& replica_clock,
+                           std::size_t writer) const {
+  assert(counts_.size() == replica_clock.counts_.size());
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    if (j == writer) {
+      if (counts_[j] != replica_clock.counts_[j] + 1) return false;
+    } else {
+      if (counts_[j] > replica_clock.counts_[j]) return false;
+    }
+  }
+  return true;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i) os << ",";
+    os << counts_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace cim

@@ -1,0 +1,55 @@
+// Dense vector clocks over the processes of one system.
+//
+// Used by the propagation-based MCS protocols (ANBKH, lazy-batch) to track
+// the causal order of write operations within a system. Entry i counts the
+// number of writes by local process i that the owner has applied.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cim {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : counts_(n, 0) {}
+  VectorClock(std::initializer_list<std::uint64_t> init) : counts_(init) {}
+
+  std::size_t size() const { return counts_.size(); }
+
+  std::uint64_t operator[](std::size_t i) const { return counts_[i]; }
+
+  /// Increment entry i (a new write by process i).
+  void tick(std::size_t i) { ++counts_.at(i); }
+
+  void set(std::size_t i, std::uint64_t v) { counts_.at(i) = v; }
+
+  /// Pointwise maximum with `other`; both clocks must have equal size.
+  void merge(const VectorClock& other);
+
+  /// True iff every entry of *this is <= the corresponding entry of other.
+  bool leq(const VectorClock& other) const;
+
+  /// True iff leq(other) and the clocks differ (strict causal precedence).
+  bool lt(const VectorClock& other) const;
+
+  /// True iff neither clock precedes the other (concurrent writes).
+  bool concurrent_with(const VectorClock& other) const;
+
+  /// A write stamped `w` by process `writer` is *causally ready* at a replica
+  /// whose clock is *this iff w[writer] == (*this)[writer]+1 and
+  /// w[j] <= (*this)[j] for all j != writer. (ANBKH delivery condition.)
+  bool ready_at(const VectorClock& replica_clock, std::size_t writer) const;
+
+  bool operator==(const VectorClock&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace cim

@@ -1,0 +1,29 @@
+#include "interconnect/federation.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::isc {
+
+Federation::Federation(FederationConfig config)
+    : fabric_(sim_, config.seed) {
+  CIM_CHECK_MSG(!config.systems.empty(), "federation needs at least one system");
+  for (mcs::SystemConfig& sc : config.systems) {
+    systems_.push_back(std::make_unique<mcs::System>(
+        sim_, fabric_, recorder_, std::move(sc), &mux_));
+  }
+  std::vector<mcs::System*> raw;
+  raw.reserve(systems_.size());
+  for (auto& s : systems_) raw.push_back(s.get());
+  interconnector_ = std::make_unique<Interconnector>(
+      fabric_, std::move(raw), std::move(config.links), config.isp_mode);
+  interconnector_->build();
+}
+
+chk::History Federation::system_history(std::size_t index) const {
+  CIM_CHECK(index < systems_.size());
+  return recorder_.system(systems_[index]->id());
+}
+
+}  // namespace cim::isc

@@ -1,0 +1,65 @@
+// Federation: one-stop ownership of a complete interconnection experiment —
+// the simulator, the message fabric, the history recorder, the systems, and
+// the Interconnector. This is the top of the public API; examples, tests,
+// and benches build a FederationConfig and run it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "checker/history.h"
+#include "interconnect/interconnector.h"
+#include "mcs/memory_observer.h"
+#include "mcs/system.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+
+namespace cim::isc {
+
+struct FederationConfig {
+  std::uint64_t seed = 1;
+  std::vector<mcs::SystemConfig> systems;
+  std::vector<LinkSpec> links;  // must form a forest (tree per component)
+  IspMode isp_mode = IspMode::kSharedPerSystem;
+};
+
+class Federation {
+ public:
+  explicit Federation(FederationConfig config);
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+  chk::Recorder& recorder() { return recorder_; }
+  Interconnector& interconnector() { return *interconnector_; }
+
+  std::size_t num_systems() const { return systems_.size(); }
+  mcs::System& system(std::size_t index) { return *systems_.at(index); }
+
+  /// Register a stats tracker; it will observe every write issue and every
+  /// replica application in all systems.
+  void add_observer(mcs::MemoryObserver* observer) { mux_.add(observer); }
+
+  /// Run the simulation to quiescence (or until `deadline`).
+  void run() { sim_.run(); }
+  void run_until(sim::Time deadline) { sim_.run_until(deadline); }
+
+  /// α^T: the computation of the interconnected system S^T (IS-processes
+  /// excluded, as in Section 4).
+  chk::History federation_history() const { return recorder_.federation(); }
+
+  /// α^k: the computation of one system (its IS-processes included).
+  chk::History system_history(std::size_t index) const;
+
+ private:
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+  chk::Recorder recorder_;
+  mcs::ObserverMux mux_;
+  std::vector<std::unique_ptr<mcs::System>> systems_;
+  std::unique_ptr<Interconnector> interconnector_;
+};
+
+}  // namespace cim::isc

@@ -1,0 +1,188 @@
+#include "interconnect/interconnector.h"
+
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::isc {
+
+namespace {
+
+// Disjoint-set for the acyclicity check.
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[a] = b;
+    return true;
+  }
+  std::vector<std::size_t> parent;
+};
+
+}  // namespace
+
+Interconnector::Interconnector(net::Fabric& fabric,
+                               std::vector<mcs::System*> systems,
+                               std::vector<LinkSpec> links, IspMode mode)
+    : fabric_(fabric), systems_(std::move(systems)), links_(std::move(links)),
+      mode_(mode) {
+  for (mcs::System* s : systems_) CIM_CHECK(s != nullptr);
+  validate_tree();
+}
+
+void Interconnector::validate_tree() const {
+  // "we interconnect the original systems in pairs avoiding the creation of
+  // cycles, which results in a tree interconnection topology."
+  UnionFind uf(systems_.size());
+  for (const LinkSpec& link : links_) {
+    CIM_CHECK_MSG(link.system_a < systems_.size() &&
+                      link.system_b < systems_.size(),
+                  "link references an unknown system");
+    CIM_CHECK_MSG(link.system_a != link.system_b,
+                  "a system cannot be interconnected with itself");
+    CIM_CHECK_MSG(uf.unite(link.system_a, link.system_b),
+                  "interconnection topology must be a tree (cycle between S"
+                      << link.system_a << " and S" << link.system_b << ")");
+  }
+}
+
+void Interconnector::build() {
+  CIM_CHECK_MSG(!built_, "build() called twice");
+  built_ = true;
+
+  struct PendingIsp {
+    std::size_t system;
+    std::uint16_t slot;
+    IsProtocolChoice choice = IsProtocolChoice::kAuto;
+    bool choice_set = false;
+  };
+  std::vector<PendingIsp> pending;
+  shared_isp_of_system_.assign(systems_.size(), SIZE_MAX);
+
+  auto reserve_shared = [&](std::size_t sys) -> std::size_t {
+    if (shared_isp_of_system_[sys] == SIZE_MAX) {
+      const ProcId id = systems_[sys]->add_isp_slot();
+      pending.push_back(PendingIsp{sys, id.index});
+      shared_isp_of_system_[sys] = pending.size() - 1;
+    }
+    return shared_isp_of_system_[sys];
+  };
+  auto set_choice = [&](std::size_t isp_index, IsProtocolChoice choice) {
+    PendingIsp& p = pending[isp_index];
+    if (p.choice_set) {
+      CIM_CHECK_MSG(p.choice == choice,
+                    "conflicting IS-protocol choices for a shared IS-process");
+    } else {
+      p.choice = choice;
+      p.choice_set = true;
+    }
+  };
+
+  // 1. Reserve IS-process slots (before finalize fixes the process counts).
+  for (const LinkSpec& link : links_) {
+    std::size_t ia, ib;
+    if (mode_ == IspMode::kSharedPerSystem) {
+      ia = reserve_shared(link.system_a);
+      ib = reserve_shared(link.system_b);
+    } else {
+      const ProcId a = systems_[link.system_a]->add_isp_slot();
+      pending.push_back(PendingIsp{link.system_a, a.index});
+      ia = pending.size() - 1;
+      const ProcId b = systems_[link.system_b]->add_isp_slot();
+      pending.push_back(PendingIsp{link.system_b, b.index});
+      ib = pending.size() - 1;
+    }
+    set_choice(ia, link.choice_a);
+    set_choice(ib, link.choice_b);
+    link_isps_.emplace_back(ia, ib);
+  }
+
+  // 2. Freeze the systems.
+  for (mcs::System* s : systems_) {
+    if (!s->finalized()) s->finalize();
+  }
+
+  // 3. Create the IS-processes.
+  for (const PendingIsp& p : pending) {
+    isps_.push_back(std::make_unique<IsProcess>(
+        systems_[p.system]->app(p.slot), fabric_));
+  }
+
+  // 4. Inter-system channels (one reliable FIFO channel per direction).
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    const LinkSpec& link = links_[li];
+    auto [ia, ib] = link_isps_[li];
+    IsProcess& isp_a = *isps_[ia];
+    IsProcess& isp_b = *isps_[ib];
+
+    auto make_delay = [&]() -> net::DelayModelPtr {
+      if (link.delay) return link.delay();
+      return std::make_unique<net::FixedDelay>(sim::milliseconds(10));
+    };
+    auto make_avail = [&]() -> net::AvailabilityPtr {
+      if (link.availability) return link.availability();
+      return std::make_unique<net::AlwaysUp>();
+    };
+
+    net::ChannelConfig ab;
+    ab.src = isp_a.id();
+    ab.dst = isp_b.id();
+    ab.receiver = &isp_b;
+    ab.delay = make_delay();
+    ab.availability = make_avail();
+    ab.link_class = net::LinkClass::kInterSystem;
+    ab.fifo = link.fifo;
+    ab.drop_probability = link.drop_probability;
+    const net::ChannelId ch_ab = fabric_.add_channel(std::move(ab));
+
+    net::ChannelConfig ba;
+    ba.src = isp_b.id();
+    ba.dst = isp_a.id();
+    ba.receiver = &isp_a;
+    ba.delay = make_delay();
+    ba.availability = make_avail();
+    ba.link_class = net::LinkClass::kInterSystem;
+    ba.fifo = link.fifo;
+    ba.drop_probability = link.drop_probability;
+    const net::ChannelId ch_ba = fabric_.add_channel(std::move(ba));
+
+    const std::size_t la = isp_a.add_link(ch_ab);
+    isp_a.register_in_channel(ch_ba, la);
+    const std::size_t lb = isp_b.add_link(ch_ba);
+    isp_b.register_in_channel(ch_ab, lb);
+  }
+
+  // 5. Activate the IS-protocols.
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    isps_[i]->activate(pending[i].choice);
+  }
+}
+
+IsProcess& Interconnector::shared_isp(std::size_t system_index) {
+  CIM_CHECK(built_ && mode_ == IspMode::kSharedPerSystem);
+  CIM_CHECK(system_index < shared_isp_of_system_.size());
+  const std::size_t i = shared_isp_of_system_[system_index];
+  CIM_CHECK_MSG(i != SIZE_MAX, "system has no interconnection link");
+  return *isps_[i];
+}
+
+IsProcess& Interconnector::isp_a(std::size_t link_index) {
+  CIM_CHECK(built_ && link_index < link_isps_.size());
+  return *isps_[link_isps_[link_index].first];
+}
+
+IsProcess& Interconnector::isp_b(std::size_t link_index) {
+  CIM_CHECK(built_ && link_index < link_isps_.size());
+  return *isps_[link_isps_[link_index].second];
+}
+
+}  // namespace cim::isc

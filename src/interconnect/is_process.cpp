@@ -1,0 +1,98 @@
+#include "interconnect/is_process.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::isc {
+
+IsProcess::IsProcess(mcs::AppProcess& app, net::Fabric& fabric)
+    : app_(app), fabric_(fabric) {
+  CIM_CHECK_MSG(app.is_isp(),
+                "IsProcess must be attached to an IS-process slot");
+}
+
+std::size_t IsProcess::add_link(net::ChannelId out) {
+  out_links_.push_back(out);
+  return out_links_.size() - 1;
+}
+
+void IsProcess::register_in_channel(net::ChannelId in, std::size_t link) {
+  CIM_CHECK(link < out_links_.size());
+  in_links_.emplace_back(in.value, link);
+}
+
+void IsProcess::activate(IsProtocolChoice choice) {
+  CIM_CHECK_MSG(!activated_, "IS-process activated twice");
+  activated_ = true;
+  mcs::McsProcess& mcs = app_.mcs();
+  switch (choice) {
+    case IsProtocolChoice::kAuto:
+      // "Each IS-process will choose which one to use depending on which
+      // class of causal MCS-protocol its system is running."
+      pre_reads_enabled_ = !mcs.satisfies_causal_updating();
+      break;
+    case IsProtocolChoice::kForceProtocol1:
+      pre_reads_enabled_ = false;
+      break;
+    case IsProtocolChoice::kForceProtocol2:
+      pre_reads_enabled_ = true;
+      break;
+  }
+  mcs.attach_upcall_handler(this);
+  // "In this first IS-protocol isp^k disables the MCS-process pre_update
+  // upcalls, since it does not need them."
+  mcs.set_pre_update_enabled(pre_reads_enabled_);
+}
+
+void IsProcess::pre_update(VarId var, std::function<void()> done) {
+  // Task Pre_Propagate_out(x) (Fig. 2): read x, obtaining the previous
+  // value s. The value is not used; the read's existence constrains the
+  // causal order (Lemma 1).
+  app_.read_now(var, [done = std::move(done)](Value) { done(); });
+}
+
+void IsProcess::post_update(VarId var, Value value,
+                            std::function<void()> done) {
+  // Task Propagate_out(x, v) (Fig. 1): read x — condition (c) guarantees the
+  // read returns v — and send ⟨x, v⟩ to the peer IS-process on every link.
+  app_.read_now(var, [this, var, value, done = std::move(done)](Value read) {
+    CIM_CHECK_MSG(read == value,
+                  "condition (c) violated: post-update read must return v");
+    for (std::size_t link = 0; link < out_links_.size(); ++link) {
+      send_pair(link, var, read);
+    }
+    done();
+  });
+}
+
+void IsProcess::send_pair(std::size_t link, VarId var, Value value) {
+  auto msg = std::make_unique<PairMsg>();
+  msg->var = var;
+  msg->value = value;
+  fabric_.send(out_links_[link], std::move(msg));
+  ++pairs_sent_;
+}
+
+void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
+  auto* pair = dynamic_cast<PairMsg*>(msg.get());
+  CIM_CHECK_MSG(pair != nullptr, "IS-process received a non-pair message");
+  ++pairs_received_;
+
+  std::size_t source_link = SIZE_MAX;
+  for (const auto& [chan, link] : in_links_) {
+    if (chan == from.value) source_link = link;
+  }
+  CIM_CHECK_MSG(source_link != SIZE_MAX, "pair on unregistered link");
+
+  // Forward to every other link first (tree interconnection with a shared
+  // IS-process: its own writes generate no upcalls, so forwarding must be
+  // explicit), then apply locally: task Propagate_in(y, u) issues the write.
+  for (std::size_t link = 0; link < out_links_.size(); ++link) {
+    if (link != source_link) send_pair(link, pair->var, pair->value);
+  }
+  app_.write(pair->var, pair->value);
+}
+
+}  // namespace cim::isc

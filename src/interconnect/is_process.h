@@ -1,0 +1,94 @@
+// The IS-process: the paper's interconnection agent (Section 3).
+//
+// One IS-process lives in each interconnected system, attached to an
+// exclusive MCS-process whose replica set covers all variables. It runs the
+// IS-protocol tasks:
+//
+//   Propagate_out(x, v)    — on the post_update(x, v) upcall: read x (the
+//                            read returns v, condition (c), and creates the
+//                            causal edge the Lemma 3/6 arguments need), then
+//                            send ⟨x, v⟩ to the peer IS-process(es);
+//   Propagate_in(y, u)     — on receiving ⟨y, u⟩ from a peer: issue the
+//                            write w(y, u), causally propagating u inside
+//                            this system;
+//   Pre_Propagate_out(x)   — IS-protocol 2 only (Fig. 2), on the
+//                            pre_update(x) upcall: read x, obtaining the
+//                            previous value s; this read observationally
+//                            forces the MCS-process to update replicas in
+//                            causal order even if its protocol does not
+//                            guarantee the Causal Updating Property.
+//
+// Protocol selection: systems whose MCS-protocol satisfies Causal Updating
+// run IS-protocol 1 (pre-update upcalls disabled, as the paper specifies);
+// the others run IS-protocol 2. kForce* overrides exist so experiment E6 can
+// demonstrate that protocol 1 alone is insufficient for non-Causal-Updating
+// systems.
+//
+// An IS-process may serve several links of a tree interconnection (the
+// paper: "one IS-process could belong to several systems['] interconnections");
+// pairs received from one link are applied locally and forwarded to every
+// other link (split horizon — never back to the sender). Pairs are never
+// echoed: updates caused by this IS-process's own writes generate no
+// upcalls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interconnect/pair_msg.h"
+#include "mcs/app_process.h"
+#include "mcs/upcall.h"
+#include "net/fabric.h"
+
+namespace cim::isc {
+
+enum class IsProtocolChoice {
+  kAuto,            // protocol 1 iff the MCS satisfies Causal Updating
+  kForceProtocol1,  // pre-update upcalls disabled
+  kForceProtocol2,  // pre-update upcalls enabled
+};
+
+class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
+ public:
+  IsProcess(mcs::AppProcess& app, net::Fabric& fabric);
+  IsProcess(const IsProcess&) = delete;
+  IsProcess& operator=(const IsProcess&) = delete;
+
+  /// Register an outbound channel to a peer IS-process; returns the local
+  /// link index.
+  std::size_t add_link(net::ChannelId out);
+
+  /// Declare that messages arriving on `in` belong to link `link_index`.
+  void register_in_channel(net::ChannelId in, std::size_t link_index);
+
+  /// Attach to the MCS-process and select the IS-protocol variant.
+  void activate(IsProtocolChoice choice);
+
+  bool pre_reads_enabled() const { return pre_reads_enabled_; }
+  ProcId id() const { return app_.id(); }
+
+  // UpcallHandler (called by the MCS-process).
+  void pre_update(VarId var, std::function<void()> done) override;
+  void post_update(VarId var, Value value,
+                   std::function<void()> done) override;
+
+  // net::Receiver (pairs from peer IS-processes).
+  void on_message(net::ChannelId from, net::MessagePtr msg) override;
+
+  std::uint64_t pairs_sent() const { return pairs_sent_; }
+  std::uint64_t pairs_received() const { return pairs_received_; }
+
+ private:
+  void send_pair(std::size_t link, VarId var, Value value);
+
+  mcs::AppProcess& app_;
+  net::Fabric& fabric_;
+  std::vector<net::ChannelId> out_links_;
+  std::vector<std::pair<std::uint32_t, std::size_t>> in_links_;  // chan, link
+  bool pre_reads_enabled_ = false;
+  bool activated_ = false;
+  std::uint64_t pairs_sent_ = 0;
+  std::uint64_t pairs_received_ = 0;
+};
+
+}  // namespace cim::isc

@@ -1,0 +1,21 @@
+// The ⟨x, v⟩ pairs exchanged between IS-processes (Fig. 1 of the paper).
+// This is the entire inter-system wire format: the IS-protocols are
+// protocol-agnostic, so no vector clocks or other MCS metadata cross the
+// link — only variable/value pairs, in causal order.
+#pragma once
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "net/message.h"
+
+namespace cim::isc {
+
+struct PairMsg final : net::Message {
+  VarId var;
+  Value value = kInitValue;
+
+  const char* type_name() const override { return "is.pair"; }
+  std::size_t wire_size() const override { return 24 + 4 + 8; }
+};
+
+}  // namespace cim::isc

@@ -1,0 +1,89 @@
+#include "mcs/app_process.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::mcs {
+
+AppProcess::AppProcess(ProcId id, bool is_isp, McsProcess& mcs,
+                       chk::Recorder& recorder, sim::Simulator& simulator)
+    : id_(id), is_isp_(is_isp), mcs_(mcs), recorder_(recorder),
+      sim_(simulator) {}
+
+void AppProcess::read(VarId var, ReadCallback k) {
+  Request req;
+  req.kind = chk::OpKind::kRead;
+  req.var = var;
+  req.on_read = std::move(k);
+  enqueue(std::move(req));
+}
+
+void AppProcess::write(VarId var, Value value, WriteCallback k) {
+  Request req;
+  req.kind = chk::OpKind::kWrite;
+  req.var = var;
+  req.value = value;
+  req.on_write = std::move(k);
+  enqueue(std::move(req));
+}
+
+void AppProcess::read_now(VarId var, ReadCallback k) {
+  const OpId op = recorder_.begin(id_, is_isp_, chk::OpKind::kRead, var,
+                                  kInitValue, sim_.now());
+  bool responded = false;
+  mcs_.handle_read(var, [this, op, k = std::move(k), &responded](Value v) {
+    recorder_.end_read(op, v, sim_.now());
+    ++completed_;
+    responded = true;
+    if (k) k(v);
+  });
+  // Condition (b): reads issued while processing upcalls must finish, and in
+  // this implementation all protocols serve reads synchronously.
+  CIM_CHECK_MSG(responded, "read_now must be served synchronously");
+}
+
+void AppProcess::enqueue(Request req) {
+  queue_.push_back(std::move(req));
+  pump();
+}
+
+void AppProcess::pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (!busy_ && !queue_.empty()) {
+    Request req = std::move(queue_.front());
+    queue_.pop_front();
+    issue(std::move(req));
+  }
+  pumping_ = false;
+}
+
+void AppProcess::issue(Request req) {
+  busy_ = true;
+  if (req.kind == chk::OpKind::kRead) {
+    const OpId op = recorder_.begin(id_, is_isp_, chk::OpKind::kRead, req.var,
+                                    kInitValue, sim_.now());
+    mcs_.handle_read(req.var,
+                     [this, op, k = std::move(req.on_read)](Value v) {
+                       recorder_.end_read(op, v, sim_.now());
+                       ++completed_;
+                       busy_ = false;
+                       if (k) k(v);
+                       pump();
+                     });
+  } else {
+    const OpId op = recorder_.begin(id_, is_isp_, chk::OpKind::kWrite, req.var,
+                                    req.value, sim_.now());
+    mcs_.handle_write(req.var, req.value,
+                      [this, op, k = std::move(req.on_write)]() {
+                        recorder_.end_write(op, sim_.now());
+                        ++completed_;
+                        busy_ = false;
+                        if (k) k();
+                        pump();
+                      });
+  }
+}
+
+}  // namespace cim::mcs

@@ -1,0 +1,80 @@
+// Application processes.
+//
+// An AppProcess is the paper's application process: it issues read and write
+// calls to its attached MCS-process and "blocks" until the response. In the
+// event-driven runtime the blocking discipline is a FIFO of at most one
+// outstanding operation: additional requests queue and issue in order, which
+// preserves the sequential-process semantics. Every operation is recorded in
+// the Recorder (invocation and response), forming the computations the
+// checker verifies.
+//
+// IS-processes use read_now() for the reads issued inside upcall handlers:
+// those reads must be served immediately even if the process has a pending
+// queued operation (condition (b) of Section 2 — this is what prevents
+// deadlock between the upcall dance and Propagate_in writes).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "checker/history.h"
+#include "mcs/mcs_process.h"
+#include "mcs/types.h"
+
+namespace cim::mcs {
+
+class AppProcess {
+ public:
+  AppProcess(ProcId id, bool is_isp, McsProcess& mcs, chk::Recorder& recorder,
+             sim::Simulator& simulator);
+  AppProcess(const AppProcess&) = delete;
+  AppProcess& operator=(const AppProcess&) = delete;
+
+  ProcId id() const { return id_; }
+  bool is_isp() const { return is_isp_; }
+  McsProcess& mcs() { return mcs_; }
+
+  /// Issue a read; `k` (optional) receives the value when the operation
+  /// completes. Queued behind any outstanding operation.
+  void read(VarId var, ReadCallback k = {});
+
+  /// Issue a write; `k` (optional) runs when the operation completes.
+  void write(VarId var, Value value, WriteCallback k = {});
+
+  /// Issue a read immediately, bypassing the operation queue. Used by
+  /// IS-processes inside upcall handlers, where the MCS guarantees immediate
+  /// service (conditions (b) and (c)).
+  void read_now(VarId var, ReadCallback k = {});
+
+  /// True when no operation is outstanding or queued.
+  bool idle() const { return !busy_ && queue_.empty(); }
+
+  /// Number of operations completed by this process.
+  std::uint64_t ops_completed() const { return completed_; }
+
+ private:
+  struct Request {
+    chk::OpKind kind = chk::OpKind::kRead;
+    VarId var;
+    Value value = kInitValue;  // writes only
+    ReadCallback on_read;
+    WriteCallback on_write;
+  };
+
+  void enqueue(Request req);
+  void issue(Request req);
+  void pump();
+
+  ProcId id_;
+  bool is_isp_;
+  McsProcess& mcs_;
+  chk::Recorder& recorder_;
+  sim::Simulator& sim_;
+
+  bool busy_ = false;
+  bool pumping_ = false;
+  std::deque<Request> queue_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace cim::mcs

@@ -1,0 +1,83 @@
+#include "mcs/mcs_process.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::mcs {
+
+McsProcess::McsProcess(const McsContext& ctx)
+    : ctx_(ctx), rng_(ctx.rng_seed) {}
+
+void McsProcess::set_out_channels(std::vector<net::ChannelId> out) {
+  CIM_CHECK(out.size() == ctx_.num_procs);
+  out_ = std::move(out);
+}
+
+void McsProcess::register_in_channel(net::ChannelId ch, std::uint16_t from) {
+  in_senders_[ch.value] = from;
+}
+
+std::uint16_t McsProcess::sender_of(net::ChannelId ch) const {
+  auto it = in_senders_.find(ch.value);
+  CIM_CHECK_MSG(it != in_senders_.end(), "message on unregistered channel");
+  return it->second;
+}
+
+void McsProcess::send_to(std::uint16_t to, net::MessagePtr msg) {
+  CIM_CHECK(to < out_.size() && to != ctx_.local_index);
+  fabric().send(out_[to], std::move(msg));
+}
+
+void McsProcess::handle_write(VarId var, Value value, WriteCallback cb) {
+  if (upcall_in_flight_) {
+    // Condition (a): the replica values involved in an in-flight upcall must
+    // stay stable; local writes wait until the upcall dance completes.
+    deferred_writes_.push_back(DeferredWrite{var, value, std::move(cb)});
+    return;
+  }
+  do_write(var, value, std::move(cb));
+}
+
+void McsProcess::drain_deferred_writes() {
+  while (!deferred_writes_.empty() && !upcall_in_flight_) {
+    DeferredWrite w = std::move(deferred_writes_.front());
+    deferred_writes_.pop_front();
+    do_write(w.var, w.value, std::move(w.cb));
+  }
+}
+
+void McsProcess::apply_with_upcalls(VarId var, Value value, bool own_write,
+                                    std::function<void()> apply,
+                                    std::function<void()> done) {
+  if (upcall_handler_ == nullptr || own_write) {
+    // "The update of a replica due to a write operation issued by the
+    // IS-process does not generate any upcall."
+    apply();
+    done();
+    return;
+  }
+
+  CIM_CHECK_MSG(!upcall_in_flight_,
+                "apply pipeline must serialize upcall dances");
+  upcall_in_flight_ = true;
+
+  auto finish = [this, done = std::move(done)]() {
+    upcall_in_flight_ = false;
+    drain_deferred_writes();
+    done();
+  };
+  auto apply_and_post = [this, var, value, apply = std::move(apply),
+                         finish = std::move(finish)]() {
+    apply();
+    upcall_handler_->post_update(var, value, finish);
+  };
+
+  if (pre_update_enabled_) {
+    upcall_handler_->pre_update(var, apply_and_post);
+  } else {
+    apply_and_post();
+  }
+}
+
+}  // namespace cim::mcs

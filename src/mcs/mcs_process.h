@@ -1,0 +1,134 @@
+// Base class for MCS-processes (the protocol endpoints of a DSM system).
+//
+// A concrete protocol (ANBKH, lazy-batch, Attiya-Welch, ...) derives from
+// McsProcess and implements the read/write call handlers and the message
+// handler. The base class provides:
+//
+//  * channel wiring within the system (full mesh, plus sender resolution),
+//  * the IS-process upcall pipeline of Section 2, including write deferral
+//    while an upcall is in flight (condition (a): the pre-value must not be
+//    modified until the update is done, nor the new value until the
+//    post-upcall response),
+//  * the Causal Updating Property trait (Property 1) that selects which
+//    IS-protocol the interconnect layer runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/value.h"
+#include "mcs/memory_observer.h"
+#include "mcs/types.h"
+#include "mcs/upcall.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+
+namespace cim::mcs {
+
+/// Everything a protocol instance needs from its environment.
+struct McsContext {
+  ProcId id;
+  std::uint16_t local_index = 0;
+  std::uint16_t num_procs = 0;
+  sim::Simulator* simulator = nullptr;
+  net::Fabric* fabric = nullptr;
+  std::uint64_t rng_seed = 0;
+  MemoryObserver* observer = nullptr;  // may be null
+};
+
+class McsProcess : public net::Receiver {
+ public:
+  explicit McsProcess(const McsContext& ctx);
+  ~McsProcess() override = default;
+
+  ProcId id() const { return ctx_.id; }
+  std::uint16_t local_index() const { return ctx_.local_index; }
+  std::uint16_t num_procs() const { return ctx_.num_procs; }
+
+  // ---- wiring (called by System::finalize) -------------------------------
+  /// out[j] = channel to local process j; out[local_index()] is unused.
+  void set_out_channels(std::vector<net::ChannelId> out);
+  /// Declare that messages arriving on `ch` come from local process `from`.
+  void register_in_channel(net::ChannelId ch, std::uint16_t from);
+
+  // ---- application-facing calls ------------------------------------------
+  /// Serve a read call; the response callback receives the replica value.
+  /// Reads are always served, even while an upcall is in flight
+  /// (condition (b)); they then return the pre/post value (condition (c)).
+  virtual void handle_read(VarId var, ReadCallback cb) = 0;
+
+  /// Serve a write call. While an upcall is in flight the call is deferred
+  /// (condition (a)); otherwise it is passed to the protocol's do_write.
+  void handle_write(VarId var, Value value, WriteCallback cb);
+
+  // ---- IS-process support -------------------------------------------------
+  void attach_upcall_handler(UpcallHandler* handler) {
+    upcall_handler_ = handler;
+  }
+  void set_pre_update_enabled(bool enabled) { pre_update_enabled_ = enabled; }
+  bool has_upcall_handler() const { return upcall_handler_ != nullptr; }
+  bool pre_update_enabled() const { return pre_update_enabled_; }
+  bool upcall_in_flight() const { return upcall_in_flight_; }
+
+  /// Property 1 of the paper: does this protocol update the replicas of the
+  /// IS-process's MCS-process in causal order? Decides which IS-protocol the
+  /// interconnect layer uses (Fig. 1 alone, or with Fig. 2's pre-read task).
+  virtual bool satisfies_causal_updating() const = 0;
+
+  virtual const char* protocol_name() const = 0;
+
+ protected:
+  /// Protocol implementation of a (non-deferred) write call.
+  virtual void do_write(VarId var, Value value, WriteCallback cb) = 0;
+
+  /// Apply one replica update through the upcall discipline. `own_write` is
+  /// true when the update stems from a write issued by the attached
+  /// application process itself (such updates never generate upcalls).
+  /// `apply` performs the replica mutation; `done` resumes the protocol's
+  /// apply pipeline afterwards.
+  void apply_with_upcalls(VarId var, Value value, bool own_write,
+                          std::function<void()> apply,
+                          std::function<void()> done);
+
+  sim::Simulator& simulator() { return *ctx_.simulator; }
+  net::Fabric& fabric() { return *ctx_.fabric; }
+  Rng& rng() { return rng_; }
+  MemoryObserver* observer() { return ctx_.observer; }
+
+  const std::vector<net::ChannelId>& out_channels() const { return out_; }
+  /// Sender local index of a registered inbound channel.
+  std::uint16_t sender_of(net::ChannelId ch) const;
+  /// Send `msg` to local process `to`.
+  void send_to(std::uint16_t to, net::MessagePtr msg);
+
+ private:
+  void drain_deferred_writes();
+
+  McsContext ctx_;
+  Rng rng_;
+  std::vector<net::ChannelId> out_;
+  std::unordered_map<std::uint32_t, std::uint16_t> in_senders_;
+
+  UpcallHandler* upcall_handler_ = nullptr;
+  bool pre_update_enabled_ = true;
+  bool upcall_in_flight_ = false;
+
+  struct DeferredWrite {
+    VarId var;
+    Value value;
+    WriteCallback cb;
+  };
+  std::deque<DeferredWrite> deferred_writes_;
+};
+
+/// Factory invoked by System::finalize for each local process slot.
+using ProtocolFactory =
+    std::function<std::unique_ptr<McsProcess>(const McsContext&)>;
+
+}  // namespace cim::mcs

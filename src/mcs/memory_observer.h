@@ -1,0 +1,50 @@
+// Observation hooks for experiments.
+//
+// Protocols report every write issue and every replica application so the
+// stats layer can measure visibility latency (the paper's `l` and the 3l+2d
+// bound of Section 6) without touching protocol internals.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "sim/time.h"
+
+namespace cim::mcs {
+
+class MemoryObserver {
+ public:
+  virtual ~MemoryObserver() = default;
+
+  /// A write operation w(var)value was issued by `writer` at time `t`.
+  virtual void on_write_issued(ProcId writer, VarId var, Value value,
+                               sim::Time t) {
+    (void)writer; (void)var; (void)value; (void)t;
+  }
+
+  /// The replica of `var` at MCS-process `replica` was updated with `value`.
+  virtual void on_apply(ProcId replica, VarId var, Value value, sim::Time t) {
+    (void)replica; (void)var; (void)value; (void)t;
+  }
+};
+
+/// Fan-out observer: lets a federation register several trackers after
+/// construction while systems hold one stable observer pointer.
+class ObserverMux final : public MemoryObserver {
+ public:
+  void add(MemoryObserver* observer) { observers_.push_back(observer); }
+
+  void on_write_issued(ProcId writer, VarId var, Value value,
+                       sim::Time t) override {
+    for (MemoryObserver* o : observers_) o->on_write_issued(writer, var, value, t);
+  }
+  void on_apply(ProcId replica, VarId var, Value value, sim::Time t) override {
+    for (MemoryObserver* o : observers_) o->on_apply(replica, var, value, t);
+  }
+
+ private:
+  std::vector<MemoryObserver*> observers_;
+};
+
+}  // namespace cim::mcs

@@ -1,0 +1,75 @@
+// A DSM system S^q: application processes, their MCS-processes, and the
+// intra-system network (a full mesh of reliable FIFO channels).
+//
+// Construction is two-phase. First the system is declared with its
+// application processes; then the interconnect layer may add IS-process
+// slots ("An IS-process is a special kind of application process. It is
+// attached to an exclusive MCS-process"); finally finalize() instantiates
+// the protocol processes and the mesh, at which point the process count is
+// fixed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "checker/history.h"
+#include "common/ids.h"
+#include "mcs/app_process.h"
+#include "mcs/mcs_process.h"
+#include "net/delay.h"
+#include "net/fabric.h"
+#include "sim/simulator.h"
+
+namespace cim::mcs {
+
+struct SystemConfig {
+  SystemId id;
+  std::uint16_t num_app_processes = 2;
+  ProtocolFactory protocol;
+  /// Delay model factory for intra-system channels (one fresh model per
+  /// channel). Defaults to FixedDelay(1ms).
+  std::function<net::DelayModelPtr()> intra_delay;
+  std::uint64_t seed = 1;
+};
+
+class System {
+ public:
+  System(sim::Simulator& simulator, net::Fabric& fabric,
+         chk::Recorder& recorder, SystemConfig config,
+         MemoryObserver* observer = nullptr);
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  SystemId id() const { return config_.id; }
+
+  /// Reserve a local slot for an IS-process with its exclusive MCS-process.
+  /// Must be called before finalize(). Returns the new process id.
+  ProcId add_isp_slot();
+
+  /// Instantiate MCS-processes, the channel mesh, and application processes.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::uint16_t num_processes() const;       // app + ISP slots
+  std::uint16_t num_app_processes() const { return config_.num_app_processes; }
+  bool is_isp_slot(std::uint16_t local_index) const;
+
+  AppProcess& app(std::uint16_t local_index);
+  McsProcess& mcs(std::uint16_t local_index);
+
+ private:
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  chk::Recorder& recorder_;
+  SystemConfig config_;
+  MemoryObserver* observer_;
+
+  std::uint16_t isp_slots_ = 0;
+  bool finalized_ = false;
+  std::vector<std::unique_ptr<McsProcess>> mcs_;
+  std::vector<std::unique_ptr<AppProcess>> apps_;
+};
+
+}  // namespace cim::mcs

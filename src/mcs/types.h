@@ -1,0 +1,20 @@
+// Callback types of the memory-consistency-system (MCS) interface.
+//
+// An application process issues read/write *calls* to its MCS-process and
+// blocks until the *response* arrives (Section 2). In this event-driven
+// implementation the response is a callback; the blocking discipline is
+// enforced by AppProcess, which serializes one outstanding operation per
+// process.
+#pragma once
+
+#include <functional>
+
+#include "common/ids.h"
+#include "common/value.h"
+
+namespace cim::mcs {
+
+using ReadCallback = std::function<void(Value)>;
+using WriteCallback = std::function<void()>;
+
+}  // namespace cim::mcs

@@ -1,0 +1,39 @@
+// The upcall interface between an MCS-process and its IS-process.
+//
+// Section 2: "the interface between each IS-process and its MCS-process is
+// extended with two upcalls, sent by the MCS-process to the IS-process when
+// local replicas of variables are updated. [...] the MCS-process sends a
+// pre_update(x) upcall immediately before its replica of variable x is
+// updated with some value v and a post_update(x, v) upcall immediately
+// after. When the MCS-process sends an upcall, it must block until the
+// IS-process replies with a response."
+//
+// Here "reply" is the `done` continuation: the MCS-process's apply pipeline
+// stops until the handler invokes it. The handler may issue read operations
+// on its MCS-process while processing the upcall; the MCS-process guarantees
+// they complete (condition (b)) and return the pre-value s / the new value v
+// respectively (condition (c)).
+#pragma once
+
+#include <functional>
+
+#include "common/ids.h"
+#include "common/value.h"
+
+namespace cim::mcs {
+
+class UpcallHandler {
+ public:
+  virtual ~UpcallHandler() = default;
+
+  /// Sent immediately before the replica of `var` is updated. The update is
+  /// performed only after `done` is invoked. Only sent when pre-update
+  /// upcalls are enabled (IS-protocol 2); IS-protocol 1 disables them.
+  virtual void pre_update(VarId var, std::function<void()> done) = 0;
+
+  /// Sent immediately after the replica of `var` was updated with `value`.
+  virtual void post_update(VarId var, Value value,
+                           std::function<void()> done) = 0;
+};
+
+}  // namespace cim::mcs

@@ -1,0 +1,56 @@
+#include "msgpass/cbcast.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::mp {
+
+CbcastMember::CbcastMember(std::uint16_t index, std::uint16_t group_size,
+                           CbTransport& transport, DeliverFn deliver)
+    : index_(index), group_size_(group_size), transport_(transport),
+      deliver_(std::move(deliver)), clock_(group_size) {
+  CIM_CHECK(index < group_size);
+  CIM_CHECK_MSG(deliver_ != nullptr, "cbcast member needs a deliver callback");
+}
+
+void CbcastMember::broadcast(const CbPayload& payload) {
+  clock_.tick(index_);
+  for (std::uint16_t j = 0; j < group_size_; ++j) {
+    if (j == index_) continue;
+    auto msg = std::make_unique<CbcastMsg>();
+    msg->payload = payload;
+    msg->clock = clock_;
+    msg->sender = index_;
+    transport_.send_to_member(j, std::move(msg));
+  }
+  deliver_(index_, payload);  // self-delivery, immediately
+}
+
+void CbcastMember::on_network(net::MessagePtr msg) {
+  auto* cb = dynamic_cast<CbcastMsg*>(msg.get());
+  CIM_CHECK_MSG(cb != nullptr, "unexpected message type in cbcast");
+  CIM_CHECK_MSG(cb->sender != index_, "cbcast echo");
+  pending_.push_back(std::move(*cb));
+  try_deliver();
+}
+
+void CbcastMember::try_deliver() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (!it->clock.ready_at(clock_, it->sender)) continue;
+      CbcastMsg msg = std::move(*it);
+      pending_.erase(it);
+      clock_.set(msg.sender, msg.clock[msg.sender]);
+      ++delivered_;
+      deliver_(msg.sender, msg.payload);
+      progress = true;
+      break;
+    }
+  }
+}
+
+}  // namespace cim::mp

@@ -1,0 +1,106 @@
+// Link availability schedules.
+//
+// Section 1.1: "the reliable FIFO channel used does not need to be available
+// all the time. If the channel is not available during some period of time,
+// the variable updates can be queued up to be propagated at a later time."
+// An AvailabilitySchedule says when a link can start transmitting; messages
+// sent while the link is down wait (in FIFO order) until the next up period.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/time.h"
+
+namespace cim::net {
+
+class AvailabilitySchedule {
+ public:
+  virtual ~AvailabilitySchedule() = default;
+
+  /// Is the link up at time t?
+  virtual bool is_up(sim::Time t) const = 0;
+
+  /// Earliest time >= t at which the link is up; kTimeMax if never again.
+  virtual sim::Time next_up(sim::Time t) const = 0;
+};
+
+/// A link that is always available (the default).
+class AlwaysUp final : public AvailabilitySchedule {
+ public:
+  bool is_up(sim::Time) const override { return true; }
+  sim::Time next_up(sim::Time t) const override { return t; }
+};
+
+/// Periodic duty cycle: within each period the link is up for the first
+/// `up` duration and down for the rest. Models a dial-up connection that is
+/// brought up on a schedule.
+class PeriodicDuty final : public AvailabilitySchedule {
+ public:
+  PeriodicDuty(sim::Duration period, sim::Duration up, sim::Duration offset = {})
+      : period_(period), up_(up), offset_(offset) {
+    CIM_CHECK(period.ns > 0);
+    CIM_CHECK(up.ns >= 0 && up.ns <= period.ns);
+  }
+
+  bool is_up(sim::Time t) const override { return phase(t) < up_.ns; }
+
+  sim::Time next_up(sim::Time t) const override {
+    if (is_up(t)) return t;
+    if (up_.ns == 0) return sim::kTimeMax;
+    return sim::Time{t.ns + (period_.ns - phase(t))};
+  }
+
+ private:
+  std::int64_t phase(sim::Time t) const {
+    std::int64_t p = (t.ns - offset_.ns) % period_.ns;
+    if (p < 0) p += period_.ns;
+    return p;
+  }
+
+  sim::Duration period_, up_, offset_;
+};
+
+/// Explicit up-windows [begin, end); down outside all windows, and up again
+/// forever after `up_after` if set (so executions can always drain).
+class Windows final : public AvailabilitySchedule {
+ public:
+  struct Window {
+    sim::Time begin;
+    sim::Time end;  // exclusive
+  };
+
+  Windows(std::vector<Window> windows, sim::Time up_after)
+      : windows_(std::move(windows)), up_after_(up_after) {
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+      CIM_CHECK(windows_[i].begin < windows_[i].end);
+      if (i) CIM_CHECK(windows_[i - 1].end <= windows_[i].begin);
+    }
+  }
+
+  bool is_up(sim::Time t) const override {
+    if (t >= up_after_) return true;
+    return std::any_of(windows_.begin(), windows_.end(), [&](const Window& w) {
+      return w.begin <= t && t < w.end;
+    });
+  }
+
+  sim::Time next_up(sim::Time t) const override {
+    if (is_up(t)) return t;
+    sim::Time best = up_after_;
+    for (const Window& w : windows_) {
+      if (w.begin >= t) best = std::min(best, w.begin);
+    }
+    return best;
+  }
+
+ private:
+  std::vector<Window> windows_;
+  sim::Time up_after_;
+};
+
+using AvailabilityPtr = std::unique_ptr<AvailabilitySchedule>;
+
+}  // namespace cim::net

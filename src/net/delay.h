@@ -1,0 +1,65 @@
+// Message-delay models for channels.
+//
+// The Section-6 analysis speaks of an intra-system visibility latency `l` and
+// an inter-IS link delay `d`; the delay models here let benches parameterize
+// both, and let tests stress protocols with jitter (FIFO must hold anyway).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace cim::net {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Sample the transmission delay of one message.
+  virtual sim::Duration sample(Rng& rng) = 0;
+};
+
+/// Constant delay — the model used for the latency experiments, where the
+/// paper's `l` and `d` are exact parameters.
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(sim::Duration d) : delay_(d) {}
+  sim::Duration sample(Rng&) override { return delay_; }
+
+ private:
+  sim::Duration delay_;
+};
+
+/// Uniform jitter in [lo, hi] — the default for correctness tests, which must
+/// hold under arbitrary reordering pressure across channels.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(sim::Duration lo, sim::Duration hi) : lo_(lo), hi_(hi) {}
+  sim::Duration sample(Rng& rng) override {
+    return sim::Duration{static_cast<std::int64_t>(rng.uniform(
+        static_cast<std::uint64_t>(lo_.ns), static_cast<std::uint64_t>(hi_.ns)))};
+  }
+
+ private:
+  sim::Duration lo_, hi_;
+};
+
+/// Mostly-fast link with occasional large spikes; stresses the causal-ready
+/// buffering of the MCS protocols.
+class SpikeDelay final : public DelayModel {
+ public:
+  SpikeDelay(sim::Duration base, sim::Duration spike, double spike_prob)
+      : base_(base), spike_(spike), spike_prob_(spike_prob) {}
+  sim::Duration sample(Rng& rng) override {
+    return rng.chance(spike_prob_) ? base_ + spike_ : base_;
+  }
+
+ private:
+  sim::Duration base_, spike_;
+  double spike_prob_;
+};
+
+using DelayModelPtr = std::unique_ptr<DelayModel>;
+
+}  // namespace cim::net

@@ -1,0 +1,112 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::net {
+
+ChannelId Fabric::add_channel(ChannelConfig config) {
+  CIM_CHECK_MSG(config.receiver != nullptr, "channel needs a receiver");
+  Channel ch;
+  ch.src = config.src;
+  ch.dst = config.dst;
+  ch.receiver = config.receiver;
+  ch.delay = config.delay ? std::move(config.delay)
+                          : std::make_unique<FixedDelay>(sim::microseconds(1));
+  ch.availability = config.availability ? std::move(config.availability)
+                                        : std::make_unique<AlwaysUp>();
+  ch.link_class = config.link_class;
+  ch.fifo = config.fifo;
+  ch.drop_probability = config.drop_probability;
+  ch.last_delivery = sim::kTimeZero;
+  channels_.push_back(std::move(ch));
+  return ChannelId{static_cast<std::uint32_t>(channels_.size() - 1)};
+}
+
+void Fabric::send(ChannelId channel, MessagePtr msg) {
+  CIM_CHECK(channel.value < channels_.size());
+  CIM_CHECK_MSG(msg != nullptr, "cannot send a null message");
+  Channel& ch = channels_[channel.value];
+
+  ch.stats.messages += 1;
+  ch.stats.bytes += msg->wire_size();
+
+  if (ch.drop_probability > 0 && rng_.chance(ch.drop_probability)) {
+    ch.stats.dropped += 1;
+    return;  // lost on an unreliable channel
+  }
+
+  // Transmission starts when the link is next up (immediately if up now);
+  // delivery follows after the sampled delay, but — on a FIFO channel —
+  // never before a previously sent message.
+  const sim::Time start = ch.availability->next_up(sim_.now());
+  CIM_CHECK_MSG(start != sim::kTimeMax,
+                "message sent on a link that never comes up again");
+  sim::Time delivery = start + ch.delay->sample(rng_);
+  if (ch.fifo) {
+    delivery = std::max(delivery, ch.last_delivery);
+    ch.last_delivery = delivery;
+  }
+
+  // Box the unique_ptr in a shared_ptr so the action is copyable (as
+  // std::function requires) while the message keeps single ownership.
+  auto box = std::make_shared<MessagePtr>(std::move(msg));
+  Receiver* receiver = ch.receiver;
+  sim_.at(delivery, [receiver, channel, box]() {
+    receiver->on_message(channel, std::move(*box));
+  });
+}
+
+ChannelStats Fabric::class_stats(LinkClass c) const {
+  ChannelStats total;
+  for (const Channel& ch : channels_) {
+    if (ch.link_class == c) {
+      total.messages += ch.stats.messages;
+      total.bytes += ch.stats.bytes;
+      total.dropped += ch.stats.dropped;
+    }
+  }
+  return total;
+}
+
+ChannelStats Fabric::cross_system_stats(SystemId a, SystemId b) const {
+  ChannelStats total;
+  for (const Channel& ch : channels_) {
+    const bool ab = ch.src.system == a && ch.dst.system == b;
+    const bool ba = ch.src.system == b && ch.dst.system == a;
+    if (ab || ba) {
+      total.messages += ch.stats.messages;
+      total.bytes += ch.stats.bytes;
+      total.dropped += ch.stats.dropped;
+    }
+  }
+  return total;
+}
+
+ChannelStats Fabric::stats_where(
+    const std::function<bool(ProcId src, ProcId dst)>& pred) const {
+  ChannelStats total;
+  for (const Channel& ch : channels_) {
+    if (pred(ch.src, ch.dst)) {
+      total.messages += ch.stats.messages;
+      total.bytes += ch.stats.bytes;
+      total.dropped += ch.stats.dropped;
+    }
+  }
+  return total;
+}
+
+std::uint64_t Fabric::total_messages() const {
+  std::uint64_t n = 0;
+  for (const Channel& ch : channels_) n += ch.stats.messages;
+  return n;
+}
+
+void Fabric::reset_stats() {
+  for (Channel& ch : channels_) ch.stats = ChannelStats{};
+}
+
+}  // namespace cim::net

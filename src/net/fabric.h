@@ -1,0 +1,131 @@
+// The message fabric: unidirectional reliable FIFO channels over the
+// discrete-event simulator, with per-channel and per-class traffic counters.
+//
+// A channel models the paper's "reliable FIFO channel": every message sent is
+// eventually delivered, in send order, after a sampled transmission delay.
+// FIFO is enforced even under jittery delay models by making scheduled
+// delivery times monotone per channel. An AvailabilitySchedule can gate
+// transmission start: messages sent while the link is down queue (in order)
+// and start transmitting at the next up instant — the "dial-up" behaviour of
+// Section 1.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/availability.h"
+#include "net/delay.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace cim::net {
+
+struct ChannelId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(ChannelId, ChannelId) = default;
+};
+
+/// Traffic class of a channel, for the Section-6 accounting: intra-system
+/// channels connect MCS-processes of the same system; inter-system channels
+/// connect the two IS-processes of one interconnecting system.
+enum class LinkClass { kIntraSystem, kInterSystem };
+
+inline const char* to_string(LinkClass c) {
+  return c == LinkClass::kIntraSystem ? "intra" : "inter";
+}
+
+/// Receiver endpoint of a channel.
+class Receiver {
+ public:
+  virtual ~Receiver() = default;
+  virtual void on_message(ChannelId from, MessagePtr msg) = 0;
+};
+
+struct ChannelStats {
+  std::uint64_t messages = 0;  // accepted for transmission
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped = 0;   // lost by an unreliable channel
+};
+
+struct ChannelConfig {
+  ProcId src;
+  ProcId dst;
+  Receiver* receiver = nullptr;          // must outlive the Fabric
+  DelayModelPtr delay;                   // defaults to FixedDelay(1us)
+  AvailabilityPtr availability;          // defaults to AlwaysUp
+  LinkClass link_class = LinkClass::kIntraSystem;
+
+  // Fault injection for the channel-assumption ablation (E10). The paper's
+  // IS-protocols require *reliable FIFO* channels; disabling either property
+  // lets tests and benches demonstrate what breaks.
+  bool fifo = true;              // false: deliveries may reorder under jitter
+  double drop_probability = 0.0; // >0: unreliable channel
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& simulator, std::uint64_t seed)
+      : sim_(simulator), rng_(seed) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Create a unidirectional FIFO channel. The receiver pointer must stay
+  /// valid for the lifetime of the Fabric.
+  ChannelId add_channel(ChannelConfig config);
+
+  /// Send a message; it will be delivered to the channel's receiver after
+  /// queueing (if the link is down) plus the sampled transmission delay,
+  /// preserving per-channel FIFO order.
+  void send(ChannelId channel, MessagePtr msg);
+
+  sim::Simulator& simulator() { return sim_; }
+
+  const ChannelStats& channel_stats(ChannelId id) const {
+    return channels_.at(id.value).stats;
+  }
+  ProcId channel_src(ChannelId id) const { return channels_.at(id.value).src; }
+  ProcId channel_dst(ChannelId id) const { return channels_.at(id.value).dst; }
+
+  /// Aggregate traffic over all channels of a class.
+  ChannelStats class_stats(LinkClass c) const;
+
+  /// Aggregate traffic crossing between two systems (either direction),
+  /// regardless of class — used by the cross-link bottleneck experiment.
+  ChannelStats cross_system_stats(SystemId a, SystemId b) const;
+
+  /// Aggregate traffic over channels whose (src, dst) satisfies `pred` —
+  /// e.g., counting messages that cross between two halves of one system
+  /// (the "two LANs, one global DSM" scenario of Section 6).
+  ChannelStats stats_where(
+      const std::function<bool(ProcId src, ProcId dst)>& pred) const;
+
+  /// Total messages sent on all channels.
+  std::uint64_t total_messages() const;
+
+  /// Reset all counters (e.g., after a warm-up phase).
+  void reset_stats();
+
+ private:
+  struct Channel {
+    ProcId src;
+    ProcId dst;
+    Receiver* receiver;
+    DelayModelPtr delay;
+    AvailabilityPtr availability;
+    LinkClass link_class;
+    bool fifo = true;
+    double drop_probability = 0.0;
+    sim::Time last_delivery;  // monotone per channel -> FIFO
+    ChannelStats stats;
+  };
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace cim::net

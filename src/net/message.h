@@ -1,0 +1,27 @@
+// Base class for protocol messages.
+//
+// Channels carry owned, immutable-after-send messages. Each protocol defines
+// its own message structs; wire_size() is an estimate used only by the
+// traffic accounting of the Section-6 experiments (the simulator never
+// serializes anything).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace cim::net {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Human-readable message kind, for tracing.
+  virtual const char* type_name() const = 0;
+
+  /// Approximate size on the wire in bytes (header + payload).
+  virtual std::size_t wire_size() const { return 64; }
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+}  // namespace cim::net

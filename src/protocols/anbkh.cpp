@@ -1,0 +1,89 @@
+#include "protocols/anbkh.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::proto {
+
+AnbkhProcess::AnbkhProcess(const mcs::McsContext& ctx)
+    : McsProcess(ctx), clock_(ctx.num_procs) {}
+
+Value AnbkhProcess::replica_value(VarId var) const {
+  auto it = store_.find(var);
+  return it == store_.end() ? kInitValue : it->second;
+}
+
+void AnbkhProcess::handle_read(VarId var, mcs::ReadCallback cb) {
+  cb(replica_value(var));
+}
+
+void AnbkhProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
+  clock_.tick(local_index());
+  store_[var] = value;
+  if (observer() != nullptr) {
+    observer()->on_write_issued(id(), var, value, simulator().now());
+    observer()->on_apply(id(), var, value, simulator().now());
+  }
+  for (std::uint16_t j = 0; j < num_procs(); ++j) {
+    if (j == local_index()) continue;
+    auto msg = std::make_unique<TimestampedUpdate>();
+    msg->var = var;
+    msg->value = value;
+    msg->clock = clock_;
+    msg->writer = local_index();
+    send_to(j, std::move(msg));
+  }
+  cb();
+}
+
+void AnbkhProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
+  auto* update = dynamic_cast<TimestampedUpdate*>(msg.get());
+  CIM_CHECK_MSG(update != nullptr, "unexpected message type in ANBKH");
+  CIM_CHECK(update->writer == sender_of(from));
+  pending_.push_back(std::move(*update));
+  try_apply();
+}
+
+void AnbkhProcess::try_apply() {
+  if (applying_) return;  // an apply chain is already in progress
+  applying_ = true;
+  apply_step();
+}
+
+void AnbkhProcess::apply_step() {
+  // Find the first causally ready pending update.
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (!it->clock.ready_at(clock_, it->writer)) continue;
+    TimestampedUpdate update = std::move(*it);
+    pending_.erase(it);
+
+    const VarId var = update.var;
+    const Value value = update.value;
+    apply_with_upcalls(
+        var, value, /*own_write=*/false,
+        /*apply=*/[this, update = std::move(update)]() {
+          clock_.set(update.writer, update.clock[update.writer]);
+          store_[update.var] = update.value;
+          if (observer() != nullptr) {
+            observer()->on_apply(id(), update.var, update.value,
+                                 simulator().now());
+          }
+        },
+        /*done=*/[this]() {
+          // Continue the chain in a fresh event to bound recursion depth.
+          simulator().post([this]() { apply_step(); });
+        });
+    return;
+  }
+  applying_ = false;
+}
+
+mcs::ProtocolFactory anbkh_protocol() {
+  return [](const mcs::McsContext& ctx) {
+    return std::make_unique<AnbkhProcess>(ctx);
+  };
+}
+
+}  // namespace cim::proto

@@ -1,0 +1,68 @@
+#include "protocols/cbcast_dsm.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::proto {
+
+CbcastDsmProcess::CbcastDsmProcess(const mcs::McsContext& ctx)
+    : McsProcess(ctx),
+      member_(ctx.local_index, ctx.num_procs, *this,
+              [this](std::uint16_t sender, const mp::CbPayload& p) {
+                on_deliver(sender, p);
+              }) {}
+
+Value CbcastDsmProcess::replica_value(VarId var) const {
+  auto it = store_.find(var);
+  return it == store_.end() ? kInitValue : it->second;
+}
+
+void CbcastDsmProcess::handle_read(VarId var, mcs::ReadCallback cb) {
+  cb(replica_value(var));
+}
+
+void CbcastDsmProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
+  if (observer() != nullptr) {
+    observer()->on_write_issued(id(), var, value, simulator().now());
+  }
+  member_.broadcast(mp::CbPayload{var, value});  // self-delivery applies it
+  cb();
+}
+
+void CbcastDsmProcess::send_to_member(std::uint16_t member,
+                                      net::MessagePtr msg) {
+  send_to(member, std::move(msg));
+}
+
+void CbcastDsmProcess::on_message(net::ChannelId, net::MessagePtr msg) {
+  member_.on_network(std::move(msg));
+}
+
+void CbcastDsmProcess::on_deliver(std::uint16_t sender,
+                                  const mp::CbPayload& payload) {
+  const bool own = sender == local_index();
+  bool completed = false;
+  apply_with_upcalls(
+      payload.var, payload.value, own,
+      /*apply=*/[this, &payload]() {
+        store_[payload.var] = payload.value;
+        if (observer() != nullptr) {
+          observer()->on_apply(id(), payload.var, payload.value,
+                               simulator().now());
+        }
+      },
+      /*done=*/[&completed]() { completed = true; });
+  // The substrate delivers synchronously from one event; the IS-protocol
+  // handlers respond synchronously, so the dance completes inline.
+  CIM_CHECK_MSG(completed, "cbcast-dsm requires synchronous upcall handlers");
+}
+
+mcs::ProtocolFactory cbcast_dsm_protocol() {
+  return [](const mcs::McsContext& ctx) {
+    return std::make_unique<CbcastDsmProcess>(ctx);
+  };
+}
+
+}  // namespace cim::proto

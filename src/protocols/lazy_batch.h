@@ -1,0 +1,85 @@
+// Lazy-batch causal protocol: a propagation-based causal MCS-protocol that
+// does NOT satisfy the Causal Updating Property (Property 1).
+//
+// Like ANBKH it replicates fully and stamps updates with vector clocks, but
+// remote updates are buffered and applied in periodic *batches*: every
+// batch_interval, the maximal causally-applicable set of buffered updates is
+// applied atomically within one simulator event. Because application
+// processes can never read an intermediate state of a batch, the protocol
+// may apply the batch's updates to *different variables* in any order while
+// remaining causal — updates to the same variable always keep their causal
+// order, or convergence would break.
+//
+// This freedom is exactly what Section 3 of the paper warns about: with the
+// order deliberately scrambled (kReverseVars / kShuffleVars), the replica of
+// the IS-process's MCS-process is updated out of causal order, so IS-protocol
+// 1 alone would propagate pairs out of causal order and the interconnected
+// system would not be causal (experiment E6 demonstrates this). IS-protocol 2
+// repairs it: its Pre_Propagate_out task issues a read *between* the batch's
+// updates, making intermediate states observable — and a correct causal MCS
+// must then fall back to causal application order (the observational forcing
+// argument of Lemma 1). This class implements that forcing: when an upcall
+// handler with pre-update upcalls enabled is attached, batches apply in
+// causal order regardless of the configured scramble.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/vector_clock.h"
+#include "mcs/mcs_process.h"
+#include "protocols/update_msg.h"
+#include "sim/time.h"
+
+namespace cim::proto {
+
+enum class BatchOrder {
+  kCausal,       // apply in causal order (like ANBKH, just delayed)
+  kReverseVars,  // reverse the order of per-variable groups (deterministic)
+  kShuffleVars,  // shuffle the per-variable groups (seeded)
+};
+
+struct LazyBatchConfig {
+  sim::Duration batch_interval = sim::milliseconds(5);
+  BatchOrder order = BatchOrder::kReverseVars;
+};
+
+class LazyBatchProcess final : public mcs::McsProcess {
+ public:
+  LazyBatchProcess(const mcs::McsContext& ctx, LazyBatchConfig config);
+
+  void handle_read(VarId var, mcs::ReadCallback cb) override;
+  void on_message(net::ChannelId from, net::MessagePtr msg) override;
+
+  bool satisfies_causal_updating() const override { return false; }
+  const char* protocol_name() const override { return "lazy-batch"; }
+
+  const VectorClock& clock() const { return clock_; }
+  Value replica_value(VarId var) const;
+
+  /// Number of batches whose application order actually deviated from
+  /// causal order (diagnostic for experiment E6).
+  std::uint64_t scrambled_batches() const { return scrambled_batches_; }
+
+ protected:
+  void do_write(VarId var, Value value, mcs::WriteCallback cb) override;
+
+ private:
+  void schedule_batch();
+  void run_batch();
+  std::vector<TimestampedUpdate> collect_ready(VectorClock& tentative);
+  void order_batch(std::vector<TimestampedUpdate>& batch);
+
+  LazyBatchConfig config_;
+  std::unordered_map<VarId, Value> store_;
+  VectorClock clock_;
+  std::deque<TimestampedUpdate> pending_;
+  bool batch_scheduled_ = false;
+  std::uint64_t scrambled_batches_ = 0;
+};
+
+/// Factory for mcs::SystemConfig::protocol.
+mcs::ProtocolFactory lazy_batch_protocol(LazyBatchConfig config = {});
+
+}  // namespace cim::proto

@@ -1,0 +1,109 @@
+#include "protocols/partial_rep.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::proto {
+
+PartialRepProcess::PartialRepProcess(const mcs::McsContext& ctx,
+                                     InterestFn interest,
+                                     std::uint16_t app_process_count)
+    : McsProcess(ctx), interest_(std::move(interest)),
+      app_process_count_(app_process_count), clock_(ctx.num_procs) {
+  CIM_CHECK_MSG(interest_ != nullptr, "partial-rep needs an interest function");
+}
+
+Value PartialRepProcess::replica_value(VarId var) const {
+  auto it = store_.find(var);
+  return it == store_.end() ? kInitValue : it->second;
+}
+
+void PartialRepProcess::handle_read(VarId var, mcs::ReadCallback cb) {
+  CIM_CHECK_MSG(holds(var), "process " << id() << " reads " << var
+                                       << " outside its interest set");
+  cb(replica_value(var));
+}
+
+void PartialRepProcess::do_write(VarId var, Value value,
+                                 mcs::WriteCallback cb) {
+  CIM_CHECK_MSG(holds(var), "process " << id() << " writes " << var
+                                       << " outside its interest set");
+  clock_.tick(local_index());
+  store_[var] = value;
+  if (observer() != nullptr) {
+    observer()->on_write_issued(id(), var, value, simulator().now());
+    observer()->on_apply(id(), var, value, simulator().now());
+  }
+  for (std::uint16_t j = 0; j < num_procs(); ++j) {
+    if (j == local_index()) continue;
+    auto msg = std::make_unique<PartialUpdate>();
+    msg->clock = clock_;
+    msg->writer = local_index();
+    if (holds(j, var)) {
+      msg->var = var;
+      msg->value = value;
+      msg->has_value = true;
+    }  // else: causal marker only — no variable, no payload
+    send_to(j, std::move(msg));
+  }
+  cb();
+}
+
+void PartialRepProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
+  auto* update = dynamic_cast<PartialUpdate*>(msg.get());
+  CIM_CHECK_MSG(update != nullptr, "unexpected message type in partial-rep");
+  CIM_CHECK(update->writer == sender_of(from));
+  pending_.push_back(std::move(*update));
+  if (!applying_) {
+    applying_ = true;
+    apply_step();
+  }
+}
+
+void PartialRepProcess::apply_step() {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (!it->clock.ready_at(clock_, it->writer)) continue;
+    PartialUpdate update = std::move(*it);
+    pending_.erase(it);
+
+    if (!update.has_value) {
+      // Causal marker: advance knowledge, nothing to store or announce.
+      clock_.set(update.writer, update.clock[update.writer]);
+      simulator().post([this]() { apply_step(); });
+      return;
+    }
+    apply_with_upcalls(
+        update.var, update.value, /*own_write=*/false,
+        /*apply=*/[this, update = std::move(update)]() {
+          clock_.set(update.writer, update.clock[update.writer]);
+          store_[update.var] = update.value;
+          if (observer() != nullptr) {
+            observer()->on_apply(id(), update.var, update.value,
+                                 simulator().now());
+          }
+        },
+        /*done=*/[this]() {
+          simulator().post([this]() { apply_step(); });
+        });
+    return;
+  }
+  applying_ = false;
+}
+
+mcs::ProtocolFactory partial_rep_protocol(InterestFn interest,
+                                          std::uint16_t app_process_count) {
+  return [interest = std::move(interest),
+          app_process_count](const mcs::McsContext& ctx) {
+    return std::make_unique<PartialRepProcess>(ctx, interest,
+                                               app_process_count);
+  };
+}
+
+mcs::ProtocolFactory partial_rep_protocol_full() {
+  return partial_rep_protocol([](std::uint16_t, VarId) { return true; },
+                              /*app_process_count=*/0);
+}
+
+}  // namespace cim::proto

@@ -1,0 +1,131 @@
+#include "protocols/tob_causal.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::proto {
+
+TobCausalProcess::TobCausalProcess(const mcs::McsContext& ctx)
+    : McsProcess(ctx) {}
+
+Value TobCausalProcess::replica_value(VarId var) const {
+  auto it = store_.find(var);
+  return it == store_.end() ? kInitValue : it->second;
+}
+
+void TobCausalProcess::handle_read(VarId var, mcs::ReadCallback cb) {
+  cb(replica_value(var));
+}
+
+void TobCausalProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
+  if (observer() != nullptr) {
+    observer()->on_write_issued(id(), var, value, simulator().now());
+  }
+  if (has_upcall_handler()) {
+    // IS-process host: keep the replica in pure sequence order so upcall
+    // reads always return the value being applied (condition (c)).
+    publish(var, value, /*pre_applied=*/false);
+  } else {
+    store_[var] = value;
+    if (observer() != nullptr) {
+      observer()->on_apply(id(), var, value, simulator().now());
+    }
+    publish(var, value, /*pre_applied=*/true);
+  }
+  cb();  // writes acknowledge immediately in this protocol
+}
+
+void TobCausalProcess::publish(VarId var, Value value, bool pre_applied) {
+  TobPublish pub;
+  pub.var = var;
+  pub.value = value;
+  pub.origin = local_index();
+  pub.pre_applied = pre_applied;
+  if (is_sequencer()) {
+    sequence(pub);
+  } else {
+    send_to(0, std::make_unique<TobPublish>(pub));
+  }
+}
+
+void TobCausalProcess::sequence(const TobPublish& pub) {
+  TobDeliver del;
+  del.var = pub.var;
+  del.value = pub.value;
+  del.origin = pub.origin;
+  del.pre_applied = pub.pre_applied;
+  del.seq = next_seq_to_assign_++;
+  for (std::uint16_t j = 0; j < num_procs(); ++j) {
+    if (j == local_index()) continue;
+    send_to(j, std::make_unique<TobDeliver>(del));
+  }
+  enqueue_delivery(del);
+}
+
+void TobCausalProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
+  if (auto* pub = dynamic_cast<TobPublish*>(msg.get())) {
+    CIM_CHECK_MSG(is_sequencer(), "publish sent to a non-sequencer");
+    CIM_CHECK(pub->origin == sender_of(from));
+    sequence(*pub);
+    return;
+  }
+  auto* del = dynamic_cast<TobDeliver*>(msg.get());
+  CIM_CHECK_MSG(del != nullptr, "unexpected message type in tob-causal");
+  enqueue_delivery(std::move(*del));
+}
+
+void TobCausalProcess::enqueue_delivery(TobDeliver del) {
+  CIM_CHECK_MSG(del.seq >= next_apply_seq_, "duplicate TOB delivery");
+  delivery_buffer_.emplace(del.seq, std::move(del));
+  try_apply();
+}
+
+void TobCausalProcess::try_apply() {
+  if (applying_) return;
+  applying_ = true;
+  apply_step();
+}
+
+void TobCausalProcess::apply_step() {
+  auto it = delivery_buffer_.find(next_apply_seq_);
+  if (it == delivery_buffer_.end()) {
+    applying_ = false;
+    return;
+  }
+  TobDeliver del = std::move(it->second);
+  delivery_buffer_.erase(it);
+  ++next_apply_seq_;
+
+  const bool own = del.origin == local_index();
+  auto continue_chain = [this]() {
+    simulator().post([this]() { apply_step(); });
+  };
+
+  if (own && del.pre_applied) {
+    // Already applied at issue time; re-applying here could roll the
+    // variable back past values this process has exposed since.
+    ++own_skipped_;
+    continue_chain();
+    return;
+  }
+
+  apply_with_upcalls(
+      del.var, del.value, own,
+      /*apply=*/[this, var = del.var, value = del.value]() {
+        store_[var] = value;
+        if (observer() != nullptr) {
+          observer()->on_apply(id(), var, value, simulator().now());
+        }
+      },
+      /*done=*/continue_chain);
+}
+
+mcs::ProtocolFactory tob_causal_protocol() {
+  return [](const mcs::McsContext& ctx) {
+    return std::make_unique<TobCausalProcess>(ctx);
+  };
+}
+
+}  // namespace cim::proto

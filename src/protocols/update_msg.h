@@ -1,0 +1,24 @@
+// Vector-clock-stamped update message shared by the propagation-based
+// causal protocols (ANBKH and lazy-batch).
+#pragma once
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "common/vector_clock.h"
+#include "net/message.h"
+
+namespace cim::proto {
+
+struct TimestampedUpdate final : net::Message {
+  VarId var;
+  Value value = kInitValue;
+  VectorClock clock;
+  std::uint16_t writer = 0;
+
+  const char* type_name() const override { return "vc.update"; }
+  std::size_t wire_size() const override {
+    return 24 + 4 + 8 + 8 * clock.size();
+  }
+};
+
+}  // namespace cim::proto

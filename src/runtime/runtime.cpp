@@ -1,0 +1,94 @@
+#include "runtime/runtime.h"
+
+#include <future>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::rt {
+
+Runtime::Runtime(isc::Federation& federation) : federation_(federation) {}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CIM_CHECK_MSG(!running_, "runtime already started");
+  running_ = true;
+  stop_requested_ = false;
+  engine_ = std::thread([this]() { engine_loop(); });
+}
+
+void Runtime::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  engine_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool Runtime::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void Runtime::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CIM_CHECK_MSG(running_ && !stop_requested_,
+                  "post() on a stopped runtime");
+    injected_.push_back(std::move(fn));
+  }
+  cv_.notify_all();
+}
+
+void Runtime::engine_loop() {
+  sim::Simulator& sim = federation_.simulator();
+  while (true) {
+    // Drain injected calls into the simulator as immediate events.
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!injected_.empty()) {
+        sim.post(std::move(injected_.front()));
+        injected_.pop_front();
+      }
+      if (sim.empty()) {
+        // Idle: wait for new work or a stop request. On stop, remaining
+        // simulator work (none, since empty) is done — exit.
+        if (stop_requested_) return;
+        cv_.wait(lock, [this]() {
+          return stop_requested_ || !injected_.empty();
+        });
+        continue;
+      }
+    }
+    // Execute simulator events without holding the lock; batches keep the
+    // locking overhead away from the hot path.
+    for (int i = 0; i < 256 && sim.step(); ++i) {
+    }
+  }
+}
+
+Value BlockingClient::read(VarId var) {
+  std::promise<Value> promise;
+  std::future<Value> future = promise.get_future();
+  runtime_.post([this, var, &promise]() {
+    app_.read(var, [&promise](Value v) { promise.set_value(v); });
+  });
+  return future.get();
+}
+
+void BlockingClient::write(VarId var, Value value) {
+  std::promise<void> promise;
+  std::future<void> future = promise.get_future();
+  runtime_.post([this, var, value, &promise]() {
+    app_.write(var, value, [&promise]() { promise.set_value(); });
+  });
+  future.get();
+}
+
+}  // namespace cim::rt

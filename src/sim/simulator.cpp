@@ -1,0 +1,47 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cim::sim {
+
+void Simulator::at(Time t, Action action) {
+  CIM_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
+  heap_.push_back(Event{t, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), fires_after);
+}
+
+Simulator::Event Simulator::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), fires_after);
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+bool Simulator::step() {
+  if (heap_.empty()) return false;
+  Event ev = pop_next();
+  now_ = ev.time;
+  ++fired_;
+  ev.action();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.front().time <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline && heap_.empty()) now_ = deadline;
+  return n;
+}
+
+}  // namespace cim::sim

@@ -1,0 +1,78 @@
+// Deterministic discrete-event simulator.
+//
+// All protocol code in this repository is event-driven; the simulator is the
+// default executor. Events scheduled for the same instant fire in scheduling
+// order (a monotone sequence number breaks ties), which makes every execution
+// a deterministic function of the configuration and the RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cim::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `action` to run at absolute time `t` (must be >= now()).
+  void at(Time t, Action action);
+
+  /// Schedule `action` to run `d` after the current time.
+  void after(Duration d, Action action) { at(now_ + d, std::move(action)); }
+
+  /// Schedule `action` to run at the current time, after already-pending
+  /// same-time events ("post to the end of the current instant").
+  void post(Action action) { at(now_, std::move(action)); }
+
+  /// Run until the event queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run until the queue drains or simulated time would exceed `deadline`;
+  /// events after the deadline remain queued and now() advances to the
+  /// deadline if the queue drained first. Returns events fired.
+  std::uint64_t run_until(Time deadline);
+
+  /// Fire exactly one event if any is pending. Returns false if queue empty.
+  bool step();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  Time next_event_time() const { return heap_.front().time; }
+
+  /// Total events fired since construction.
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Action action;
+  };
+  // Min-heap ordering: "a fires after b".
+  static bool fires_after(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  Event pop_next();
+
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::vector<Event> heap_;
+};
+
+}  // namespace cim::sim

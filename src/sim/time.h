@@ -1,0 +1,60 @@
+// Simulated time.
+//
+// Time is a count of nanoseconds since the start of the execution; Duration
+// is a difference of Times. Both are strong wrappers around int64 so they
+// cannot be mixed with ordinary integers by accident.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace cim::sim {
+
+struct Duration {
+  std::int64_t ns = 0;
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns + b.ns};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns - b.ns};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.ns * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return Duration{a.ns * k};
+  }
+};
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+constexpr Duration microseconds(std::int64_t n) { return Duration{n * 1000}; }
+constexpr Duration milliseconds(std::int64_t n) {
+  return Duration{n * 1000000};
+}
+constexpr Duration seconds(std::int64_t n) { return Duration{n * 1000000000}; }
+
+struct Time {
+  std::int64_t ns = 0;
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+  friend constexpr Time operator+(Time t, Duration d) {
+    return Time{t.ns + d.ns};
+  }
+  friend constexpr Duration operator-(Time a, Time b) {
+    return Duration{a.ns - b.ns};
+  }
+};
+
+inline constexpr Time kTimeZero{};
+inline constexpr Time kTimeMax{INT64_MAX};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ns << "ns";
+}
+inline std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << "t=" << t.ns << "ns";
+}
+
+}  // namespace cim::sim

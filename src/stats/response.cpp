@@ -1,0 +1,21 @@
+#include "stats/response.h"
+
+#include <algorithm>
+
+namespace cim::stats {
+
+ResponseStats response_stats(const chk::History& history, chk::OpKind kind) {
+  ResponseStats out;
+  double total = 0.0;
+  for (const chk::Op& op : history.ops()) {
+    if (op.kind != kind || op.is_isp) continue;
+    const std::int64_t ns = (op.responded - op.invoked).ns;
+    ++out.count;
+    total += static_cast<double>(ns);
+    out.max_ns = std::max(out.max_ns, ns);
+  }
+  if (out.count > 0) out.mean_ns = total / static_cast<double>(out.count);
+  return out;
+}
+
+}  // namespace cim::stats

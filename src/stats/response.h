@@ -1,0 +1,22 @@
+// Operation response-time statistics, computed from recorded histories
+// (experiment E4: "our IS-protocols should not affect the response time a
+// process observes when issuing a memory operation").
+#pragma once
+
+#include <cstdint>
+
+#include "checker/history.h"
+
+namespace cim::stats {
+
+struct ResponseStats {
+  std::uint64_t count = 0;
+  double mean_ns = 0.0;
+  std::int64_t max_ns = 0;
+};
+
+/// Response times of the operations of one kind in a history (IS-process
+/// operations excluded — they are protocol machinery, not application ops).
+ResponseStats response_stats(const chk::History& history, chk::OpKind kind);
+
+}  // namespace cim::stats

@@ -1,0 +1,60 @@
+#include "workload/generator.h"
+
+namespace cim::wl {
+
+std::vector<Step> uniform_script(const UniformConfig& config, Rng& rng,
+                                 UniqueValueSource& values) {
+  std::vector<Step> script;
+  script.reserve(config.ops_per_process);
+  for (std::size_t i = 0; i < config.ops_per_process; ++i) {
+    VarId var{static_cast<std::uint32_t>(
+        rng.uniform(0, config.num_vars == 0 ? 0 : config.num_vars - 1))};
+    if (config.hotspot > 0 && rng.chance(config.hotspot)) var = VarId{0};
+    if (rng.chance(config.write_fraction)) {
+      script.push_back(write_step(var, values.next()));
+    } else {
+      script.push_back(read_step(var));
+    }
+  }
+  return script;
+}
+
+std::vector<std::unique_ptr<ScriptRunner>> install_uniform(
+    isc::Federation& federation, const UniformConfig& config) {
+  Rng rng(config.seed);
+  UniqueValueSource values;
+  std::vector<std::unique_ptr<ScriptRunner>> runners;
+  for (std::size_t s = 0; s < federation.num_systems(); ++s) {
+    mcs::System& system = federation.system(s);
+    for (std::uint16_t p = 0; p < system.num_app_processes(); ++p) {
+      Rng script_rng = rng.split();
+      auto runner = std::make_unique<ScriptRunner>(
+          federation.simulator(), system.app(p),
+          uniform_script(config, script_rng, values), config.think_min,
+          config.think_max, rng.next());
+      runner->start();
+      runners.push_back(std::move(runner));
+    }
+  }
+  return runners;
+}
+
+RelayDriver::RelayDriver(sim::Simulator& simulator, mcs::AppProcess& app,
+                         VarId watch, Value trigger, VarId out,
+                         Value out_value, sim::Duration poll_interval)
+    : sim_(simulator), app_(app), watch_(watch), trigger_(trigger), out_(out),
+      out_value_(out_value), poll_interval_(poll_interval) {}
+
+void RelayDriver::start() { poll(); }
+
+void RelayDriver::poll() {
+  app_.read(watch_, [this](Value v) {
+    if (v == trigger_) {
+      app_.write(out_, out_value_, [this]() { fired_ = true; });
+    } else {
+      sim_.after(poll_interval_, [this]() { poll(); });
+    }
+  });
+}
+
+}  // namespace cim::wl

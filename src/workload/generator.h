@@ -1,0 +1,74 @@
+// Workload generators.
+//
+// All generators draw written values from a UniqueValueSource so that the
+// paper's assumption — a value is written at most once per variable (in
+// fact, at most once globally here) — holds by construction, which makes
+// histories directly checkable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "interconnect/federation.h"
+#include "workload/script.h"
+
+namespace cim::wl {
+
+/// Monotone source of globally unique non-initial values.
+class UniqueValueSource {
+ public:
+  Value next() { return ++last_; }
+
+ private:
+  Value last_ = 0;  // values start at 1; 0 is kInitValue
+};
+
+struct UniformConfig {
+  std::size_t ops_per_process = 50;
+  double write_fraction = 0.5;
+  std::uint32_t num_vars = 8;
+  /// Probability that a write targets var 0 (hot spot); remaining writes
+  /// spread uniformly. 0 disables the hot spot.
+  double hotspot = 0.0;
+  sim::Duration think_min = sim::milliseconds(0);
+  sim::Duration think_max = sim::milliseconds(4);
+  std::uint64_t seed = 7;
+};
+
+/// Generate one random script.
+std::vector<Step> uniform_script(const UniformConfig& config, Rng& rng,
+                                 UniqueValueSource& values);
+
+/// Install a ScriptRunner with a fresh uniform script on every application
+/// process of every system of the federation (IS-process slots excluded) and
+/// start them. The returned runners must outlive the simulation run.
+std::vector<std::unique_ptr<ScriptRunner>> install_uniform(
+    isc::Federation& federation, const UniformConfig& config);
+
+/// A relay: polls `watch` until it reads `trigger`, then writes
+/// `out = out_value`. Chained across systems, relays build the long
+/// cross-system causal sequences of the Section 4 lemmas.
+class RelayDriver {
+ public:
+  RelayDriver(sim::Simulator& simulator, mcs::AppProcess& app, VarId watch,
+              Value trigger, VarId out, Value out_value,
+              sim::Duration poll_interval);
+
+  void start();
+  bool fired() const { return fired_; }
+
+ private:
+  void poll();
+
+  sim::Simulator& sim_;
+  mcs::AppProcess& app_;
+  VarId watch_;
+  Value trigger_;
+  VarId out_;
+  Value out_value_;
+  sim::Duration poll_interval_;
+  bool fired_ = false;
+};
+
+}  // namespace cim::wl

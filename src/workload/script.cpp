@@ -1,0 +1,46 @@
+#include "workload/script.h"
+
+#include "common/check.h"
+
+namespace cim::wl {
+
+ScriptRunner::ScriptRunner(sim::Simulator& simulator, mcs::AppProcess& app,
+                           std::vector<Step> script, sim::Duration think_min,
+                           sim::Duration think_max, std::uint64_t seed)
+    : sim_(simulator), app_(app), script_(std::move(script)),
+      think_min_(think_min), think_max_(think_max), rng_(seed) {
+  CIM_CHECK(think_min.ns >= 0 && think_min <= think_max);
+}
+
+sim::Duration ScriptRunner::think() {
+  return sim::Duration{static_cast<std::int64_t>(
+      rng_.uniform(static_cast<std::uint64_t>(think_min_.ns),
+                   static_cast<std::uint64_t>(think_max_.ns)))};
+}
+
+void ScriptRunner::start() {
+  CIM_CHECK_MSG(!running_, "runner already started");
+  running_ = true;
+  schedule_next();
+}
+
+void ScriptRunner::schedule_next() {
+  if (next_ >= script_.size()) {
+    running_ = false;
+    if (on_finished) on_finished();
+    return;
+  }
+  sim_.after(think(), [this]() { issue_next(); });
+}
+
+void ScriptRunner::issue_next() {
+  const Step& step = script_[next_];
+  ++next_;
+  if (step.kind == chk::OpKind::kRead) {
+    app_.read(step.var, [this](Value) { schedule_next(); });
+  } else {
+    app_.write(step.var, step.value, [this]() { schedule_next(); });
+  }
+}
+
+}  // namespace cim::wl

@@ -1,0 +1,61 @@
+// Script-driven application processes.
+//
+// A ScriptRunner drives one application process through a fixed list of
+// read/write steps, inserting a sampled "think time" between operations so
+// that processes across systems interleave. Scripts are data, which keeps
+// the simulated executions deterministic and replayable from seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "checker/history.h"
+#include "common/rng.h"
+#include "mcs/app_process.h"
+#include "sim/simulator.h"
+
+namespace cim::wl {
+
+struct Step {
+  chk::OpKind kind = chk::OpKind::kRead;
+  VarId var;
+  Value value = kInitValue;  // writes only
+};
+
+inline Step read_step(VarId var) { return Step{chk::OpKind::kRead, var, 0}; }
+inline Step write_step(VarId var, Value value) {
+  return Step{chk::OpKind::kWrite, var, value};
+}
+
+class ScriptRunner {
+ public:
+  ScriptRunner(sim::Simulator& simulator, mcs::AppProcess& app,
+               std::vector<Step> script, sim::Duration think_min,
+               sim::Duration think_max, std::uint64_t seed);
+
+  /// Schedule the first operation; each next operation is issued a sampled
+  /// think time after the previous one completes.
+  void start();
+
+  bool done() const { return next_ >= script_.size() && !running_; }
+  std::size_t steps_completed() const { return next_; }
+
+  /// Invoked once after the last step completes.
+  std::function<void()> on_finished;
+
+ private:
+  void schedule_next();
+  void issue_next();
+  sim::Duration think();
+
+  sim::Simulator& sim_;
+  mcs::AppProcess& app_;
+  std::vector<Step> script_;
+  sim::Duration think_min_, think_max_;
+  Rng rng_;
+  std::size_t next_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace cim::wl

@@ -1,0 +1,128 @@
+// Tests for the CCv (causal convergence) checker level, and the model
+// separation CM vs CCv on both hand-written histories and real protocol
+// executions.
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.h"
+#include "helpers.h"
+
+namespace cim::chk {
+namespace {
+
+using test::H;
+using test::X;
+using test::Y;
+
+TEST(Ccv, AgreesWithCmOnSequentialHistory) {
+  auto h = H{}.wr(0, X, 1).rd(1, X, 1).wr(1, X, 2).rd(0, X, 2).history();
+  EXPECT_TRUE(CausalChecker{}.check(h, Level::kCM).ok());
+  EXPECT_TRUE(CausalChecker{}.check(h, Level::kCCv).ok());
+}
+
+TEST(Ccv, OppositeOrdersOfConcurrentWritesViolateCCvButNotCM) {
+  // The signature difference between the models: two readers observing
+  // concurrent writes in opposite orders is causal (CM) but not convergent
+  // (CCv) — no single arbitration exists.
+  auto h = H{}
+               .wr(0, X, 1)
+               .wr(1, X, 2)
+               .rd(2, X, 1)
+               .rd(2, X, 2)
+               .rd(3, X, 2)
+               .rd(3, X, 1)
+               .history();
+  EXPECT_TRUE(CausalChecker{}.check(h, Level::kCM).ok());
+  auto ccv = CausalChecker{}.check(h, Level::kCCv);
+  EXPECT_EQ(ccv.pattern, BadPattern::kCyclicCF);
+}
+
+TEST(Ccv, AgreedArbitrationSatisfiesCCv) {
+  // Both readers see the concurrent writes in the same order: CCv holds.
+  auto h = H{}
+               .wr(0, X, 1)
+               .wr(1, X, 2)
+               .rd(2, X, 1)
+               .rd(2, X, 2)
+               .rd(3, X, 1)
+               .rd(3, X, 2)
+               .history();
+  EXPECT_TRUE(CausalChecker{}.check(h, Level::kCCv).ok());
+}
+
+TEST(Ccv, StillDetectsPlainCausalViolations) {
+  auto h = H{}.wr(0, X, 1).wr(0, X, 2).rd(1, X, 2).rd(1, X, 1).history();
+  EXPECT_EQ(CausalChecker{}.check(h, Level::kCCv).pattern,
+            BadPattern::kWriteCORead);
+}
+
+TEST(Ccv, InitReadPatternsStillApply) {
+  auto h = H{}
+               .wr(0, X, 1)
+               .wr(0, Y, 2)
+               .rd(1, Y, 2)
+               .rd(1, X, kInitValue)
+               .history();
+  EXPECT_EQ(CausalChecker{}.check(h, Level::kCCv).pattern,
+            BadPattern::kWriteCOInitRead);
+}
+
+// Real executions: single-writer-per-variable workloads are CCv (no
+// concurrent same-variable writes to arbitrate)...
+TEST(Ccv, SingleWriterExecutionsAreConvergent) {
+  isc::Federation fed(test::two_systems(2, proto::anbkh_protocol(),
+                                        proto::anbkh_protocol(), 6));
+  std::vector<std::unique_ptr<wl::ScriptRunner>> runners;
+  Value v = 1;
+  for (std::uint16_t s = 0; s < 2; ++s) {
+    for (std::uint16_t p = 0; p < 2; ++p) {
+      std::vector<wl::Step> script;
+      const VarId var{static_cast<std::uint32_t>(2 * s + p)};
+      for (int i = 0; i < 10; ++i) {
+        script.push_back(wl::write_step(var, v++));
+        script.push_back(wl::read_step(VarId{(var.value + 1) % 4}));
+      }
+      runners.push_back(std::make_unique<wl::ScriptRunner>(
+          fed.simulator(), fed.system(s).app(p), std::move(script),
+          sim::milliseconds(0), sim::milliseconds(5), 50 + 2 * s + p));
+      runners.back()->start();
+    }
+  }
+  fed.run();
+  auto history = fed.federation_history();
+  EXPECT_TRUE(CausalChecker{}.check(history, Level::kCM).ok());
+  EXPECT_TRUE(CausalChecker{}.check(history, Level::kCCv).ok());
+}
+
+// ... while interconnected systems with same-variable contention can be CM
+// yet not CCv: the protocols implement causal memory, not convergence.
+TEST(Ccv, InterconnectionDoesNotProvideConvergence) {
+  isc::FederationConfig cfg = test::two_systems(
+      2, proto::anbkh_protocol(), proto::anbkh_protocol(), 13);
+  cfg.links[0].delay = [] {
+    return std::make_unique<net::FixedDelay>(sim::milliseconds(40));
+  };
+  isc::Federation fed(std::move(cfg));
+  auto& sim = fed.simulator();
+
+  // Concurrent writes to x in both systems; each side reads its own first,
+  // the remote one later: opposite arbitration orders.
+  fed.system(0).app(0).write(X, 1);
+  fed.system(1).app(0).write(X, 2);
+  sim.at(sim::Time{} + sim::milliseconds(10), [&] {
+    fed.system(0).app(1).read(X);
+    fed.system(1).app(1).read(X);
+  });
+  sim.at(sim::Time{} + sim::milliseconds(200), [&] {
+    fed.system(0).app(1).read(X);
+    fed.system(1).app(1).read(X);
+  });
+  fed.run();
+
+  auto history = fed.federation_history();
+  EXPECT_TRUE(CausalChecker{}.check(history, Level::kCM).ok());
+  EXPECT_EQ(CausalChecker{}.check(history, Level::kCCv).pattern,
+            BadPattern::kCyclicCF);
+}
+
+}  // namespace
+}  // namespace cim::chk

@@ -1,0 +1,196 @@
+// Experiment E10 as tests: why the paper requires the inter-IS channel to be
+// a *reliable FIFO* channel. Fault injection deliberately violates each
+// property and shows the corresponding failure mode; the reliable-FIFO
+// configuration never fails.
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.h"
+#include "helpers.h"
+
+namespace cim::isc {
+namespace {
+
+using test::X;
+using test::Y;
+
+// ------------------------------------------------------ raw channel faults
+
+struct IntMsg final : net::Message {
+  explicit IntMsg(int v) : value(v) {}
+  int value;
+  const char* type_name() const override { return "test.int"; }
+};
+
+struct Collector final : net::Receiver {
+  std::vector<int> values;
+  void on_message(net::ChannelId, net::MessagePtr msg) override {
+    values.push_back(static_cast<IntMsg&>(*msg).value);
+  }
+};
+
+TEST(ChannelFaults, NonFifoChannelReordersUnderJitter) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, 7);
+  Collector rx;
+  net::ChannelConfig cc;
+  cc.src = ProcId{SystemId{0}, 0};
+  cc.dst = ProcId{SystemId{0}, 1};
+  cc.receiver = &rx;
+  cc.delay = std::make_unique<net::UniformDelay>(sim::microseconds(1),
+                                                 sim::milliseconds(50));
+  cc.fifo = false;
+  auto ch = fabric.add_channel(std::move(cc));
+  for (int i = 0; i < 50; ++i) fabric.send(ch, std::make_unique<IntMsg>(i));
+  sim.run();
+  ASSERT_EQ(rx.values.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < rx.values.size(); ++i) {
+    if (rx.values[i] < rx.values[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered) << "jitter + no FIFO should reorder";
+}
+
+TEST(ChannelFaults, LossyChannelDropsAndCounts) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, 7);
+  Collector rx;
+  net::ChannelConfig cc;
+  cc.src = ProcId{SystemId{0}, 0};
+  cc.dst = ProcId{SystemId{0}, 1};
+  cc.receiver = &rx;
+  cc.drop_probability = 0.5;
+  auto ch = fabric.add_channel(std::move(cc));
+  for (int i = 0; i < 200; ++i) fabric.send(ch, std::make_unique<IntMsg>(i));
+  sim.run();
+  const auto& stats = fabric.channel_stats(ch);
+  EXPECT_EQ(stats.messages, 200u);
+  EXPECT_EQ(stats.dropped, 200u - rx.values.size());
+  EXPECT_GT(stats.dropped, 50u);
+  EXPECT_LT(stats.dropped, 150u);
+}
+
+TEST(ChannelFaults, ZeroDropProbabilityLosesNothing) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, 7);
+  Collector rx;
+  net::ChannelConfig cc;
+  cc.src = ProcId{SystemId{0}, 0};
+  cc.dst = ProcId{SystemId{0}, 1};
+  cc.receiver = &rx;
+  auto ch = fabric.add_channel(std::move(cc));
+  for (int i = 0; i < 100; ++i) fabric.send(ch, std::make_unique<IntMsg>(i));
+  sim.run();
+  EXPECT_EQ(rx.values.size(), 100u);
+  EXPECT_EQ(fabric.channel_stats(ch).dropped, 0u);
+}
+
+// --------------------------------------------- faults on the IS link itself
+
+// A non-FIFO IS link can deliver ⟨y,u⟩ before the causally earlier ⟨x,v⟩;
+// a remote reader then observes the Section-3 violation even though both
+// systems run flawless causal protocols.
+TEST(ChannelFaults, NonFifoLinkBreaksCausalityOfTheUnion) {
+  bool violated_once = false;
+  for (std::uint64_t seed = 1; seed <= 12 && !violated_once; ++seed) {
+    FederationConfig cfg = test::two_systems(2, proto::anbkh_protocol(),
+                                             proto::anbkh_protocol(), seed);
+    cfg.links[0].fifo = false;
+    cfg.links[0].delay = [] {
+      return std::make_unique<net::UniformDelay>(sim::milliseconds(1),
+                                                 sim::milliseconds(60));
+    };
+    Federation fed(std::move(cfg));
+    auto& sim = fed.simulator();
+
+    // Causal chain w(x)a then w(y)b, repeated; scanner in S1 reads y then x.
+    for (int r = 0; r < 10; ++r) {
+      sim.at(sim::Time{} + sim::milliseconds(80 * r),
+             [&fed, r] { fed.system(0).app(0).write(X, 2 * r + 1); });
+      sim.at(sim::Time{} + sim::milliseconds(80 * r + 2),
+             [&fed, r] { fed.system(0).app(0).write(Y, 2 * r + 2); });
+    }
+    auto scan = std::make_shared<std::function<void()>>();
+    auto* reader = &fed.system(1).app(0);
+    const sim::Time end = sim::Time{} + sim::milliseconds(900);
+    *scan = [scan, reader, &sim, end] {
+      reader->read(Y);
+      reader->read(X);
+      if (sim.now() < end) {
+        sim.after(sim::milliseconds(1), [scan] { (*scan)(); });
+      }
+    };
+    (*scan)();
+    fed.run();
+
+    if (!chk::CausalChecker{}.check(fed.federation_history()).ok()) {
+      violated_once = true;
+    }
+  }
+  EXPECT_TRUE(violated_once)
+      << "a non-FIFO link should eventually violate causality";
+}
+
+// The same scenario with the (default) reliable FIFO link never violates.
+TEST(ChannelFaults, FifoLinkNeverViolatesInSameScenario) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    FederationConfig cfg = test::two_systems(2, proto::anbkh_protocol(),
+                                             proto::anbkh_protocol(), seed);
+    cfg.links[0].delay = [] {
+      return std::make_unique<net::UniformDelay>(sim::milliseconds(1),
+                                                 sim::milliseconds(60));
+    };
+    Federation fed(std::move(cfg));
+    auto& sim = fed.simulator();
+    for (int r = 0; r < 10; ++r) {
+      sim.at(sim::Time{} + sim::milliseconds(80 * r),
+             [&fed, r] { fed.system(0).app(0).write(X, 2 * r + 1); });
+      sim.at(sim::Time{} + sim::milliseconds(80 * r + 2),
+             [&fed, r] { fed.system(0).app(0).write(Y, 2 * r + 2); });
+    }
+    auto scan = std::make_shared<std::function<void()>>();
+    auto* reader = &fed.system(1).app(0);
+    const sim::Time end = sim::Time{} + sim::milliseconds(900);
+    *scan = [scan, reader, &sim, end] {
+      reader->read(Y);
+      reader->read(X);
+      if (sim.now() < end) {
+        sim.after(sim::milliseconds(1), [scan] { (*scan)(); });
+      }
+    };
+    (*scan)();
+    fed.run();
+    auto res = chk::CausalChecker{}.check(fed.federation_history());
+    EXPECT_TRUE(res.ok()) << "seed " << seed << ": " << res.detail;
+  }
+}
+
+// A lossy IS link silently loses updates. With this *single-variable*
+// workload the delivered subsequence stays causal (reads only ever see a
+// monotone subsequence of one writer's values); the multi-variable case in
+// bench_ablation_channel shows drops breaking causality too (a dropped
+// ⟨x,v⟩ followed by a delivered causally-later ⟨y,u⟩ is an observable gap).
+// Either way the propagation guarantee — every write eventually visible
+// everywhere — is gone.
+TEST(ChannelFaults, LossyLinkLosesUpdatesButStaysCausal) {
+  FederationConfig cfg = test::two_systems(2, proto::anbkh_protocol(),
+                                           proto::anbkh_protocol(), 5);
+  cfg.links[0].drop_probability = 0.4;
+  Federation fed(std::move(cfg));
+  for (int i = 1; i <= 50; ++i) {
+    fed.simulator().at(sim::Time{} + sim::milliseconds(5 * i),
+                       [&fed, i] { fed.system(0).app(0).write(X, i); });
+  }
+  fed.run();
+
+  const auto cross = fed.fabric().cross_system_stats(SystemId{0}, SystemId{1});
+  EXPECT_GT(cross.dropped, 0u);
+  EXPECT_EQ(fed.interconnector().shared_isp(1).pairs_received() + cross.dropped,
+            50u);
+
+  // Safety still holds: the delivered prefix is causally consistent.
+  auto res = chk::CausalChecker{}.check(fed.federation_history());
+  EXPECT_TRUE(res.ok()) << res.detail;
+}
+
+}  // namespace
+}  // namespace cim::isc

@@ -1,0 +1,284 @@
+// Second-wave checker tests: corner cases of the bad-pattern characterization,
+// init-value semantics, level separation (CC vs CM), and properties of the
+// causal order itself.
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.h"
+#include "checker/relation.h"
+#include "checker/search_checker.h"
+#include "helpers.h"
+
+namespace cim::chk {
+namespace {
+
+using test::H;
+using test::X;
+using test::Y;
+using test::Z;
+
+// ------------------------------------------------------------- init values
+
+TEST(CheckerInit, ManyInitReadsAcrossProcessesAreCausal) {
+  auto h = H{}
+               .rd(0, X, kInitValue)
+               .rd(1, X, kInitValue)
+               .rd(2, Y, kInitValue)
+               .rd(0, Y, kInitValue)
+               .history();
+  EXPECT_TRUE(CausalChecker{}.check(h).ok());
+}
+
+TEST(CheckerInit, InitReadAfterOwnReadOfWriteIsBad) {
+  // p1 observes x=1 and then reads x as initial again: no legal placement.
+  auto h = H{}.wr(0, X, 1).rd(1, X, 1).rd(1, X, kInitValue).history();
+  auto res = CausalChecker{}.check(h);
+  EXPECT_EQ(res.pattern, BadPattern::kWriteCOInitRead);
+}
+
+TEST(CheckerInit, ConcurrentReaderMayStillSeeInit) {
+  // p1 reads init while p0's write exists but was never observed by p1.
+  auto h = H{}.wr(0, X, 1).rd(1, X, kInitValue).rd(1, X, 1).history();
+  EXPECT_TRUE(CausalChecker{}.check(h).ok());
+}
+
+TEST(CheckerInit, InitReadForcedOnlyThroughOtherVariable) {
+  // The causal past arrives via variable y; the stale read is on x.
+  auto h = H{}
+               .wr(0, X, 1)
+               .wr(0, Y, 2)
+               .rd(1, Y, 2)
+               .rd(1, X, kInitValue)
+               .history();
+  EXPECT_EQ(CausalChecker{}.check(h).pattern, BadPattern::kWriteCOInitRead);
+}
+
+// -------------------------------------------------------------- WriteCORead
+
+TEST(CheckerStale, StaleReadViaThreeProcessChain) {
+  // w(x)1 ⇝ w(x)2 through a read at p1; p2 sees 2 then 1.
+  auto h = H{}
+               .wr(0, X, 1)
+               .rd(1, X, 1)
+               .wr(1, X, 2)
+               .rd(2, X, 2)
+               .rd(2, X, 1)
+               .history();
+  EXPECT_EQ(CausalChecker{}.check(h).pattern, BadPattern::kWriteCORead);
+}
+
+TEST(CheckerStale, RereadOfSameValueIsFine) {
+  auto h = H{}.wr(0, X, 1).rd(1, X, 1).rd(1, X, 1).rd(1, X, 1).history();
+  EXPECT_TRUE(CausalChecker{}.check(h).ok());
+}
+
+TEST(CheckerStale, OldConcurrentValueAfterNewIsFine) {
+  // 1 and 2 concurrent: reading 2 then 1 is legal (place w1 between).
+  auto h = H{}.wr(0, X, 1).wr(1, X, 2).rd(2, X, 2).rd(2, X, 1).history();
+  EXPECT_TRUE(CausalChecker{}.check(h).ok());
+}
+
+TEST(CheckerStale, FlipFlopBetweenConcurrentValuesIsBad) {
+  // 2,1,2: needs w2 placed both before and after w1 — CM rejects.
+  auto h = H{}
+               .wr(0, X, 1)
+               .wr(1, X, 2)
+               .rd(2, X, 2)
+               .rd(2, X, 1)
+               .rd(2, X, 2)
+               .history();
+  auto res = CausalChecker{}.check(h);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(CheckerStale, DifferentProcessesMayDisagreeOnConcurrentOrder) {
+  auto h = H{}
+               .wr(0, X, 1)
+               .wr(1, X, 2)
+               .rd(2, X, 1)
+               .rd(2, X, 2)
+               .rd(3, X, 2)
+               .rd(3, X, 1)
+               .rd(4, X, 1)
+               .rd(5, X, 2)
+               .history();
+  EXPECT_TRUE(CausalChecker{}.check(h).ok());
+}
+
+// ------------------------------------------------------------ CC vs CM
+
+TEST(CheckerLevels, CCAcceptsPerReadJustifiableButCMRejects) {
+  auto h = H{}
+               .wr(0, X, 1)
+               .wr(1, X, 2)
+               .rd(2, X, 2)
+               .rd(2, X, 1)
+               .rd(2, X, 2)
+               .history();
+  EXPECT_TRUE(CausalChecker{}.check(h, Level::kCC).ok());
+  EXPECT_FALSE(CausalChecker{}.check(h, Level::kCM).ok());
+}
+
+TEST(CheckerLevels, CMImpliesCCOnRandomHistories) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    H h;
+    Value next = 1;
+    const int ops = 4 + static_cast<int>(rng.uniform(0, 8));
+    for (int i = 0; i < ops; ++i) {
+      const auto proc = static_cast<std::uint16_t>(rng.uniform(0, 3));
+      const VarId var{static_cast<std::uint32_t>(rng.uniform(0, 1))};
+      if (rng.chance(0.5)) {
+        h.wr(proc, var, next++);
+      } else {
+        h.rd(proc, var,
+             static_cast<Value>(rng.uniform(0, static_cast<std::uint64_t>(next - 1))));
+      }
+    }
+    auto history = h.history();
+    const bool cm = CausalChecker{}.check(history, Level::kCM).ok();
+    const bool cc = CausalChecker{}.check(history, Level::kCC).ok();
+    EXPECT_TRUE(!cm || cc) << "CM ok but CC bad on:\n" << history.to_string();
+  }
+}
+
+// ------------------------------------------------- causal order properties
+
+TEST(CausalOrder, IsTransitive) {
+  auto h = H{}
+               .wr(0, X, 1)
+               .rd(1, X, 1)
+               .wr(1, Y, 2)
+               .rd(2, Y, 2)
+               .wr(2, Z, 3)
+               .history();
+  auto co = CausalChecker{}.causal_order(h);
+  ASSERT_TRUE(co);
+  const std::size_t n = h.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (co->test(a, b) && co->test(b, c)) {
+          EXPECT_TRUE(co->test(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST(CausalOrder, ConcurrentOpsUnordered) {
+  auto h = H{}.wr(0, X, 1).wr(1, Y, 2).history();
+  auto co = CausalChecker{}.causal_order(h);
+  ASSERT_TRUE(co);
+  EXPECT_FALSE(co->test(0, 1));
+  EXPECT_FALSE(co->test(1, 0));
+}
+
+TEST(CausalOrder, FailsOnThinAir) {
+  auto h = H{}.rd(0, X, 99).history();
+  EXPECT_FALSE(CausalChecker{}.causal_order(h).has_value());
+}
+
+TEST(CausalOrder, FailsOnDuplicateWrite) {
+  auto h = H{}.wr(0, X, 1).wr(1, X, 1).history();
+  EXPECT_FALSE(CausalChecker{}.causal_order(h).has_value());
+}
+
+// ------------------------------------------------------------ search budget
+
+TEST(SearchBudget, TinyBudgetReturnsUnknown) {
+  H h;
+  for (int i = 0; i < 10; ++i) {
+    h.wr(static_cast<std::uint16_t>(i % 3), VarId{static_cast<std::uint32_t>(i % 2)},
+         i + 1);
+  }
+  auto res = SearchChecker{}.is_sequential(h.history(), /*node_budget=*/1);
+  EXPECT_FALSE(res.has_value());
+}
+
+TEST(SearchBudget, OversizedHistoryReturnsUnknown) {
+  H h;
+  for (int i = 0; i < 70; ++i) h.wr(0, X, i + 1);
+  EXPECT_FALSE(SearchChecker{}.is_sequential(h.history()).has_value());
+  EXPECT_FALSE(SearchChecker{}.is_causal(h.history()).has_value());
+}
+
+// --------------------------------------------------------- larger relations
+
+TEST(RelationScale, ClosureOfLongChain) {
+  const std::size_t n = 300;
+  Relation r(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) r.set(i, i + 1);
+  auto res = transitive_closure(r);
+  EXPECT_FALSE(res.cycle_witness.has_value());
+  EXPECT_TRUE(res.closure.test(0, n - 1));
+  EXPECT_EQ(res.closure.edge_count(), n * (n - 1) / 2);
+}
+
+TEST(RelationScale, ClosureOfRandomDagMatchesDfsReachability) {
+  Rng rng(5);
+  const std::size_t n = 60;
+  Relation r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.chance(0.08)) r.set(i, j);  // forward edges only: acyclic
+    }
+  }
+  auto res = transitive_closure(r);
+  ASSERT_FALSE(res.cycle_witness.has_value());
+  // Reference: simple DFS reachability.
+  for (std::size_t s = 0; s < n; ++s) {
+    std::vector<bool> seen(n, false);
+    std::vector<std::size_t> stack{s};
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      r.for_successors(v, [&](std::size_t w) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      });
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      EXPECT_EQ(res.closure.test(s, t), seen[t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(RelationScale, BigCycleDetected) {
+  const std::size_t n = 200;
+  Relation r(n);
+  for (std::size_t i = 0; i < n; ++i) r.set(i, (i + 1) % n);
+  auto res = transitive_closure(r);
+  ASSERT_TRUE(res.cycle_witness.has_value());
+  EXPECT_TRUE(res.closure.test(0, 0));
+  EXPECT_TRUE(res.closure.test(n / 2, 0));
+}
+
+// -------------------------------------------- recorder/history edge cases
+
+TEST(HistoryEdge, EmptyHistoryHasNoProcesses) {
+  History h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(h.processes().empty());
+  EXPECT_TRUE(h.process_ops(ProcId{}).empty());
+}
+
+TEST(HistoryEdge, ProgramOrderStableForInterleavedRecording) {
+  Recorder rec;
+  ProcId a{SystemId{0}, 0}, b{SystemId{0}, 1};
+  auto w1 = rec.begin(a, false, OpKind::kWrite, X, 1, sim::Time{5});
+  auto w2 = rec.begin(b, false, OpKind::kWrite, X, 2, sim::Time{6});
+  auto w3 = rec.begin(a, false, OpKind::kWrite, Y, 3, sim::Time{7});
+  rec.end_write(w3, sim::Time{8});   // completes out of begin order
+  rec.end_write(w1, sim::Time{9});
+  rec.end_write(w2, sim::Time{10});
+  auto h = rec.full();
+  const auto& pa = h.process_ops(a);
+  ASSERT_EQ(pa.size(), 2u);
+  EXPECT_EQ(h.ops()[pa[0]].value, 1);  // begin order defines program order
+  EXPECT_EQ(h.ops()[pa[1]].value, 3);
+}
+
+}  // namespace
+}  // namespace cim::chk

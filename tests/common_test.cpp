@@ -1,0 +1,173 @@
+// Unit tests: common utilities (ids, vector clocks, rng).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/vector_clock.h"
+
+namespace cim {
+namespace {
+
+TEST(Ids, StrongTypesCompare) {
+  EXPECT_EQ(SystemId{1}, SystemId{1});
+  EXPECT_NE(SystemId{1}, SystemId{2});
+  EXPECT_LT(SystemId{1}, SystemId{2});
+
+  const ProcId a{SystemId{0}, 1};
+  const ProcId b{SystemId{1}, 0};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, (ProcId{SystemId{0}, 1}));
+
+  EXPECT_LT(VarId{3}, VarId{4});
+  EXPECT_LT(OpId{3}, OpId{4});
+}
+
+TEST(Ids, HashDistinguishesProcs) {
+  std::set<std::size_t> hashes;
+  for (std::uint16_t s = 0; s < 4; ++s) {
+    for (std::uint16_t p = 0; p < 4; ++p) {
+      hashes.insert(std::hash<ProcId>{}(ProcId{SystemId{s}, p}));
+    }
+  }
+  EXPECT_EQ(hashes.size(), 16u);
+}
+
+TEST(VectorClock, StartsAtZero) {
+  VectorClock vc(3);
+  EXPECT_EQ(vc.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(vc[i], 0u);
+}
+
+TEST(VectorClock, TickAndSet) {
+  VectorClock vc(3);
+  vc.tick(1);
+  vc.tick(1);
+  vc.set(2, 7);
+  EXPECT_EQ(vc[0], 0u);
+  EXPECT_EQ(vc[1], 2u);
+  EXPECT_EQ(vc[2], 7u);
+}
+
+TEST(VectorClock, LeqIsPointwise) {
+  VectorClock a{1, 2, 3};
+  VectorClock b{1, 3, 3};
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, StrictPrecedence) {
+  VectorClock a{1, 2};
+  VectorClock b{1, 3};
+  EXPECT_TRUE(a.lt(b));
+  EXPECT_FALSE(b.lt(a));
+  EXPECT_FALSE(a.lt(a));
+}
+
+TEST(VectorClock, Concurrency) {
+  VectorClock a{2, 0};
+  VectorClock b{0, 2};
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_TRUE(b.concurrent_with(a));
+  VectorClock c{2, 2};
+  EXPECT_FALSE(a.concurrent_with(c));
+}
+
+TEST(VectorClock, MergeIsPointwiseMax) {
+  VectorClock a{1, 5, 0};
+  VectorClock b{3, 2, 4};
+  a.merge(b);
+  EXPECT_EQ(a, (VectorClock{3, 5, 4}));
+}
+
+TEST(VectorClock, ReadyAtExactNextFromWriter) {
+  VectorClock replica{2, 3, 1};
+
+  // Writer 0's next write: entry 0 must be exactly replica[0]+1 and the rest
+  // must not exceed the replica's knowledge.
+  VectorClock w{3, 3, 1};
+  EXPECT_TRUE(w.ready_at(replica, 0));
+
+  VectorClock gap{4, 3, 1};  // skips a write by 0
+  EXPECT_FALSE(gap.ready_at(replica, 0));
+
+  VectorClock dep{3, 3, 2};  // depends on an unseen write by 2
+  EXPECT_FALSE(dep.ready_at(replica, 0));
+
+  VectorClock old{2, 3, 1};  // already applied
+  EXPECT_FALSE(old.ready_at(replica, 0));
+}
+
+TEST(VectorClock, ReadyAtAllowsOlderKnowledge) {
+  VectorClock replica{2, 3, 5};
+  VectorClock w{3, 1, 0};  // writer 0 knew less than the replica does
+  EXPECT_TRUE(w.ready_at(replica, 0));
+}
+
+TEST(VectorClock, ToStringFormat) {
+  VectorClock vc{1, 0, 2};
+  EXPECT_EQ(vc.to_string(), "[1,0,2]");
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(4, 4), 4u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.split();
+  // The child stream should not just replay the parent's.
+  int same = 0;
+  Rng parent_copy(99);
+  (void)parent_copy.next();  // advance past the split draw
+  for (int i = 0; i < 32; ++i) {
+    if (child.next() == parent_copy.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace cim

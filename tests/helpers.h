@@ -1,0 +1,109 @@
+// Shared test helpers: compact builders for systems, federations, and
+// hand-written histories.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "checker/history.h"
+#include "interconnect/federation.h"
+#include "mcs/system.h"
+#include "protocols/anbkh.h"
+#include "protocols/aw_seq.h"
+#include "protocols/lazy_batch.h"
+#include "protocols/tob_causal.h"
+#include "workload/generator.h"
+
+namespace cim::test {
+
+inline VarId X{0};
+inline VarId Y{1};
+inline VarId Z{2};
+
+/// Build a history from (proc, kind, var, value) tuples; program order is
+/// the order of mention per process.
+struct H {
+  std::vector<chk::Op> ops;
+  std::map<ProcId, std::uint64_t> seq;
+
+  H& rd(std::uint16_t proc, VarId var, Value value) {
+    return add(proc, chk::OpKind::kRead, var, value);
+  }
+  H& wr(std::uint16_t proc, VarId var, Value value) {
+    return add(proc, chk::OpKind::kWrite, var, value);
+  }
+  H& add(std::uint16_t proc, chk::OpKind kind, VarId var, Value value) {
+    chk::Op op;
+    op.id = OpId{ops.size()};
+    op.proc = ProcId{SystemId{0}, proc};
+    op.kind = kind;
+    op.var = var;
+    op.value = value;
+    op.proc_seq = seq[op.proc]++;
+    ops.push_back(op);
+    return *this;
+  }
+  chk::History history() const { return chk::History(ops); }
+};
+
+/// One-system federation with `procs` application processes.
+inline isc::FederationConfig single_system(std::uint16_t procs,
+                                           mcs::ProtocolFactory protocol,
+                                           std::uint64_t seed = 1) {
+  isc::FederationConfig cfg;
+  cfg.seed = seed;
+  mcs::SystemConfig sc;
+  sc.id = SystemId{0};
+  sc.num_app_processes = procs;
+  sc.protocol = std::move(protocol);
+  sc.seed = seed + 100;
+  cfg.systems.push_back(std::move(sc));
+  return cfg;
+}
+
+/// Two systems of `procs` application processes each, joined by one link.
+inline isc::FederationConfig two_systems(std::uint16_t procs,
+                                         mcs::ProtocolFactory protocol_a,
+                                         mcs::ProtocolFactory protocol_b,
+                                         std::uint64_t seed = 1) {
+  isc::FederationConfig cfg;
+  cfg.seed = seed;
+  for (std::uint16_t s = 0; s < 2; ++s) {
+    mcs::SystemConfig sc;
+    sc.id = SystemId{s};
+    sc.num_app_processes = procs;
+    sc.protocol = s == 0 ? protocol_a : protocol_b;
+    sc.seed = seed + 100 + s;
+    cfg.systems.push_back(std::move(sc));
+  }
+  isc::LinkSpec link;
+  link.system_a = 0;
+  link.system_b = 1;
+  cfg.links.push_back(std::move(link));
+  return cfg;
+}
+
+/// Chain of `m` systems: S0 - S1 - ... - S(m-1).
+inline isc::FederationConfig chain_systems(std::size_t m, std::uint16_t procs,
+                                           mcs::ProtocolFactory protocol,
+                                           std::uint64_t seed = 1) {
+  isc::FederationConfig cfg;
+  cfg.seed = seed;
+  for (std::size_t s = 0; s < m; ++s) {
+    mcs::SystemConfig sc;
+    sc.id = SystemId{static_cast<std::uint16_t>(s)};
+    sc.num_app_processes = procs;
+    sc.protocol = protocol;
+    sc.seed = seed + 100 + s;
+    cfg.systems.push_back(std::move(sc));
+  }
+  for (std::size_t s = 0; s + 1 < m; ++s) {
+    isc::LinkSpec link;
+    link.system_a = s;
+    link.system_b = s + 1;
+    cfg.links.push_back(std::move(link));
+  }
+  return cfg;
+}
+
+}  // namespace cim::test

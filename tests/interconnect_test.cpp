@@ -1,0 +1,263 @@
+// Integration tests: the IS-protocols interconnecting systems (Theorem 1,
+// Corollary 1, and the Section-3 counterexample).
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.h"
+#include "helpers.h"
+
+namespace cim::isc {
+namespace {
+
+using test::X;
+using test::Y;
+
+TEST(Interconnect, WritePropagatesAcrossTwoSystems) {
+  Federation fed(test::two_systems(2, proto::anbkh_protocol(),
+                                   proto::anbkh_protocol()));
+  fed.system(0).app(0).write(X, 7);
+  fed.run();
+  Value got = -1;
+  fed.system(1).app(1).read(X, [&](Value v) { got = v; });
+  fed.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Interconnect, PropagationIsBidirectional) {
+  Federation fed(test::two_systems(2, proto::anbkh_protocol(),
+                                   proto::anbkh_protocol()));
+  fed.system(0).app(0).write(X, 1);
+  fed.system(1).app(0).write(Y, 2);
+  fed.run();
+  Value x_in_1 = -1, y_in_0 = -1;
+  fed.system(1).app(1).read(X, [&](Value v) { x_in_1 = v; });
+  fed.system(0).app(1).read(Y, [&](Value v) { y_in_0 = v; });
+  fed.run();
+  EXPECT_EQ(x_in_1, 1);
+  EXPECT_EQ(y_in_0, 2);
+}
+
+TEST(Interconnect, NoEchoOnePairPerWritePerLink) {
+  Federation fed(test::two_systems(2, proto::anbkh_protocol(),
+                                   proto::anbkh_protocol()));
+  fed.system(0).app(0).write(X, 1);
+  fed.run();
+  // Exactly one pair crossed the link, none came back.
+  EXPECT_EQ(fed.interconnector().shared_isp(0).pairs_sent(), 1u);
+  EXPECT_EQ(fed.interconnector().shared_isp(1).pairs_sent(), 0u);
+  EXPECT_EQ(fed.interconnector().shared_isp(1).pairs_received(), 1u);
+  const auto cross = fed.fabric().cross_system_stats(SystemId{0}, SystemId{1});
+  EXPECT_EQ(cross.messages, 1u);
+}
+
+TEST(Interconnect, AutoSelectsProtocol1ForCausalUpdatingSystems) {
+  Federation fed(test::two_systems(2, proto::anbkh_protocol(),
+                                   proto::anbkh_protocol()));
+  EXPECT_FALSE(fed.interconnector().shared_isp(0).pre_reads_enabled());
+  EXPECT_FALSE(fed.interconnector().shared_isp(1).pre_reads_enabled());
+}
+
+TEST(Interconnect, AutoSelectsProtocol2ForLazyBatchSystems) {
+  Federation fed(test::two_systems(
+      2, proto::lazy_batch_protocol(), proto::anbkh_protocol()));
+  EXPECT_TRUE(fed.interconnector().shared_isp(0).pre_reads_enabled());
+  EXPECT_FALSE(fed.interconnector().shared_isp(1).pre_reads_enabled());
+}
+
+TEST(Interconnect, RejectsCyclicTopology) {
+  FederationConfig cfg = test::chain_systems(3, 2, proto::anbkh_protocol());
+  LinkSpec closing;
+  closing.system_a = 2;
+  closing.system_b = 0;
+  cfg.links.push_back(closing);
+  EXPECT_THROW(Federation{std::move(cfg)}, InvariantViolation);
+}
+
+TEST(Interconnect, RejectsSelfLink) {
+  FederationConfig cfg = test::single_system(2, proto::anbkh_protocol());
+  LinkSpec self;
+  self.system_a = 0;
+  self.system_b = 0;
+  cfg.links.push_back(self);
+  EXPECT_THROW(Federation{std::move(cfg)}, InvariantViolation);
+}
+
+TEST(Interconnect, ChainOfFourPropagatesEndToEnd) {
+  Federation fed(test::chain_systems(4, 2, proto::anbkh_protocol()));
+  fed.system(0).app(0).write(X, 5);
+  fed.run();
+  Value got = -1;
+  fed.system(3).app(1).read(X, [&](Value v) { got = v; });
+  fed.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Interconnect, CausalChainAcrossSystemsPreserved) {
+  // w(x)1 in S0; S1 process reads it and writes y=2; back in S0, a reader
+  // that sees y=2 must also see x=1. Verified by the checker on αT.
+  Federation fed(test::two_systems(2, proto::anbkh_protocol(),
+                                   proto::anbkh_protocol()));
+  auto& sim = fed.simulator();
+  fed.system(0).app(0).write(X, 1);
+  wl::RelayDriver relay(sim, fed.system(1).app(0), X, 1, Y, 2,
+                        sim::milliseconds(2));
+  relay.start();
+  // Poll y in S0, then read x right after y turns 2.
+  wl::RelayDriver observer(sim, fed.system(0).app(1), Y, 2, VarId{9}, 3,
+                           sim::milliseconds(2));
+  observer.start();
+  fed.run();
+  ASSERT_TRUE(relay.fired());
+  ASSERT_TRUE(observer.fired());
+
+  Value x_after = -1;
+  fed.system(0).app(1).read(X, [&](Value v) { x_after = v; });
+  fed.run();
+  EXPECT_EQ(x_after, 1);
+
+  auto res = chk::CausalChecker{}.check(fed.federation_history());
+  EXPECT_TRUE(res.ok()) << res.detail;
+}
+
+struct GridParam {
+  std::uint64_t seed;
+  int proto_a;  // 0 anbkh, 1 lazybatch, 2 awseq, 3 tob-causal
+  int proto_b;
+};
+
+mcs::ProtocolFactory make_protocol(int which) {
+  switch (which) {
+    case 0: return proto::anbkh_protocol();
+    case 1: {
+      proto::LazyBatchConfig lc;
+      lc.order = proto::BatchOrder::kShuffleVars;
+      return proto::lazy_batch_protocol(lc);
+    }
+    case 2: return proto::aw_seq_protocol();
+    default: return proto::tob_causal_protocol();
+  }
+}
+
+class InterconnectGrid : public ::testing::TestWithParam<GridParam> {};
+
+// Theorem 1 (experiment E5): the union of two causal systems interconnected
+// with the IS-protocols is causal — across seeds and protocol combinations
+// (including mixed implementations, which the paper explicitly allows).
+TEST_P(InterconnectGrid, UnionOfTwoSystemsIsCausal) {
+  const GridParam p = GetParam();
+  FederationConfig cfg = test::two_systems(
+      3, make_protocol(p.proto_a), make_protocol(p.proto_b), p.seed);
+  for (auto& sc : cfg.systems) {
+    sc.intra_delay = [] {
+      return std::make_unique<net::UniformDelay>(sim::microseconds(200),
+                                                 sim::milliseconds(15));
+    };
+  }
+  cfg.links[0].delay = [] {
+    return std::make_unique<net::UniformDelay>(sim::milliseconds(2),
+                                               sim::milliseconds(30));
+  };
+  Federation fed(std::move(cfg));
+
+  wl::UniformConfig wc;
+  wc.ops_per_process = 30;
+  wc.num_vars = 4;
+  wc.seed = p.seed * 97 + 3;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+  for (const auto& r : runners) ASSERT_TRUE(r->done());
+
+  // α^T is causal (Theorem 1)...
+  auto res = chk::CausalChecker{}.check(fed.federation_history());
+  EXPECT_TRUE(res.ok()) << chk::to_string(res.pattern) << ": " << res.detail
+                        << "\nprotocols " << p.proto_a << "/" << p.proto_b
+                        << " seed " << p.seed;
+  // ... and so is each system's own computation α^k (with its ISP's ops).
+  for (std::size_t s = 0; s < 2; ++s) {
+    auto sys_res = chk::CausalChecker{}.check(fed.system_history(s));
+    EXPECT_TRUE(sys_res.ok())
+        << "system " << s << ": " << sys_res.detail;
+  }
+}
+
+std::vector<GridParam> grid_params() {
+  std::vector<GridParam> out;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    for (int a = 0; a < 4; ++a) {
+      for (int b = a; b < 4; ++b) {
+        out.push_back(GridParam{seed, a, b});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, InterconnectGrid,
+                         ::testing::ValuesIn(grid_params()));
+
+// Corollary 1: trees of systems are causal.
+class TreeSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeSeeds, ChainOfFourSystemsIsCausal) {
+  FederationConfig cfg =
+      test::chain_systems(4, 2, proto::anbkh_protocol(), GetParam());
+  Federation fed(std::move(cfg));
+  wl::UniformConfig wc;
+  wc.ops_per_process = 20;
+  wc.num_vars = 3;
+  wc.seed = GetParam() + 10;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+  auto res = chk::CausalChecker{}.check(fed.federation_history());
+  EXPECT_TRUE(res.ok()) << res.detail;
+}
+
+TEST_P(TreeSeeds, StarOfFiveSystemsIsCausal) {
+  FederationConfig cfg;
+  cfg.seed = GetParam();
+  for (std::uint16_t s = 0; s < 5; ++s) {
+    mcs::SystemConfig sc;
+    sc.id = SystemId{s};
+    sc.num_app_processes = 2;
+    sc.protocol = proto::anbkh_protocol();
+    sc.seed = GetParam() * 7 + s;
+    cfg.systems.push_back(std::move(sc));
+  }
+  for (std::size_t leaf = 1; leaf < 5; ++leaf) {
+    LinkSpec link;
+    link.system_a = 0;  // hub
+    link.system_b = leaf;
+    cfg.links.push_back(link);
+  }
+  Federation fed(std::move(cfg));
+  wl::UniformConfig wc;
+  wc.ops_per_process = 15;
+  wc.num_vars = 3;
+  wc.seed = GetParam() + 77;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+  auto res = chk::CausalChecker{}.check(fed.federation_history());
+  EXPECT_TRUE(res.ok()) << res.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSeeds,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// Per-link IS-processes (the literal pairwise construction of Corollary 1).
+TEST(Interconnect, PerLinkIspModeIsCausalOnChain) {
+  FederationConfig cfg = test::chain_systems(3, 2, proto::anbkh_protocol(), 5);
+  cfg.isp_mode = IspMode::kPerLink;
+  Federation fed(std::move(cfg));
+  wl::UniformConfig wc;
+  wc.ops_per_process = 20;
+  wc.seed = 55;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+  auto res = chk::CausalChecker{}.check(fed.federation_history());
+  EXPECT_TRUE(res.ok()) << res.detail;
+
+  // The middle system hosts two IS-processes in this mode.
+  EXPECT_EQ(fed.system(1).num_processes(), fed.system(1).num_app_processes() + 2);
+}
+
+}  // namespace
+}  // namespace cim::isc

@@ -1,0 +1,179 @@
+// Unit/integration tests: the lazy-batch protocol — a causal protocol that
+// violates the Causal Updating Property.
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.h"
+#include "helpers.h"
+
+namespace cim::proto {
+namespace {
+
+using test::X;
+using test::Y;
+
+isc::FederationConfig lazy_system(std::uint16_t procs, LazyBatchConfig lc,
+                                  std::uint64_t seed = 1) {
+  return test::single_system(procs, lazy_batch_protocol(lc), seed);
+}
+
+TEST(LazyBatch, LocalWriteImmediatelyVisible) {
+  isc::Federation fed(lazy_system(2, LazyBatchConfig{}));
+  auto& app = fed.system(0).app(0);
+  Value got = -1;
+  app.write(X, 3);
+  app.read(X, [&](Value v) { got = v; });
+  fed.run();
+  EXPECT_EQ(got, 3);
+}
+
+TEST(LazyBatch, RemoteVisibilityDelayedByBatchInterval) {
+  LazyBatchConfig lc;
+  lc.batch_interval = sim::milliseconds(20);
+  isc::Federation fed(lazy_system(2, lc));
+  auto& sim = fed.simulator();
+
+  fed.system(0).app(0).write(X, 3);
+  // Intra delay defaults to 1ms; before 21ms the remote replica is stale.
+  Value at_10 = -1, at_30 = -1;
+  sim.at(sim::Time{} + sim::milliseconds(10), [&] {
+    fed.system(0).app(1).read(X, [&](Value v) { at_10 = v; });
+  });
+  sim.at(sim::Time{} + sim::milliseconds(30), [&] {
+    fed.system(0).app(1).read(X, [&](Value v) { at_30 = v; });
+  });
+  fed.run();
+  EXPECT_EQ(at_10, kInitValue);
+  EXPECT_EQ(at_30, 3);
+}
+
+TEST(LazyBatch, DoesNotClaimCausalUpdating) {
+  isc::Federation fed(lazy_system(2, LazyBatchConfig{}));
+  EXPECT_FALSE(fed.system(0).mcs(0).satisfies_causal_updating());
+  EXPECT_STREQ(fed.system(0).mcs(0).protocol_name(), "lazy-batch");
+}
+
+TEST(LazyBatch, ScramblesBatchesWithoutObservers) {
+  // Two causally ordered writes to different variables arrive in one batch;
+  // with kReverseVars the replica applies them in inverted order. The
+  // scrambled_batches counter proves Causal Updating was violated.
+  LazyBatchConfig lc;
+  lc.batch_interval = sim::milliseconds(20);
+  lc.order = BatchOrder::kReverseVars;
+  isc::Federation fed(lazy_system(3, lc));
+  auto& sim = fed.simulator();
+
+  // Program order makes the causal chain: w(x)1 ⇝ w(y)2 at the same process.
+  fed.system(0).app(0).write(X, 1);
+  sim.at(sim::Time{} + sim::milliseconds(5), [&] {
+    fed.system(0).app(0).write(Y, 2);
+  });
+  fed.run();
+
+  auto& p2 = dynamic_cast<LazyBatchProcess&>(fed.system(0).mcs(2));
+  EXPECT_GE(p2.scrambled_batches(), 1u);
+  EXPECT_EQ(p2.replica_value(X), 1);
+  EXPECT_EQ(p2.replica_value(Y), 2);
+
+  // The execution is nevertheless causal: the scrambled intermediate state
+  // was never observable.
+  auto res = chk::CausalChecker{}.check(fed.federation_history());
+  EXPECT_TRUE(res.ok()) << res.detail;
+}
+
+TEST(LazyBatch, SameVariableUpdatesKeepOrder) {
+  // Convergence requires per-variable order even when scrambling.
+  LazyBatchConfig lc;
+  lc.batch_interval = sim::milliseconds(30);
+  lc.order = BatchOrder::kReverseVars;
+  isc::Federation fed(lazy_system(3, lc));
+  auto& sim = fed.simulator();
+
+  fed.system(0).app(0).write(X, 1);
+  sim.at(sim::Time{} + sim::milliseconds(5), [&] {
+    fed.system(0).app(0).write(X, 2);  // w(x)1 ⇝ w(x)2 (program order)
+  });
+  fed.run();
+  auto& p2 = dynamic_cast<LazyBatchProcess&>(fed.system(0).mcs(2));
+  EXPECT_EQ(p2.replica_value(X), 2);  // final value is the causally last
+}
+
+// Property: a lazy-batch system with scrambling is still causal for every
+// seed and order mode (the scramble is unobservable inside one system).
+struct LazyParam {
+  std::uint64_t seed;
+  BatchOrder order;
+};
+
+class LazyRandom : public ::testing::TestWithParam<LazyParam> {};
+
+TEST_P(LazyRandom, RandomWorkloadIsCausal) {
+  LazyBatchConfig lc;
+  lc.batch_interval = sim::milliseconds(8);
+  lc.order = GetParam().order;
+  isc::FederationConfig cfg = lazy_system(4, lc, GetParam().seed);
+  cfg.systems[0].intra_delay = [] {
+    return std::make_unique<net::UniformDelay>(sim::microseconds(100),
+                                               sim::milliseconds(10));
+  };
+  isc::Federation fed(std::move(cfg));
+  wl::UniformConfig wc;
+  wc.ops_per_process = 35;
+  wc.num_vars = 5;
+  wc.seed = GetParam().seed * 13 + 5;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+  for (const auto& r : runners) ASSERT_TRUE(r->done());
+
+  auto res = chk::CausalChecker{}.check(fed.federation_history());
+  EXPECT_TRUE(res.ok()) << chk::to_string(res.pattern) << ": " << res.detail;
+}
+
+std::vector<LazyParam> lazy_params() {
+  std::vector<LazyParam> out;
+  for (std::uint64_t seed : {1, 2, 3, 4, 5, 6}) {
+    for (BatchOrder order : {BatchOrder::kCausal, BatchOrder::kReverseVars,
+                             BatchOrder::kShuffleVars}) {
+      out.push_back({seed, order});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndOrders, LazyRandom,
+                         ::testing::ValuesIn(lazy_params()));
+
+TEST(LazyBatch, ConvergenceUnderScrambling) {
+  // Causal memory guarantees convergence only for causally ordered writes;
+  // give each process a private variable (all its writes are program-
+  // ordered) and check that every replica ends with the last value.
+  LazyBatchConfig lc;
+  lc.batch_interval = sim::milliseconds(6);
+  lc.order = BatchOrder::kShuffleVars;
+  isc::FederationConfig cfg = lazy_system(4, lc, 17);
+  isc::Federation fed(std::move(cfg));
+
+  std::vector<std::unique_ptr<wl::ScriptRunner>> runners;
+  for (std::uint16_t p = 0; p < 4; ++p) {
+    std::vector<wl::Step> script;
+    for (int i = 0; i < 25; ++i) {
+      script.push_back(wl::write_step(VarId{p}, 100 * (p + 1) + i));
+    }
+    runners.push_back(std::make_unique<wl::ScriptRunner>(
+        fed.simulator(), fed.system(0).app(p), std::move(script),
+        sim::milliseconds(0), sim::milliseconds(4), 900 + p));
+    runners.back()->start();
+  }
+  fed.run();
+
+  for (std::uint16_t writer = 0; writer < 4; ++writer) {
+    const Value last = 100 * (writer + 1) + 24;
+    for (std::uint16_t p = 0; p < 4; ++p) {
+      auto& pp = dynamic_cast<LazyBatchProcess&>(fed.system(0).mcs(p));
+      EXPECT_EQ(pp.replica_value(VarId{writer}), last)
+          << "replica " << p << ", var " << writer;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cim::proto

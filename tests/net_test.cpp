@@ -1,0 +1,268 @@
+// Unit tests: channels, delay models, availability schedules, counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.h"
+#include "sim/simulator.h"
+
+namespace cim::net {
+namespace {
+
+struct IntMsg final : Message {
+  explicit IntMsg(int v) : value(v) {}
+  int value;
+  const char* type_name() const override { return "test.int"; }
+  std::size_t wire_size() const override { return 10; }
+};
+
+struct Collector final : Receiver {
+  std::vector<int> values;
+  std::vector<sim::Time> times;
+  sim::Simulator* sim = nullptr;
+
+  void on_message(ChannelId, MessagePtr msg) override {
+    values.push_back(static_cast<IntMsg&>(*msg).value);
+    if (sim != nullptr) times.push_back(sim->now());
+  }
+};
+
+ProcId proc(std::uint16_t sys, std::uint16_t idx) {
+  return ProcId{SystemId{sys}, idx};
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  Fabric fabric{sim, 42};
+  Collector rx;
+
+  ChannelId make_channel(DelayModelPtr delay = nullptr,
+                         AvailabilityPtr avail = nullptr,
+                         LinkClass cls = LinkClass::kIntraSystem) {
+    rx.sim = &sim;
+    ChannelConfig cc;
+    cc.src = proc(0, 0);
+    cc.dst = proc(0, 1);
+    cc.receiver = &rx;
+    cc.delay = std::move(delay);
+    cc.availability = std::move(avail);
+    cc.link_class = cls;
+    return fabric.add_channel(std::move(cc));
+  }
+};
+
+TEST_F(FabricTest, DeliversAfterFixedDelay) {
+  auto ch = make_channel(std::make_unique<FixedDelay>(sim::milliseconds(3)));
+  fabric.send(ch, std::make_unique<IntMsg>(1));
+  sim.run();
+  ASSERT_EQ(rx.values.size(), 1u);
+  EXPECT_EQ(rx.times[0], sim::Time{} + sim::milliseconds(3));
+}
+
+TEST_F(FabricTest, FifoUnderFixedDelay) {
+  auto ch = make_channel(std::make_unique<FixedDelay>(sim::milliseconds(1)));
+  for (int i = 0; i < 20; ++i) fabric.send(ch, std::make_unique<IntMsg>(i));
+  sim.run();
+  ASSERT_EQ(rx.values.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rx.values[i], i);
+}
+
+// FIFO must hold even when later messages sample smaller delays.
+class FabricFifoSeeds : public FabricTest,
+                        public ::testing::WithParamInterface<std::uint64_t> {};
+
+TEST_P(FabricFifoSeeds, FifoUnderJitter) {
+  auto ch = make_channel(std::make_unique<UniformDelay>(
+      sim::microseconds(1), sim::milliseconds(50)));
+  Rng pace(GetParam());
+  int sent = 0;
+  std::function<void()> send_some = [&] {
+    for (int k = 0; k < 3; ++k) fabric.send(ch, std::make_unique<IntMsg>(sent++));
+    if (sent < 60) {
+      sim.after(sim::Duration{static_cast<std::int64_t>(
+                    pace.uniform(0, 2'000'000))},
+                send_some);
+    }
+  };
+  send_some();
+  sim.run();
+  ASSERT_EQ(rx.values.size(), 60u);
+  for (int i = 0; i < 60; ++i) EXPECT_EQ(rx.values[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricFifoSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+TEST_F(FabricTest, CountsMessagesAndBytes) {
+  auto ch = make_channel();
+  fabric.send(ch, std::make_unique<IntMsg>(1));
+  fabric.send(ch, std::make_unique<IntMsg>(2));
+  sim.run();
+  EXPECT_EQ(fabric.channel_stats(ch).messages, 2u);
+  EXPECT_EQ(fabric.channel_stats(ch).bytes, 20u);
+  EXPECT_EQ(fabric.total_messages(), 2u);
+}
+
+TEST_F(FabricTest, ClassStatsSeparateIntraAndInter) {
+  auto intra = make_channel(nullptr, nullptr, LinkClass::kIntraSystem);
+  Collector rx2;
+  ChannelConfig cc;
+  cc.src = proc(0, 2);
+  cc.dst = proc(1, 0);
+  cc.receiver = &rx2;
+  cc.link_class = LinkClass::kInterSystem;
+  auto inter = fabric.add_channel(std::move(cc));
+
+  fabric.send(intra, std::make_unique<IntMsg>(1));
+  fabric.send(inter, std::make_unique<IntMsg>(2));
+  fabric.send(inter, std::make_unique<IntMsg>(3));
+  sim.run();
+  EXPECT_EQ(fabric.class_stats(LinkClass::kIntraSystem).messages, 1u);
+  EXPECT_EQ(fabric.class_stats(LinkClass::kInterSystem).messages, 2u);
+}
+
+TEST_F(FabricTest, CrossSystemStatsCountBothDirections) {
+  Collector rx2;
+  ChannelConfig ab;
+  ab.src = proc(0, 0);
+  ab.dst = proc(1, 0);
+  ab.receiver = &rx2;
+  auto ch_ab = fabric.add_channel(std::move(ab));
+  ChannelConfig ba;
+  ba.src = proc(1, 0);
+  ba.dst = proc(0, 0);
+  ba.receiver = &rx2;
+  auto ch_ba = fabric.add_channel(std::move(ba));
+
+  fabric.send(ch_ab, std::make_unique<IntMsg>(1));
+  fabric.send(ch_ba, std::make_unique<IntMsg>(2));
+  sim.run();
+  const auto cross = fabric.cross_system_stats(SystemId{0}, SystemId{1});
+  EXPECT_EQ(cross.messages, 2u);
+}
+
+TEST_F(FabricTest, ResetStatsClearsCounters) {
+  auto ch = make_channel();
+  fabric.send(ch, std::make_unique<IntMsg>(1));
+  sim.run();
+  fabric.reset_stats();
+  EXPECT_EQ(fabric.total_messages(), 0u);
+}
+
+TEST_F(FabricTest, DownLinkQueuesUntilNextUpWindow) {
+  // Up during [0, 1ms), down until 10ms, up afterwards.
+  std::vector<Windows::Window> windows{
+      {sim::Time{0}, sim::Time{} + sim::milliseconds(1)}};
+  auto ch = make_channel(
+      std::make_unique<FixedDelay>(sim::microseconds(100)),
+      std::make_unique<Windows>(windows, sim::Time{} + sim::milliseconds(10)));
+
+  // Sent while up: delivered at 0.1ms.
+  fabric.send(ch, std::make_unique<IntMsg>(1));
+  // Sent at 5ms (down): transmission starts at 10ms, delivered 10.1ms.
+  sim.at(sim::Time{} + sim::milliseconds(5),
+         [&] { fabric.send(ch, std::make_unique<IntMsg>(2)); });
+  sim.run();
+  ASSERT_EQ(rx.values.size(), 2u);
+  EXPECT_EQ(rx.times[0], sim::Time{} + sim::microseconds(100));
+  EXPECT_EQ(rx.times[1],
+            sim::Time{} + sim::milliseconds(10) + sim::microseconds(100));
+}
+
+TEST_F(FabricTest, DownLinkPreservesFifoAcrossOutage) {
+  std::vector<Windows::Window> windows{
+      {sim::Time{0}, sim::Time{} + sim::milliseconds(1)}};
+  auto ch = make_channel(
+      std::make_unique<UniformDelay>(sim::microseconds(10),
+                                     sim::milliseconds(5)),
+      std::make_unique<Windows>(windows, sim::Time{} + sim::milliseconds(10)));
+  for (int i = 0; i < 10; ++i) {
+    sim.at(sim::Time{} + sim::milliseconds(i),
+           [&, i] { fabric.send(ch, std::make_unique<IntMsg>(i)); });
+  }
+  sim.run();
+  ASSERT_EQ(rx.values.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rx.values[i], i);
+}
+
+TEST(Delay, FixedAlwaysSame) {
+  Rng rng(1);
+  FixedDelay d(sim::milliseconds(2));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), sim::milliseconds(2));
+}
+
+TEST(Delay, UniformWithinBounds) {
+  Rng rng(1);
+  UniformDelay d(sim::microseconds(10), sim::microseconds(50));
+  for (int i = 0; i < 1000; ++i) {
+    auto s = d.sample(rng);
+    EXPECT_GE(s, sim::microseconds(10));
+    EXPECT_LE(s, sim::microseconds(50));
+  }
+}
+
+TEST(Delay, SpikeMixesBaseAndSpike) {
+  Rng rng(1);
+  SpikeDelay d(sim::microseconds(10), sim::milliseconds(5), 0.5);
+  int spikes = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto s = d.sample(rng);
+    if (s > sim::microseconds(10)) ++spikes;
+  }
+  EXPECT_GT(spikes, 300);
+  EXPECT_LT(spikes, 700);
+}
+
+TEST(Availability, AlwaysUpIsUp) {
+  AlwaysUp a;
+  EXPECT_TRUE(a.is_up(sim::Time{123}));
+  EXPECT_EQ(a.next_up(sim::Time{123}), sim::Time{123});
+}
+
+TEST(Availability, PeriodicDutyPhases) {
+  PeriodicDuty duty(sim::milliseconds(10), sim::milliseconds(3));
+  EXPECT_TRUE(duty.is_up(sim::Time{0}));
+  EXPECT_TRUE(duty.is_up(sim::Time{} + sim::milliseconds(2)));
+  EXPECT_FALSE(duty.is_up(sim::Time{} + sim::milliseconds(3)));
+  EXPECT_FALSE(duty.is_up(sim::Time{} + sim::milliseconds(9)));
+  EXPECT_TRUE(duty.is_up(sim::Time{} + sim::milliseconds(10)));
+  EXPECT_EQ(duty.next_up(sim::Time{} + sim::milliseconds(4)),
+            sim::Time{} + sim::milliseconds(10));
+}
+
+TEST(Availability, PeriodicDutyZeroUpNeverComesUp) {
+  PeriodicDuty duty(sim::milliseconds(10), sim::milliseconds(0));
+  EXPECT_FALSE(duty.is_up(sim::Time{5}));
+  EXPECT_EQ(duty.next_up(sim::Time{5}), sim::kTimeMax);
+}
+
+TEST(Availability, PeriodicDutyOffsetShiftsWindow) {
+  PeriodicDuty duty(sim::milliseconds(10), sim::milliseconds(3),
+                    sim::milliseconds(5));
+  EXPECT_FALSE(duty.is_up(sim::Time{0}));
+  EXPECT_TRUE(duty.is_up(sim::Time{} + sim::milliseconds(5)));
+  EXPECT_TRUE(duty.is_up(sim::Time{} + sim::milliseconds(7)));
+  EXPECT_FALSE(duty.is_up(sim::Time{} + sim::milliseconds(8)));
+}
+
+TEST(Availability, WindowsScheduleAndFinalUp) {
+  std::vector<Windows::Window> w{
+      {sim::Time{10}, sim::Time{20}},
+      {sim::Time{50}, sim::Time{60}},
+  };
+  Windows a(w, sim::Time{100});
+  EXPECT_FALSE(a.is_up(sim::Time{5}));
+  EXPECT_TRUE(a.is_up(sim::Time{15}));
+  EXPECT_FALSE(a.is_up(sim::Time{20}));  // end is exclusive
+  EXPECT_TRUE(a.is_up(sim::Time{55}));
+  EXPECT_FALSE(a.is_up(sim::Time{70}));
+  EXPECT_TRUE(a.is_up(sim::Time{100}));
+  EXPECT_EQ(a.next_up(sim::Time{5}), sim::Time{10});
+  EXPECT_EQ(a.next_up(sim::Time{25}), sim::Time{50});
+  EXPECT_EQ(a.next_up(sim::Time{70}), sim::Time{100});
+}
+
+}  // namespace
+}  // namespace cim::net

@@ -1,0 +1,130 @@
+// Unit tests: the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace cim::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), kTimeZero);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(Time{30}, [&] { order.push_back(3); });
+  sim.at(Time{10}, [&] { order.push_back(1); });
+  sim.at(Time{20}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time{30});
+}
+
+TEST(Simulator, SameTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(Time{5}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, AfterIsRelativeToNow) {
+  Simulator sim;
+  Time fired{};
+  sim.after(Duration{7}, [&] {
+    fired = sim.now();
+    sim.after(Duration{5}, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, Time{12});
+}
+
+TEST(Simulator, PostRunsAtCurrentInstantAfterPending) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(Time{5}, [&] {
+    order.push_back(1);
+    sim.post([&] { order.push_back(3); });
+  });
+  sim.at(Time{5}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.at(Time{10}, [&] {
+    EXPECT_THROW(sim.at(Time{5}, [] {}), InvariantViolation);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(Time{10}, [&] { ++fired; });
+  sim.at(Time{20}, [&] { ++fired; });
+  sim.at(Time{30}, [&] { ++fired; });
+  sim.run_until(Time{20});
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeWhenQueueDrains) {
+  Simulator sim;
+  sim.at(Time{5}, [] {});
+  sim.run_until(Time{100});
+  EXPECT_EQ(sim.now(), Time{100});
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(Time{1}, [&] { ++fired; });
+  sim.at(Time{2}, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsFiredCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.at(Time{i}, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 5u);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.after(Duration{1}, recurse);
+  };
+  sim.after(Duration{1}, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), Time{100});
+}
+
+TEST(SimTime, DurationArithmetic) {
+  EXPECT_EQ(milliseconds(2) + microseconds(500), nanoseconds(2'500'000));
+  EXPECT_EQ(seconds(1) - milliseconds(1), nanoseconds(999'000'000));
+  EXPECT_EQ(milliseconds(3) * 4, milliseconds(12));
+  EXPECT_EQ(Time{100} + Duration{5}, Time{105});
+  EXPECT_EQ(Time{100} - Time{40}, Duration{60});
+}
+
+}  // namespace
+}  // namespace cim::sim

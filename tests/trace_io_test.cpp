@@ -1,0 +1,115 @@
+// Unit tests: the trace serialization round-trip and parser diagnostics.
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.h"
+#include "checker/trace_io.h"
+#include "helpers.h"
+
+namespace cim::chk {
+namespace {
+
+using test::X;
+
+TEST(TraceIo, RoundTripPreservesOps) {
+  auto h = test::H{}
+               .wr(0, X, 1)
+               .rd(1, X, 1)
+               .wr(1, VarId{1}, 2)
+               .rd(0, VarId{1}, 2)
+               .history();
+  auto parsed = parse_trace(to_trace(h));
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
+  ASSERT_EQ(parsed.history->size(), h.size());
+  // Per-process program order survives.
+  for (ProcId p : h.processes()) {
+    const auto& a = h.process_ops(p);
+    const auto& b = parsed.history->process_ops(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(h.ops()[a[i]].kind, parsed.history->ops()[b[i]].kind);
+      EXPECT_EQ(h.ops()[a[i]].var, parsed.history->ops()[b[i]].var);
+      EXPECT_EQ(h.ops()[a[i]].value, parsed.history->ops()[b[i]].value);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesCheckerVerdict) {
+  // A violating history must still violate after a round trip.
+  auto bad = test::H{}
+                 .wr(0, X, 1)
+                 .wr(0, X, 2)
+                 .rd(1, X, 2)
+                 .rd(1, X, 1)
+                 .history();
+  auto parsed = parse_trace(to_trace(bad));
+  ASSERT_TRUE(parsed.history.has_value());
+  EXPECT_EQ(CausalChecker{}.check(*parsed.history).pattern,
+            BadPattern::kWriteCORead);
+}
+
+TEST(TraceIo, ParsesMinimalFormatWithoutTimes) {
+  auto parsed = parse_trace("w 0 0 0 1\nr 1 0 0 1\n");
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.history->size(), 2u);
+  EXPECT_EQ(parsed.history->ops()[0].kind, OpKind::kWrite);
+  EXPECT_EQ(parsed.history->ops()[1].proc.system, SystemId{1});
+}
+
+TEST(TraceIo, ParsesCommentsAndBlankLines) {
+  auto parsed = parse_trace("# header\n\nw 0 0 0 1  # trailing comment\n\n");
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.history->size(), 1u);
+}
+
+TEST(TraceIo, ParsesIspFlag) {
+  auto parsed = parse_trace("w 0 2 0 1 5 9 isp\n");
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
+  EXPECT_TRUE(parsed.history->ops()[0].is_isp);
+  EXPECT_EQ(parsed.history->ops()[0].invoked, sim::Time{5});
+  EXPECT_EQ(parsed.history->ops()[0].responded, sim::Time{9});
+}
+
+TEST(TraceIo, RejectsUnknownKind) {
+  auto parsed = parse_trace("x 0 0 0 1\n");
+  EXPECT_FALSE(parsed.history.has_value());
+  EXPECT_NE(parsed.error.find("line 1"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsShortLine) {
+  auto parsed = parse_trace("w 0 0\n");
+  EXPECT_FALSE(parsed.history.has_value());
+}
+
+TEST(TraceIo, RejectsDanglingInvokedTime) {
+  auto parsed = parse_trace("w 0 0 0 1 5\n");
+  EXPECT_FALSE(parsed.history.has_value());
+}
+
+TEST(TraceIo, RejectsUnknownTrailer) {
+  auto parsed = parse_trace("w 0 0 0 1 5 9 bogus\n");
+  EXPECT_FALSE(parsed.history.has_value());
+}
+
+TEST(TraceIo, RejectsOutOfRangeIds) {
+  auto parsed = parse_trace("w 70000 0 0 1\n");
+  EXPECT_FALSE(parsed.history.has_value());
+}
+
+TEST(TraceIo, RoundTripOfRealExecution) {
+  isc::Federation fed(test::two_systems(2, proto::anbkh_protocol(),
+                                        proto::anbkh_protocol(), 8));
+  wl::UniformConfig wc;
+  wc.ops_per_process = 15;
+  wc.seed = 21;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+  auto history = fed.federation_history();
+
+  auto parsed = parse_trace(to_trace(history));
+  ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.history->size(), history.size());
+  EXPECT_TRUE(CausalChecker{}.check(*parsed.history).ok());
+}
+
+}  // namespace
+}  // namespace cim::chk
