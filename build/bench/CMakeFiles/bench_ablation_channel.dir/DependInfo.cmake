@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_channel.cpp" "bench/CMakeFiles/bench_ablation_channel.dir/bench_ablation_channel.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_channel.dir/bench_ablation_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/cim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/cim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/cim_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/cim_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpass/CMakeFiles/cim_msgpass.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preread.dir/bench_ablation_preread.cpp.o"
+  "CMakeFiles/bench_ablation_preread.dir/bench_ablation_preread.cpp.o.d"
+  "bench_ablation_preread"
+  "bench_ablation_preread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

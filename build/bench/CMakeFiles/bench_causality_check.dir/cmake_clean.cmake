@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_causality_check.dir/bench_causality_check.cpp.o"
+  "CMakeFiles/bench_causality_check.dir/bench_causality_check.cpp.o.d"
+  "bench_causality_check"
+  "bench_causality_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_causality_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

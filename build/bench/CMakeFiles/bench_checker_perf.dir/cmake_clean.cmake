@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checker_perf.dir/bench_checker_perf.cpp.o"
+  "CMakeFiles/bench_checker_perf.dir/bench_checker_perf.cpp.o.d"
+  "bench_checker_perf"
+  "bench_checker_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crosslink.dir/bench_crosslink.cpp.o"
+  "CMakeFiles/bench_crosslink.dir/bench_crosslink.cpp.o.d"
+  "bench_crosslink"
+  "bench_crosslink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crosslink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

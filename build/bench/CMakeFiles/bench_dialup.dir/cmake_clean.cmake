@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dialup.dir/bench_dialup.cpp.o"
+  "CMakeFiles/bench_dialup.dir/bench_dialup.cpp.o.d"
+  "bench_dialup"
+  "bench_dialup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dialup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_scale.dir/bench_tree_scale.cpp.o"
+  "CMakeFiles/bench_tree_scale.dir/bench_tree_scale.cpp.o.d"
+  "bench_tree_scale"
+  "bench_tree_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_visibility_distribution.dir/bench_visibility_distribution.cpp.o"
+  "CMakeFiles/bench_visibility_distribution.dir/bench_visibility_distribution.cpp.o.d"
+  "bench_visibility_distribution"
+  "bench_visibility_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_visibility_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_report_card.dir/consistency_report_card.cpp.o"
+  "CMakeFiles/consistency_report_card.dir/consistency_report_card.cpp.o.d"
+  "consistency_report_card"
+  "consistency_report_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_report_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

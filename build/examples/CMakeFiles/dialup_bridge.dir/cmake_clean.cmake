@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialup_bridge.dir/dialup_bridge.cpp.o"
+  "CMakeFiles/dialup_bridge.dir/dialup_bridge.cpp.o.d"
+  "dialup_bridge"
+  "dialup_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialup_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_kv.dir/threaded_kv.cpp.o"
+  "CMakeFiles/threaded_kv.dir/threaded_kv.cpp.o.d"
+  "threaded_kv"
+  "threaded_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_checker.dir/trace_checker.cpp.o"
+  "CMakeFiles/trace_checker.dir/trace_checker.cpp.o.d"
+  "trace_checker"
+  "trace_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

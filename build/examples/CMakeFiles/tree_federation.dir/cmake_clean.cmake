@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_federation.dir/tree_federation.cpp.o"
+  "CMakeFiles/tree_federation.dir/tree_federation.cpp.o.d"
+  "tree_federation"
+  "tree_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_lans.dir/two_lans.cpp.o"
+  "CMakeFiles/two_lans.dir/two_lans.cpp.o.d"
+  "two_lans"
+  "two_lans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_lans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/causal_checker.cpp" "src/checker/CMakeFiles/cim_checker.dir/causal_checker.cpp.o" "gcc" "src/checker/CMakeFiles/cim_checker.dir/causal_checker.cpp.o.d"
+  "/root/repo/src/checker/history.cpp" "src/checker/CMakeFiles/cim_checker.dir/history.cpp.o" "gcc" "src/checker/CMakeFiles/cim_checker.dir/history.cpp.o.d"
+  "/root/repo/src/checker/relation.cpp" "src/checker/CMakeFiles/cim_checker.dir/relation.cpp.o" "gcc" "src/checker/CMakeFiles/cim_checker.dir/relation.cpp.o.d"
+  "/root/repo/src/checker/search_checker.cpp" "src/checker/CMakeFiles/cim_checker.dir/search_checker.cpp.o" "gcc" "src/checker/CMakeFiles/cim_checker.dir/search_checker.cpp.o.d"
+  "/root/repo/src/checker/session_checker.cpp" "src/checker/CMakeFiles/cim_checker.dir/session_checker.cpp.o" "gcc" "src/checker/CMakeFiles/cim_checker.dir/session_checker.cpp.o.d"
+  "/root/repo/src/checker/trace_io.cpp" "src/checker/CMakeFiles/cim_checker.dir/trace_io.cpp.o" "gcc" "src/checker/CMakeFiles/cim_checker.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_checker.dir/causal_checker.cpp.o"
+  "CMakeFiles/cim_checker.dir/causal_checker.cpp.o.d"
+  "CMakeFiles/cim_checker.dir/history.cpp.o"
+  "CMakeFiles/cim_checker.dir/history.cpp.o.d"
+  "CMakeFiles/cim_checker.dir/relation.cpp.o"
+  "CMakeFiles/cim_checker.dir/relation.cpp.o.d"
+  "CMakeFiles/cim_checker.dir/search_checker.cpp.o"
+  "CMakeFiles/cim_checker.dir/search_checker.cpp.o.d"
+  "CMakeFiles/cim_checker.dir/session_checker.cpp.o"
+  "CMakeFiles/cim_checker.dir/session_checker.cpp.o.d"
+  "CMakeFiles/cim_checker.dir/trace_io.cpp.o"
+  "CMakeFiles/cim_checker.dir/trace_io.cpp.o.d"
+  "libcim_checker.a"
+  "libcim_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

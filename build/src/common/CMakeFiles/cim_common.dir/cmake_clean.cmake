@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_common.dir/rng.cpp.o"
+  "CMakeFiles/cim_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cim_common.dir/vector_clock.cpp.o"
+  "CMakeFiles/cim_common.dir/vector_clock.cpp.o.d"
+  "libcim_common.a"
+  "libcim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

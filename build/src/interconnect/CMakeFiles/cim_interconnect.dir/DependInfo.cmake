@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/federation.cpp" "src/interconnect/CMakeFiles/cim_interconnect.dir/federation.cpp.o" "gcc" "src/interconnect/CMakeFiles/cim_interconnect.dir/federation.cpp.o.d"
+  "/root/repo/src/interconnect/interconnector.cpp" "src/interconnect/CMakeFiles/cim_interconnect.dir/interconnector.cpp.o" "gcc" "src/interconnect/CMakeFiles/cim_interconnect.dir/interconnector.cpp.o.d"
+  "/root/repo/src/interconnect/is_process.cpp" "src/interconnect/CMakeFiles/cim_interconnect.dir/is_process.cpp.o" "gcc" "src/interconnect/CMakeFiles/cim_interconnect.dir/is_process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcs/CMakeFiles/cim_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/cim_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

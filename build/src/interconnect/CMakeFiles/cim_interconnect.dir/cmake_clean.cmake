@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_interconnect.dir/federation.cpp.o"
+  "CMakeFiles/cim_interconnect.dir/federation.cpp.o.d"
+  "CMakeFiles/cim_interconnect.dir/interconnector.cpp.o"
+  "CMakeFiles/cim_interconnect.dir/interconnector.cpp.o.d"
+  "CMakeFiles/cim_interconnect.dir/is_process.cpp.o"
+  "CMakeFiles/cim_interconnect.dir/is_process.cpp.o.d"
+  "libcim_interconnect.a"
+  "libcim_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

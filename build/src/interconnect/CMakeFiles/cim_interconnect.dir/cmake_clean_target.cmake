@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcim_interconnect.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_mcs.dir/app_process.cpp.o"
+  "CMakeFiles/cim_mcs.dir/app_process.cpp.o.d"
+  "CMakeFiles/cim_mcs.dir/mcs_process.cpp.o"
+  "CMakeFiles/cim_mcs.dir/mcs_process.cpp.o.d"
+  "CMakeFiles/cim_mcs.dir/system.cpp.o"
+  "CMakeFiles/cim_mcs.dir/system.cpp.o.d"
+  "libcim_mcs.a"
+  "libcim_mcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_mcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_msgpass.dir/cbcast.cpp.o"
+  "CMakeFiles/cim_msgpass.dir/cbcast.cpp.o.d"
+  "libcim_msgpass.a"
+  "libcim_msgpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_msgpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cim_msgpass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_net.dir/fabric.cpp.o"
+  "CMakeFiles/cim_net.dir/fabric.cpp.o.d"
+  "libcim_net.a"
+  "libcim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/anbkh.cpp" "src/protocols/CMakeFiles/cim_proto.dir/anbkh.cpp.o" "gcc" "src/protocols/CMakeFiles/cim_proto.dir/anbkh.cpp.o.d"
+  "/root/repo/src/protocols/aw_seq.cpp" "src/protocols/CMakeFiles/cim_proto.dir/aw_seq.cpp.o" "gcc" "src/protocols/CMakeFiles/cim_proto.dir/aw_seq.cpp.o.d"
+  "/root/repo/src/protocols/cbcast_dsm.cpp" "src/protocols/CMakeFiles/cim_proto.dir/cbcast_dsm.cpp.o" "gcc" "src/protocols/CMakeFiles/cim_proto.dir/cbcast_dsm.cpp.o.d"
+  "/root/repo/src/protocols/lazy_batch.cpp" "src/protocols/CMakeFiles/cim_proto.dir/lazy_batch.cpp.o" "gcc" "src/protocols/CMakeFiles/cim_proto.dir/lazy_batch.cpp.o.d"
+  "/root/repo/src/protocols/partial_rep.cpp" "src/protocols/CMakeFiles/cim_proto.dir/partial_rep.cpp.o" "gcc" "src/protocols/CMakeFiles/cim_proto.dir/partial_rep.cpp.o.d"
+  "/root/repo/src/protocols/tob_causal.cpp" "src/protocols/CMakeFiles/cim_proto.dir/tob_causal.cpp.o" "gcc" "src/protocols/CMakeFiles/cim_proto.dir/tob_causal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcs/CMakeFiles/cim_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpass/CMakeFiles/cim_msgpass.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/cim_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_proto.dir/anbkh.cpp.o"
+  "CMakeFiles/cim_proto.dir/anbkh.cpp.o.d"
+  "CMakeFiles/cim_proto.dir/aw_seq.cpp.o"
+  "CMakeFiles/cim_proto.dir/aw_seq.cpp.o.d"
+  "CMakeFiles/cim_proto.dir/cbcast_dsm.cpp.o"
+  "CMakeFiles/cim_proto.dir/cbcast_dsm.cpp.o.d"
+  "CMakeFiles/cim_proto.dir/lazy_batch.cpp.o"
+  "CMakeFiles/cim_proto.dir/lazy_batch.cpp.o.d"
+  "CMakeFiles/cim_proto.dir/partial_rep.cpp.o"
+  "CMakeFiles/cim_proto.dir/partial_rep.cpp.o.d"
+  "CMakeFiles/cim_proto.dir/tob_causal.cpp.o"
+  "CMakeFiles/cim_proto.dir/tob_causal.cpp.o.d"
+  "libcim_proto.a"
+  "libcim_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/cim_runtime.dir/runtime.cpp.o.d"
+  "libcim_runtime.a"
+  "libcim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cim_sim.dir/simulator.cpp.o.d"
+  "libcim_sim.a"
+  "libcim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

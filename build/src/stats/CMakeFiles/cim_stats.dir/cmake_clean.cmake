@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_stats.dir/response.cpp.o"
+  "CMakeFiles/cim_stats.dir/response.cpp.o.d"
+  "CMakeFiles/cim_stats.dir/summary.cpp.o"
+  "CMakeFiles/cim_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/cim_stats.dir/table.cpp.o"
+  "CMakeFiles/cim_stats.dir/table.cpp.o.d"
+  "CMakeFiles/cim_stats.dir/visibility.cpp.o"
+  "CMakeFiles/cim_stats.dir/visibility.cpp.o.d"
+  "libcim_stats.a"
+  "libcim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/cim_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/cim_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/script.cpp" "src/workload/CMakeFiles/cim_workload.dir/script.cpp.o" "gcc" "src/workload/CMakeFiles/cim_workload.dir/script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcs/CMakeFiles/cim_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/cim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/cim_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cim_workload.dir/generator.cpp.o"
+  "CMakeFiles/cim_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/cim_workload.dir/script.cpp.o"
+  "CMakeFiles/cim_workload.dir/script.cpp.o.d"
+  "libcim_workload.a"
+  "libcim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

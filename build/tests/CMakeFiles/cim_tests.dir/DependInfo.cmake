@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/anbkh_test.cpp" "tests/CMakeFiles/cim_tests.dir/anbkh_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/anbkh_test.cpp.o.d"
+  "/root/repo/tests/aw_seq_test.cpp" "tests/CMakeFiles/cim_tests.dir/aw_seq_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/aw_seq_test.cpp.o.d"
+  "/root/repo/tests/cbcast_test.cpp" "tests/CMakeFiles/cim_tests.dir/cbcast_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/cbcast_test.cpp.o.d"
+  "/root/repo/tests/ccv_test.cpp" "tests/CMakeFiles/cim_tests.dir/ccv_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/ccv_test.cpp.o.d"
+  "/root/repo/tests/channel_faults_test.cpp" "tests/CMakeFiles/cim_tests.dir/channel_faults_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/channel_faults_test.cpp.o.d"
+  "/root/repo/tests/checker_corner_test.cpp" "tests/CMakeFiles/cim_tests.dir/checker_corner_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/checker_corner_test.cpp.o.d"
+  "/root/repo/tests/checker_test.cpp" "tests/CMakeFiles/cim_tests.dir/checker_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/checker_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/cim_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/counterexample_test.cpp" "tests/CMakeFiles/cim_tests.dir/counterexample_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/counterexample_test.cpp.o.d"
+  "/root/repo/tests/dialup_test.cpp" "tests/CMakeFiles/cim_tests.dir/dialup_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/dialup_test.cpp.o.d"
+  "/root/repo/tests/interconnect_formulas_test.cpp" "tests/CMakeFiles/cim_tests.dir/interconnect_formulas_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/interconnect_formulas_test.cpp.o.d"
+  "/root/repo/tests/interconnect_test.cpp" "tests/CMakeFiles/cim_tests.dir/interconnect_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/interconnect_test.cpp.o.d"
+  "/root/repo/tests/lazy_batch_test.cpp" "tests/CMakeFiles/cim_tests.dir/lazy_batch_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/lazy_batch_test.cpp.o.d"
+  "/root/repo/tests/mcs_test.cpp" "tests/CMakeFiles/cim_tests.dir/mcs_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/mcs_test.cpp.o.d"
+  "/root/repo/tests/misc_api_test.cpp" "tests/CMakeFiles/cim_tests.dir/misc_api_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/misc_api_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/cim_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/partial_rep_test.cpp" "tests/CMakeFiles/cim_tests.dir/partial_rep_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/partial_rep_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/cim_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/session_test.cpp" "tests/CMakeFiles/cim_tests.dir/session_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/session_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/cim_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/soak_test.cpp" "tests/CMakeFiles/cim_tests.dir/soak_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/soak_test.cpp.o.d"
+  "/root/repo/tests/summary_test.cpp" "tests/CMakeFiles/cim_tests.dir/summary_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/summary_test.cpp.o.d"
+  "/root/repo/tests/tob_causal_test.cpp" "tests/CMakeFiles/cim_tests.dir/tob_causal_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/tob_causal_test.cpp.o.d"
+  "/root/repo/tests/trace_io_test.cpp" "tests/CMakeFiles/cim_tests.dir/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/trace_io_test.cpp.o.d"
+  "/root/repo/tests/workload_stats_test.cpp" "tests/CMakeFiles/cim_tests.dir/workload_stats_test.cpp.o" "gcc" "tests/CMakeFiles/cim_tests.dir/workload_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/cim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/cim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/cim_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/cim_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/msgpass/CMakeFiles/cim_msgpass.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
