@@ -10,6 +10,7 @@
 // Interconnected: two systems of n/2 processes joined by one IS link.
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "stats/table.h"
 
@@ -65,11 +66,19 @@ int main() {
                "(Section 6)\n"
             << "paper: global DSM n/2; interconnected systems 1\n\n";
 
+  bench::JsonReport report("crosslink");
   stats::Table table({"n", "paper global (n/2)", "measured global",
                       "paper IS (1)", "measured IS"});
   for (std::uint16_t n : {4, 8, 16, 32, 64}) {
-    table.add_row(n, n / 2.0, global_cross_per_write(n, 5), 1.0,
-                  interconnected_cross_per_write(n, 5));
+    const double global = global_cross_per_write(n, 5);
+    const double interconnected = interconnected_cross_per_write(n, 5);
+    table.add_row(n, n / 2.0, global, 1.0, interconnected);
+    report.row("n" + std::to_string(n))
+        .field("n", n)
+        .field("paper_global_cross_per_write", n / 2.0)
+        .field("measured_global_cross_per_write", global)
+        .field("paper_is_cross_per_write", 1.0)
+        .field("measured_is_cross_per_write", interconnected);
   }
   table.print();
 

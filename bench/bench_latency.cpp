@@ -13,6 +13,7 @@
 // reports.
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "stats/table.h"
 #include "stats/visibility.h"
@@ -57,6 +58,7 @@ int main() {
                "(Section 6)\n"
             << "paper: single system l; star of m>=3 systems 3l + 2d\n\n";
 
+  bench::JsonReport report("latency");
   stats::Table table({"m", "l", "d", "paper", "measured (per-link ISP)",
                       "measured (shared ISP)"});
   struct Cfg {
@@ -74,6 +76,15 @@ int main() {
       table.add_row(m, bench::ms_string(l), bench::ms_string(d),
                     bench::ms_string(expected(m, l, d)),
                     bench::ms_string(per_link), bench::ms_string(shared));
+      report
+          .row("m" + std::to_string(m) + "_l" + std::to_string(c.l_ms) +
+               "ms_d" + std::to_string(c.d_ms) + "ms")
+          .field("m", m)
+          .field_ns("l", l)
+          .field_ns("d", d)
+          .field_ns("paper_worst", expected(m, l, d))
+          .field_ns("measured_per_link", per_link)
+          .field_ns("measured_shared", shared);
     }
   }
   table.print();

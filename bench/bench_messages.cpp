@@ -10,6 +10,7 @@
 // reports measured messages per write against the paper's formulas.
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "stats/table.h"
 
@@ -47,6 +48,7 @@ int main() {
   std::cout << "E1 — messages per write operation (Section 6)\n"
             << "paper: global n-1; m interconnected systems n+m-1\n\n";
 
+  bench::JsonReport report("messages");
   stats::Table table({"n (app procs)", "m (systems)", "paper", "measured",
                       "match"});
   for (std::uint16_t n : {8, 16, 24, 48}) {
@@ -58,6 +60,12 @@ int main() {
       const double measured = measure_messages_per_write(m, n, 42);
       table.add_row(n, m, expected, measured,
                     measured == expected ? "yes" : "NO");
+      report.row("n" + std::to_string(n) + "_m" + std::to_string(m))
+          .field("n", n)
+          .field("m", m)
+          .field("paper_msgs_per_write", expected)
+          .field("measured_msgs_per_write", measured)
+          .field("match", measured == expected);
     }
   }
   table.print();

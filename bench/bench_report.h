@@ -1,0 +1,123 @@
+// Machine-readable bench output (schema `cim.bench.v1`, docs/BENCHMARKS.md).
+//
+// Each bench keeps printing its human table and *additionally* emits a JSON
+// report: one named row per configuration, with numeric fields in base units
+// (durations in virtual-time nanoseconds, counts as integers, ratios as
+// doubles). The report is written to `BENCH_<name>.json` in the working
+// directory when the bench exits.
+//
+// Environment:
+//   CIM_BENCH_JSON=0      disable JSON emission;
+//   CIM_BENCH_JSON=<dir>  write `<dir>/BENCH_<name>.json` instead of ./.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "obs/json.h"
+#include "sim/time.h"
+
+namespace cim::bench {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+class JsonReport {
+ public:
+  /// `name` becomes the file stem: BENCH_<name>.json.
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  class Row {
+   public:
+    Row& field(std::string key, std::string value) {
+      fields_.emplace_back(std::move(key), Val{std::move(value)});
+      return *this;
+    }
+    Row& field(std::string key, const char* value) {
+      return field(std::move(key), std::string(value));
+    }
+    Row& field(std::string key, double value) {
+      fields_.emplace_back(std::move(key), Val{value});
+      return *this;
+    }
+    Row& field(std::string key, std::int64_t value) {
+      fields_.emplace_back(std::move(key), Val{value});
+      return *this;
+    }
+    Row& field(std::string key, std::uint64_t value) {
+      return field(std::move(key), static_cast<std::int64_t>(value));
+    }
+    Row& field(std::string key, int value) {
+      return field(std::move(key), static_cast<std::int64_t>(value));
+    }
+    Row& field(std::string key, bool value) {
+      fields_.emplace_back(std::move(key), Val{value});
+      return *this;
+    }
+    /// Durations are reported as `<key>_ns` integer nanoseconds.
+    Row& field_ns(std::string key, sim::Duration d) {
+      return field(std::move(key) + "_ns", d.ns);
+    }
+
+   private:
+    friend class JsonReport;
+    using Val = std::variant<std::string, double, std::int64_t, bool>;
+    std::vector<std::pair<std::string, Val>> fields_;
+  };
+
+  /// Add a named row; populate it with chained .field() calls.
+  Row& row(std::string name) {
+    rows_.emplace_back();
+    rows_.back().field("row", std::move(name));
+    return rows_.back();
+  }
+
+  /// Flush the report (also runs at destruction; idempotent).
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const char* env = std::getenv("CIM_BENCH_JSON");
+    if (env != nullptr && std::string_view(env) == "0") return;
+    std::string path = "BENCH_" + name_ + ".json";
+    if (env != nullptr && *env != '\0') path = std::string(env) + "/" + path;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return;
+    }
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "cim.bench.v1");
+    w.kv("v", kBenchSchemaVersion);
+    w.kv("bench", name_);
+    w.key("rows");
+    w.begin_array();
+    for (const Row& row : rows_) {
+      w.begin_object();
+      for (const auto& [key, val] : row.fields_) {
+        w.key(key);
+        std::visit([&w](const auto& v) { w.value(v); }, val);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::cout << "\n[json report: " << path << "]\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
+
+}  // namespace cim::bench

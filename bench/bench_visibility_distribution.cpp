@@ -7,6 +7,7 @@
 // worst-case bound computed from the maxima.
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -65,6 +66,7 @@ int main() {
                "delays\nintra in [l/2, l], link in [d/2, d]; paper worst case "
                "3l + 2d (per-link ISPs)\n\n";
 
+  bench::JsonReport report("visibility_distribution");
   const sim::Duration l = sim::milliseconds(2);
   const sim::Duration d = sim::milliseconds(10);
   stats::Table table({"m", "writes", "p50", "p90", "p99", "max",
@@ -76,6 +78,15 @@ int main() {
     table.add_row(m, s.count, bench::ms_string(s.p50), bench::ms_string(s.p90),
                   bench::ms_string(s.p99), bench::ms_string(s.max),
                   bench::ms_string(bound), s.max <= bound ? "yes" : "NO");
+    report.row("m" + std::to_string(m))
+        .field("m", m)
+        .field("samples", static_cast<std::int64_t>(s.count))
+        .field_ns("p50", s.p50)
+        .field_ns("p90", s.p90)
+        .field_ns("p99", s.p99)
+        .field_ns("max", s.max)
+        .field_ns("bound", bound)
+        .field("within_bound", s.max <= bound);
   }
   table.print();
 

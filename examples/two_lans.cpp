@@ -8,10 +8,19 @@
 //
 // This example runs the same workload both ways and prints the traffic that
 // crosses the slow link, plus end-to-end visibility latencies.
+//
+// Observability quickstart (docs/OBSERVABILITY.md):
+//   two_lans --trace trace.jsonl     write the interconnected run's structured
+//                                    trace (JSONL, one event per line);
+//   two_lans --metrics metrics.json  write its metrics snapshot (cim.metrics.v1).
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "checker/causal_checker.h"
 #include "interconnect/federation.h"
+#include "obs/metrics.h"
 #include "protocols/anbkh.h"
 #include "stats/table.h"
 #include "stats/visibility.h"
@@ -79,10 +88,16 @@ Result run_global() {
   return out;
 }
 
+struct ObsOutputs {
+  std::string trace_path;    // --trace FILE: JSONL trace of the run
+  std::string metrics_path;  // --metrics FILE: cim.metrics.v1 snapshot
+};
+
 // One system per LAN, interconnected over the WAN with the IS-protocols:
 // one pair message crosses per write.
-Result run_interconnected() {
+Result run_interconnected(const ObsOutputs& outputs) {
   isc::FederationConfig cfg;
+  cfg.obs.trace.enabled = !outputs.trace_path.empty();
   for (std::uint16_t s = 0; s < 2; ++s) {
     mcs::SystemConfig sys;
     sys.id = SystemId{s};
@@ -121,6 +136,26 @@ Result run_interconnected() {
   }
   out.worst_visibility = vis.worst_visibility(targets).value_or(sim::Duration{});
   out.causal = chk::CausalChecker{}.check(fed.federation_history()).ok();
+
+  if (!outputs.trace_path.empty()) {
+    std::ofstream os(outputs.trace_path);
+    if (!os) {
+      std::cerr << "two_lans: cannot write " << outputs.trace_path << "\n";
+    } else {
+      fed.observability().trace().write_jsonl(os);
+      std::cout << "[trace: " << outputs.trace_path << ", "
+                << fed.observability().trace().size() << " events]\n";
+    }
+  }
+  if (!outputs.metrics_path.empty()) {
+    std::ofstream os(outputs.metrics_path);
+    if (!os) {
+      std::cerr << "two_lans: cannot write " << outputs.metrics_path << "\n";
+    } else {
+      obs::write_json(os, fed.metrics_snapshot());
+      std::cout << "[metrics: " << outputs.metrics_path << "]\n";
+    }
+  }
   return out;
 }
 
@@ -132,13 +167,25 @@ std::string ms(sim::Duration d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsOutputs outputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      outputs.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      outputs.metrics_path = argv[++i];
+    } else {
+      std::cerr << "usage: two_lans [--trace FILE] [--metrics FILE]\n";
+      return 2;
+    }
+  }
+
   std::cout << "Two LANs (" << kProcsPerLan << " processes each) joined by a "
             << "slow point-to-point link\nworkload: 20 ops/process, 50% "
                "writes\n\n";
 
   const Result global = run_global();
-  const Result interconnected = run_interconnected();
+  const Result interconnected = run_interconnected(outputs);
 
   stats::Table table({"architecture", "WAN messages", "WAN bytes",
                       "worst visibility", "causal"});

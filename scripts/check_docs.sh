@@ -1,0 +1,41 @@
+#!/bin/sh
+# Fails if any src/ module is missing from docs/ARCHITECTURE.md, so the
+# architecture document cannot silently fall behind the tree. Wired into
+# ctest as the `docs_check` test (see the top-level CMakeLists.txt); run it
+# from the repository root.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+doc="$root/docs/ARCHITECTURE.md"
+
+if [ ! -f "$doc" ]; then
+  echo "check_docs: missing $doc" >&2
+  exit 1
+fi
+
+status=0
+for dir in "$root"/src/*/; do
+  module="$(basename "$dir")"
+  # A module counts as documented if ARCHITECTURE.md mentions it backticked,
+  # as `module` or inside a path/library name such as `src/module` or
+  # `cim_module`.
+  if ! grep -Eq "\`(src/)?${module}\`|\`cim_${module}\`" "$doc"; then
+    echo "check_docs: src/${module} is not documented in docs/ARCHITECTURE.md" >&2
+    status=1
+  fi
+done
+
+# The documented library table must also stay complete: every cim_* library
+# defined in the build should appear.
+for lib in $(grep -rhoE "add_library\(cim_[a-z_]+" "$root"/src/*/CMakeLists.txt \
+    | sed 's/add_library(//' | sort -u); do
+  if ! grep -q "\`${lib}\`" "$doc"; then
+    echo "check_docs: library ${lib} is not documented in docs/ARCHITECTURE.md" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: OK"
+fi
+exit "$status"

@@ -1,5 +1,6 @@
 #include "interconnect/federation.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -7,18 +8,38 @@
 namespace cim::isc {
 
 Federation::Federation(FederationConfig config)
-    : fabric_(sim_, config.seed) {
+    : obs_(config.obs), fabric_(sim_, config.seed) {
   CIM_CHECK_MSG(!config.systems.empty(), "federation needs at least one system");
+  fabric_.set_observability(&obs_);
   for (mcs::SystemConfig& sc : config.systems) {
     systems_.push_back(std::make_unique<mcs::System>(
-        sim_, fabric_, recorder_, std::move(sc), &mux_));
+        sim_, fabric_, recorder_, std::move(sc), &mux_, &obs_));
   }
   std::vector<mcs::System*> raw;
   raw.reserve(systems_.size());
   for (auto& s : systems_) raw.push_back(s.get());
   interconnector_ = std::make_unique<Interconnector>(
-      fabric_, std::move(raw), std::move(config.links), config.isp_mode);
+      fabric_, std::move(raw), std::move(config.links), config.isp_mode,
+      &obs_);
   interconnector_->build();
+}
+
+obs::MetricsSnapshot Federation::metrics_snapshot() {
+  obs::MetricsRegistry& m = obs_.metrics();
+  m.gauge("sim.now_ns").set(sim_.now().ns);
+  m.gauge("sim.events_fired").set(
+      static_cast<std::int64_t>(sim_.events_fired()));
+  m.gauge("sim.queue_depth").set(static_cast<std::int64_t>(sim_.pending()));
+  m.gauge("sim.queue_depth_peak")
+      .set(static_cast<std::int64_t>(sim_.max_pending()));
+  m.gauge("net.in_flight")
+      .set(static_cast<std::int64_t>(fabric_.total_in_flight()));
+  for (std::size_t c = 0; c < obs::kNumTraceCategories; ++c) {
+    const auto cat = static_cast<obs::TraceCategory>(c);
+    m.gauge(std::string("trace.events.") + obs::to_string(cat))
+        .set(static_cast<std::int64_t>(obs_.trace().category_count(cat)));
+  }
+  return m.snapshot();
 }
 
 chk::History Federation::system_history(std::size_t index) const {

@@ -13,6 +13,7 @@
 #include "mcs/memory_observer.h"
 #include "mcs/system.h"
 #include "net/fabric.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace cim::isc {
@@ -22,6 +23,9 @@ struct FederationConfig {
   std::vector<mcs::SystemConfig> systems;
   std::vector<LinkSpec> links;  // must form a forest (tree per component)
   IspMode isp_mode = IspMode::kSharedPerSystem;
+  /// Observability options (docs/OBSERVABILITY.md). Metrics are always
+  /// collected; set obs.trace.enabled to capture structured trace events.
+  obs::ObsOptions obs;
 };
 
 class Federation {
@@ -34,6 +38,12 @@ class Federation {
   net::Fabric& fabric() { return fabric_; }
   chk::Recorder& recorder() { return recorder_; }
   Interconnector& interconnector() { return *interconnector_; }
+  obs::Observability& observability() { return obs_; }
+
+  /// Pull-based metrics snapshot: refreshes the point-in-time gauges
+  /// (sim.*, net.in_flight, trace.events.*) and returns the registry's
+  /// current state. See docs/OBSERVABILITY.md for the catalog.
+  obs::MetricsSnapshot metrics_snapshot();
 
   std::size_t num_systems() const { return systems_.size(); }
   mcs::System& system(std::size_t index) { return *systems_.at(index); }
@@ -54,6 +64,7 @@ class Federation {
   chk::History system_history(std::size_t index) const;
 
  private:
+  obs::Observability obs_;  // first: outlives everything that instruments
   sim::Simulator sim_;
   net::Fabric fabric_;
   chk::Recorder recorder_;

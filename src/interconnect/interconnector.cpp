@@ -32,9 +32,10 @@ struct UnionFind {
 
 Interconnector::Interconnector(net::Fabric& fabric,
                                std::vector<mcs::System*> systems,
-                               std::vector<LinkSpec> links, IspMode mode)
+                               std::vector<LinkSpec> links, IspMode mode,
+                               obs::Observability* obs)
     : fabric_(fabric), systems_(std::move(systems)), links_(std::move(links)),
-      mode_(mode) {
+      mode_(mode), obs_(obs) {
   for (mcs::System* s : systems_) CIM_CHECK(s != nullptr);
   validate_tree();
 }
@@ -114,7 +115,7 @@ void Interconnector::build() {
   // 3. Create the IS-processes.
   for (const PendingIsp& p : pending) {
     isps_.push_back(std::make_unique<IsProcess>(
-        systems_[p.system]->app(p.slot), fabric_));
+        systems_[p.system]->app(p.slot), fabric_, obs_));
   }
 
   // 4. Inter-system channels (one reliable FIFO channel per direction).

@@ -54,7 +54,8 @@ class Interconnector {
  public:
   Interconnector(net::Fabric& fabric, std::vector<mcs::System*> systems,
                  std::vector<LinkSpec> links,
-                 IspMode mode = IspMode::kSharedPerSystem);
+                 IspMode mode = IspMode::kSharedPerSystem,
+                 obs::Observability* obs = nullptr);
 
   /// Reserve IS slots, finalize all systems, create IS-processes and the
   /// inter-system channels, and activate the IS-protocols.
@@ -81,6 +82,7 @@ class Interconnector {
   std::vector<mcs::System*> systems_;
   std::vector<LinkSpec> links_;
   IspMode mode_;
+  obs::Observability* obs_ = nullptr;
   bool built_ = false;
 
   std::vector<std::unique_ptr<IsProcess>> isps_;

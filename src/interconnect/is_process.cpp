@@ -7,10 +7,20 @@
 
 namespace cim::isc {
 
-IsProcess::IsProcess(mcs::AppProcess& app, net::Fabric& fabric)
+IsProcess::IsProcess(mcs::AppProcess& app, net::Fabric& fabric,
+                     obs::Observability* obs)
     : app_(app), fabric_(fabric) {
   CIM_CHECK_MSG(app.is_isp(),
                 "IsProcess must be attached to an IS-process slot");
+  if (obs != nullptr) {
+    trace_ = &obs->trace();
+    obs::MetricsRegistry& m = obs->metrics();
+    m_pairs_sent_ = &m.counter("isc.pairs_sent");
+    m_pairs_received_ = &m.counter("isc.pairs_received");
+    h_hop_latency_ = &m.histogram("isc.pair_hop_latency");
+    h_propagation_ = &m.histogram("isc.propagation_latency");
+    h_link_backlog_ = &m.value_histogram("isc.link_backlog");
+  }
 }
 
 std::size_t IsProcess::add_link(net::ChannelId out) {
@@ -50,6 +60,8 @@ void IsProcess::pre_update(VarId var, std::function<void()> done) {
   // Task Pre_Propagate_out(x) (Fig. 2): read x, obtaining the previous
   // value s. The value is not used; the read's existence constrains the
   // causal order (Lemma 1).
+  CIM_TRACE(trace_, fabric_.simulator().now(), obs::TraceCategory::kIsc,
+            "pre_read", {{"proc", id()}, {"var", var}});
   app_.read_now(var, [done = std::move(done)](Value) { done(); });
 }
 
@@ -60,25 +72,53 @@ void IsProcess::post_update(VarId var, Value value,
   app_.read_now(var, [this, var, value, done = std::move(done)](Value read) {
     CIM_CHECK_MSG(read == value,
                   "condition (c) violated: post-update read must return v");
+    const sim::Time origin = fabric_.simulator().now();
     for (std::size_t link = 0; link < out_links_.size(); ++link) {
-      send_pair(link, var, read);
+      send_pair(link, var, read, origin);
     }
     done();
   });
 }
 
-void IsProcess::send_pair(std::size_t link, VarId var, Value value) {
+void IsProcess::send_pair(std::size_t link, VarId var, Value value,
+                          sim::Time origin_time) {
+  const sim::Time now = fabric_.simulator().now();
   auto msg = std::make_unique<PairMsg>();
   msg->var = var;
   msg->value = value;
+  msg->sent_at = now;
+  msg->origin_time = origin_time;
   fabric_.send(out_links_[link], std::move(msg));
   ++pairs_sent_;
+  if (m_pairs_sent_ != nullptr) {
+    m_pairs_sent_->inc();
+    h_link_backlog_->observe(
+        static_cast<std::int64_t>(fabric_.channel_backlog(out_links_[link])));
+  }
+  CIM_TRACE(trace_, now, obs::TraceCategory::kIsc, "pair_out",
+            {{"proc", id()},
+             {"var", var},
+             {"val", value},
+             {"link", static_cast<std::uint64_t>(link)}});
 }
 
 void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
   auto* pair = dynamic_cast<PairMsg*>(msg.get());
   CIM_CHECK_MSG(pair != nullptr, "IS-process received a non-pair message");
   ++pairs_received_;
+
+  const sim::Time now = fabric_.simulator().now();
+  if (m_pairs_received_ != nullptr) {
+    m_pairs_received_->inc();
+    h_hop_latency_->observe(now - pair->sent_at);
+    h_propagation_->observe(now - pair->origin_time);
+  }
+  CIM_TRACE(trace_, now, obs::TraceCategory::kIsc, "pair_in",
+            {{"proc", id()},
+             {"var", pair->var},
+             {"val", pair->value},
+             {"hop_ns", now - pair->sent_at},
+             {"prop_ns", now - pair->origin_time}});
 
   std::size_t source_link = SIZE_MAX;
   for (const auto& [chan, link] : in_links_) {
@@ -90,7 +130,9 @@ void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
   // IS-process: its own writes generate no upcalls, so forwarding must be
   // explicit), then apply locally: task Propagate_in(y, u) issues the write.
   for (std::size_t link = 0; link < out_links_.size(); ++link) {
-    if (link != source_link) send_pair(link, pair->var, pair->value);
+    if (link != source_link) {
+      send_pair(link, pair->var, pair->value, pair->origin_time);
+    }
   }
   app_.write(pair->var, pair->value);
 }

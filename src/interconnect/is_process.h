@@ -39,6 +39,7 @@
 #include "mcs/app_process.h"
 #include "mcs/upcall.h"
 #include "net/fabric.h"
+#include "obs/obs.h"
 
 namespace cim::isc {
 
@@ -50,7 +51,8 @@ enum class IsProtocolChoice {
 
 class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
  public:
-  IsProcess(mcs::AppProcess& app, net::Fabric& fabric);
+  IsProcess(mcs::AppProcess& app, net::Fabric& fabric,
+            obs::Observability* obs = nullptr);
   IsProcess(const IsProcess&) = delete;
   IsProcess& operator=(const IsProcess&) = delete;
 
@@ -79,7 +81,8 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   std::uint64_t pairs_received() const { return pairs_received_; }
 
  private:
-  void send_pair(std::size_t link, VarId var, Value value);
+  void send_pair(std::size_t link, VarId var, Value value,
+                 sim::Time origin_time);
 
   mcs::AppProcess& app_;
   net::Fabric& fabric_;
@@ -89,6 +92,14 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   bool activated_ = false;
   std::uint64_t pairs_sent_ = 0;
   std::uint64_t pairs_received_ = 0;
+
+  // Cached instrument cells (null without observability).
+  obs::TraceSink* trace_ = nullptr;
+  obs::Counter* m_pairs_sent_ = nullptr;
+  obs::Counter* m_pairs_received_ = nullptr;
+  obs::DurationHistogram* h_hop_latency_ = nullptr;
+  obs::DurationHistogram* h_propagation_ = nullptr;
+  obs::ValueHistogram* h_link_backlog_ = nullptr;
 };
 
 }  // namespace cim::isc

@@ -7,12 +7,19 @@
 #include "common/ids.h"
 #include "common/value.h"
 #include "net/message.h"
+#include "sim/time.h"
 
 namespace cim::isc {
 
 struct PairMsg final : net::Message {
   VarId var;
   Value value = kInitValue;
+  // Instrumentation only, not wire data (the pair stays the paper's entire
+  // wire format): send time of this hop (isc.pair_hop_latency) and the time
+  // the originating IS-process first propagated the update — preserved across
+  // tree forwarding, feeding isc.propagation_latency.
+  sim::Time sent_at;
+  sim::Time origin_time;
 
   const char* type_name() const override { return "is.pair"; }
   std::size_t wire_size() const override { return 24 + 4 + 8; }

@@ -7,9 +7,19 @@
 namespace cim::mcs {
 
 AppProcess::AppProcess(ProcId id, bool is_isp, McsProcess& mcs,
-                       chk::Recorder& recorder, sim::Simulator& simulator)
+                       chk::Recorder& recorder, sim::Simulator& simulator,
+                       obs::Observability* obs)
     : id_(id), is_isp_(is_isp), mcs_(mcs), recorder_(recorder),
-      sim_(simulator) {}
+      sim_(simulator) {
+  if (obs != nullptr) {
+    trace_ = &obs->trace();
+    obs::MetricsRegistry& m = obs->metrics();
+    m_reads_ = &m.counter("mcs.reads");
+    m_writes_ = &m.counter("mcs.writes");
+    m_isp_reads_ = &m.counter("mcs.isp_reads");
+    h_op_latency_ = &m.histogram("mcs.op_latency");
+  }
+}
 
 void AppProcess::read(VarId var, ReadCallback k) {
   Request req;
@@ -29,6 +39,7 @@ void AppProcess::write(VarId var, Value value, WriteCallback k) {
 }
 
 void AppProcess::read_now(VarId var, ReadCallback k) {
+  if (m_isp_reads_ != nullptr) m_isp_reads_->inc();
   const OpId op = recorder_.begin(id_, is_isp_, chk::OpKind::kRead, var,
                                   kInitValue, sim_.now());
   bool responded = false;
@@ -44,6 +55,7 @@ void AppProcess::read_now(VarId var, ReadCallback k) {
 }
 
 void AppProcess::enqueue(Request req) {
+  req.enqueued_at = sim_.now();
   queue_.push_back(std::move(req));
   pump();
 }
@@ -61,25 +73,54 @@ void AppProcess::pump() {
 
 void AppProcess::issue(Request req) {
   busy_ = true;
+  // Latency is measured from enqueue: a queued call is "blocked" in the
+  // paper's sense, so queueing time is part of the operation.
+  const sim::Time started = req.enqueued_at;
   if (req.kind == chk::OpKind::kRead) {
+    if (m_reads_ != nullptr) m_reads_->inc();
+    CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kMcs, "read_issue",
+              {{"proc", id_}, {"var", req.var}});
     const OpId op = recorder_.begin(id_, is_isp_, chk::OpKind::kRead, req.var,
                                     kInitValue, sim_.now());
     mcs_.handle_read(req.var,
-                     [this, op, k = std::move(req.on_read)](Value v) {
+                     [this, op, started, var = req.var,
+                      k = std::move(req.on_read)](Value v) {
                        recorder_.end_read(op, v, sim_.now());
                        ++completed_;
                        busy_ = false;
+                       if (h_op_latency_ != nullptr) {
+                         h_op_latency_->observe(sim_.now() - started);
+                       }
+                       CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kMcs,
+                                 "read_done",
+                                 {{"proc", id_},
+                                  {"var", var},
+                                  {"val", v},
+                                  {"lat_ns", sim_.now() - started}});
                        if (k) k(v);
                        pump();
                      });
   } else {
+    if (m_writes_ != nullptr) m_writes_->inc();
+    CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kMcs, "write_issue",
+              {{"proc", id_}, {"var", req.var}, {"val", req.value}});
     const OpId op = recorder_.begin(id_, is_isp_, chk::OpKind::kWrite, req.var,
                                     req.value, sim_.now());
     mcs_.handle_write(req.var, req.value,
-                      [this, op, k = std::move(req.on_write)]() {
+                      [this, op, started, var = req.var, value = req.value,
+                       k = std::move(req.on_write)]() {
                         recorder_.end_write(op, sim_.now());
                         ++completed_;
                         busy_ = false;
+                        if (h_op_latency_ != nullptr) {
+                          h_op_latency_->observe(sim_.now() - started);
+                        }
+                        CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kMcs,
+                                  "write_done",
+                                  {{"proc", id_},
+                                   {"var", var},
+                                   {"val", value},
+                                   {"lat_ns", sim_.now() - started}});
                         if (k) k();
                         pump();
                       });

@@ -26,7 +26,7 @@ namespace cim::mcs {
 class AppProcess {
  public:
   AppProcess(ProcId id, bool is_isp, McsProcess& mcs, chk::Recorder& recorder,
-             sim::Simulator& simulator);
+             sim::Simulator& simulator, obs::Observability* obs = nullptr);
   AppProcess(const AppProcess&) = delete;
   AppProcess& operator=(const AppProcess&) = delete;
 
@@ -59,6 +59,7 @@ class AppProcess {
     Value value = kInitValue;  // writes only
     ReadCallback on_read;
     WriteCallback on_write;
+    sim::Time enqueued_at;
   };
 
   void enqueue(Request req);
@@ -75,6 +76,13 @@ class AppProcess {
   bool pumping_ = false;
   std::deque<Request> queue_;
   std::uint64_t completed_ = 0;
+
+  // Cached instrument cells (null without observability).
+  obs::TraceSink* trace_ = nullptr;
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_writes_ = nullptr;
+  obs::Counter* m_isp_reads_ = nullptr;
+  obs::DurationHistogram* h_op_latency_ = nullptr;
 };
 
 }  // namespace cim::mcs

@@ -6,8 +6,50 @@
 
 namespace cim::mcs {
 
-McsProcess::McsProcess(const McsContext& ctx)
-    : ctx_(ctx), rng_(ctx.rng_seed) {}
+McsProcess::McsProcess(const McsContext& ctx) : ctx_(ctx), rng_(ctx.rng_seed) {
+  if (ctx_.obs != nullptr) {
+    trace_ = &ctx_.obs->trace();
+    obs::MetricsRegistry& m = ctx_.obs->metrics();
+    m_issued_ = &m.counter("proto.updates_issued");
+    m_applied_ = &m.counter("proto.updates_applied");
+    h_causal_wait_ = &m.histogram("proto.causal_wait");
+    h_buffer_ = &m.value_histogram("proto.buffer_occupancy");
+  }
+}
+
+void McsProcess::note_update_issued(VarId var, Value value) {
+  if (m_issued_ != nullptr) m_issued_->inc();
+  CIM_TRACE(trace_, simulator().now(), obs::TraceCategory::kProto,
+            "update_issued", {{"proc", id()}, {"var", var}, {"val", value}});
+}
+
+void McsProcess::note_update_buffered(std::size_t buffer_size) {
+  if (h_buffer_ != nullptr) {
+    h_buffer_->observe(static_cast<std::int64_t>(buffer_size));
+  }
+  CIM_TRACE(trace_, simulator().now(), obs::TraceCategory::kProto,
+            "update_buffered", {{"proc", id()}, {"buf", buffer_size}});
+}
+
+void McsProcess::note_update_applied(VarId var, Value value) {
+  if (m_applied_ != nullptr) m_applied_->inc();
+  CIM_TRACE(trace_, simulator().now(), obs::TraceCategory::kProto,
+            "update_applied", {{"proc", id()}, {"var", var}, {"val", value}});
+}
+
+void McsProcess::note_update_applied(VarId var, Value value,
+                                     sim::Time received_at) {
+  if (m_applied_ != nullptr) {
+    m_applied_->inc();
+    h_causal_wait_->observe(simulator().now() - received_at);
+  }
+  CIM_TRACE(trace_, simulator().now(), obs::TraceCategory::kProto,
+            "update_applied",
+            {{"proc", id()},
+             {"var", var},
+             {"val", value},
+             {"wait_ns", simulator().now() - received_at}});
+}
 
 void McsProcess::set_out_channels(std::vector<net::ChannelId> out) {
   CIM_CHECK(out.size() == ctx_.num_procs);

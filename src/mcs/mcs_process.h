@@ -27,6 +27,7 @@
 #include "mcs/types.h"
 #include "mcs/upcall.h"
 #include "net/fabric.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace cim::mcs {
@@ -39,7 +40,8 @@ struct McsContext {
   sim::Simulator* simulator = nullptr;
   net::Fabric* fabric = nullptr;
   std::uint64_t rng_seed = 0;
-  MemoryObserver* observer = nullptr;  // may be null
+  MemoryObserver* observer = nullptr;   // may be null
+  obs::Observability* obs = nullptr;    // may be null (no metrics/tracing)
 };
 
 class McsProcess : public net::Receiver {
@@ -100,6 +102,19 @@ class McsProcess : public net::Receiver {
   net::Fabric& fabric() { return *ctx_.fabric; }
   Rng& rng() { return rng_; }
   MemoryObserver* observer() { return ctx_.observer; }
+  obs::TraceSink* trace() { return trace_; }
+
+  // ---- protocol instrumentation (docs/OBSERVABILITY.md, `proto.*`) --------
+  /// A local write was issued and propagated (counter + trace).
+  void note_update_issued(VarId var, Value value);
+  /// A remote update entered the protocol's reorder/batch buffer; sample its
+  /// occupancy *after* insertion.
+  void note_update_buffered(std::size_t buffer_size);
+  /// A remote update was applied to the replica. `received_at` (if known)
+  /// feeds the causal-wait histogram: time the update sat buffered until its
+  /// causal dependencies arrived.
+  void note_update_applied(VarId var, Value value);
+  void note_update_applied(VarId var, Value value, sim::Time received_at);
 
   const std::vector<net::ChannelId>& out_channels() const { return out_; }
   /// Sender local index of a registered inbound channel.
@@ -112,6 +127,12 @@ class McsProcess : public net::Receiver {
 
   McsContext ctx_;
   Rng rng_;
+  // Cached instrument cells (null when ctx.obs is null).
+  obs::TraceSink* trace_ = nullptr;
+  obs::Counter* m_issued_ = nullptr;
+  obs::Counter* m_applied_ = nullptr;
+  obs::DurationHistogram* h_causal_wait_ = nullptr;
+  obs::ValueHistogram* h_buffer_ = nullptr;
   std::vector<net::ChannelId> out_;
   std::unordered_map<std::uint32_t, std::uint16_t> in_senders_;
 

@@ -8,9 +8,9 @@ namespace cim::mcs {
 
 System::System(sim::Simulator& simulator, net::Fabric& fabric,
                chk::Recorder& recorder, SystemConfig config,
-               MemoryObserver* observer)
+               MemoryObserver* observer, obs::Observability* obs)
     : sim_(simulator), fabric_(fabric), recorder_(recorder),
-      config_(std::move(config)), observer_(observer) {
+      config_(std::move(config)), observer_(observer), obs_(obs) {
   CIM_CHECK_MSG(config_.protocol != nullptr, "system needs a protocol factory");
   CIM_CHECK_MSG(config_.num_app_processes >= 1,
                 "system needs at least one application process");
@@ -55,6 +55,7 @@ void System::finalize() {
     ctx.fabric = &fabric_;
     ctx.rng_seed = seeder.next();
     ctx.observer = observer_;
+    ctx.obs = obs_;
     mcs_.push_back(config_.protocol(ctx));
     CIM_CHECK(mcs_.back() != nullptr);
   }
@@ -79,7 +80,8 @@ void System::finalize() {
   // 3. Application processes (IS-process slots flagged as such).
   for (std::uint16_t i = 0; i < n; ++i) {
     apps_.push_back(std::make_unique<AppProcess>(
-        ProcId{config_.id, i}, is_isp_slot(i), *mcs_[i], recorder_, sim_));
+        ProcId{config_.id, i}, is_isp_slot(i), *mcs_[i], recorder_, sim_,
+        obs_));
   }
 }
 

@@ -38,7 +38,8 @@ class System {
  public:
   System(sim::Simulator& simulator, net::Fabric& fabric,
          chk::Recorder& recorder, SystemConfig config,
-         MemoryObserver* observer = nullptr);
+         MemoryObserver* observer = nullptr,
+         obs::Observability* obs = nullptr);
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
@@ -65,6 +66,7 @@ class System {
   chk::Recorder& recorder_;
   SystemConfig config_;
   MemoryObserver* observer_;
+  obs::Observability* obs_;
 
   std::uint16_t isp_slots_ = 0;
   bool finalized_ = false;

@@ -8,6 +8,29 @@
 
 namespace cim::net {
 
+void Fabric::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    trace_ = nullptr;
+    m_sent_ = m_bytes_ = m_delivered_ = m_dropped_ = m_availability_waits_ =
+        nullptr;
+    h_latency_intra_ = h_latency_inter_ = h_availability_wait_ = nullptr;
+    h_backlog_ = nullptr;
+    return;
+  }
+  trace_ = &obs->trace();
+  obs::MetricsRegistry& m = obs->metrics();
+  m_sent_ = &m.counter("net.messages_sent");
+  m_bytes_ = &m.counter("net.bytes_sent");
+  m_delivered_ = &m.counter("net.messages_delivered");
+  m_dropped_ = &m.counter("net.messages_dropped");
+  m_availability_waits_ = &m.counter("net.availability_waits");
+  h_latency_intra_ = &m.histogram("net.delivery_latency.intra");
+  h_latency_inter_ = &m.histogram("net.delivery_latency.inter");
+  h_availability_wait_ = &m.histogram("net.availability_wait");
+  h_backlog_ = &m.value_histogram("net.channel_backlog");
+}
+
 ChannelId Fabric::add_channel(ChannelConfig config) {
   CIM_CHECK_MSG(config.receiver != nullptr, "channel needs a receiver");
   Channel ch;
@@ -30,12 +53,26 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
   CIM_CHECK(channel.value < channels_.size());
   CIM_CHECK_MSG(msg != nullptr, "cannot send a null message");
   Channel& ch = channels_[channel.value];
+  const std::uint64_t msg_seq = msg_seq_++;
+  const char* type_name = msg->type_name();
+  const std::size_t bytes = msg->wire_size();
 
   ch.stats.messages += 1;
-  ch.stats.bytes += msg->wire_size();
+  ch.stats.bytes += bytes;
+  if (m_sent_ != nullptr) {
+    m_sent_->inc();
+    m_bytes_->inc(bytes);
+  }
 
   if (ch.drop_probability > 0 && rng_.chance(ch.drop_probability)) {
     ch.stats.dropped += 1;
+    if (m_dropped_ != nullptr) m_dropped_->inc();
+    CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "drop",
+              {{"ch", channel.value},
+               {"msg", msg_seq},
+               {"src", ch.src},
+               {"dst", ch.dst},
+               {"type", type_name}});
     return;  // lost on an unreliable channel
   }
 
@@ -45,19 +82,58 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
   const sim::Time start = ch.availability->next_up(sim_.now());
   CIM_CHECK_MSG(start != sim::kTimeMax,
                 "message sent on a link that never comes up again");
+  const sim::Duration availability_wait = start - sim_.now();
+  if (availability_wait > sim::Duration{} && m_availability_waits_ != nullptr) {
+    m_availability_waits_->inc();
+    h_availability_wait_->observe(availability_wait);
+  }
   sim::Time delivery = start + ch.delay->sample(rng_);
   if (ch.fifo) {
     delivery = std::max(delivery, ch.last_delivery);
     ch.last_delivery = delivery;
   }
 
+  ch.in_flight += 1;
+  if (h_backlog_ != nullptr) {
+    h_backlog_->observe(static_cast<std::int64_t>(ch.in_flight));
+  }
+  CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "send",
+            {{"ch", channel.value},
+             {"msg", msg_seq},
+             {"src", ch.src},
+             {"dst", ch.dst},
+             {"type", type_name},
+             {"bytes", bytes}});
+
   // Box the unique_ptr in a shared_ptr so the action is copyable (as
   // std::function requires) while the message keeps single ownership.
   auto box = std::make_shared<MessagePtr>(std::move(msg));
   Receiver* receiver = ch.receiver;
-  sim_.at(delivery, [receiver, channel, box]() {
+  const sim::Time sent_at = sim_.now();
+  sim_.at(delivery, [this, receiver, channel, box, msg_seq, sent_at,
+                     type_name]() {
+    on_delivered(channels_[channel.value], channel, msg_seq, sent_at,
+                 type_name);
     receiver->on_message(channel, std::move(*box));
   });
+}
+
+void Fabric::on_delivered(Channel& ch, ChannelId id, std::uint64_t msg_seq,
+                          sim::Time sent_at, const char* type_name) {
+  ch.in_flight -= 1;
+  const sim::Duration latency = sim_.now() - sent_at;
+  if (m_delivered_ != nullptr) {
+    m_delivered_->inc();
+    (ch.link_class == LinkClass::kIntraSystem ? h_latency_intra_
+                                              : h_latency_inter_)
+        ->observe(latency);
+  }
+  CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "deliver",
+            {{"ch", id.value},
+             {"msg", msg_seq},
+             {"dst", ch.dst},
+             {"type", type_name},
+             {"latency_ns", latency}});
 }
 
 ChannelStats Fabric::class_stats(LinkClass c) const {
@@ -102,6 +178,12 @@ ChannelStats Fabric::stats_where(
 std::uint64_t Fabric::total_messages() const {
   std::uint64_t n = 0;
   for (const Channel& ch : channels_) n += ch.stats.messages;
+  return n;
+}
+
+std::size_t Fabric::total_in_flight() const {
+  std::size_t n = 0;
+  for (const Channel& ch : channels_) n += ch.in_flight;
   return n;
 }
 

@@ -20,6 +20,7 @@
 #include "net/availability.h"
 #include "net/delay.h"
 #include "net/message.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace cim::net {
@@ -73,6 +74,10 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
+  /// Attach metrics + tracing (docs/OBSERVABILITY.md, `net.*` metrics and
+  /// the `net` trace category). May be null; must outlive the Fabric.
+  void set_observability(obs::Observability* obs);
+
   /// Create a unidirectional FIFO channel. The receiver pointer must stay
   /// valid for the lifetime of the Fabric.
   ChannelId add_channel(ChannelConfig config);
@@ -106,6 +111,15 @@ class Fabric {
   /// Total messages sent on all channels.
   std::uint64_t total_messages() const;
 
+  /// Messages sent on `id` but not yet delivered (includes messages queued
+  /// behind a down availability window) — the channel's backlog.
+  std::size_t channel_backlog(ChannelId id) const {
+    return channels_.at(id.value).in_flight;
+  }
+
+  /// Sum of channel_backlog over all channels.
+  std::size_t total_in_flight() const;
+
   /// Reset all counters (e.g., after a warm-up phase).
   void reset_stats();
 
@@ -120,12 +134,30 @@ class Fabric {
     bool fifo = true;
     double drop_probability = 0.0;
     sim::Time last_delivery;  // monotone per channel -> FIFO
+    std::size_t in_flight = 0;
     ChannelStats stats;
   };
+
+  void on_delivered(Channel& ch, ChannelId id, std::uint64_t msg_seq,
+                    sim::Time sent_at, const char* type_name);
 
   sim::Simulator& sim_;
   Rng rng_;
   std::vector<Channel> channels_;
+
+  // Cached instrument cells (null when no observability attached).
+  obs::Observability* obs_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_availability_waits_ = nullptr;
+  obs::DurationHistogram* h_latency_intra_ = nullptr;
+  obs::DurationHistogram* h_latency_inter_ = nullptr;
+  obs::DurationHistogram* h_availability_wait_ = nullptr;
+  obs::ValueHistogram* h_backlog_ = nullptr;
+  std::uint64_t msg_seq_ = 0;
 };
 
 }  // namespace cim::net

@@ -1,0 +1,112 @@
+// Minimal JSON emission shared by the observability exporters and the bench
+// report writer. Emission only — the repo never parses JSON at runtime; the
+// schemas it emits are specified in docs/OBSERVABILITY.md and
+// docs/BENCHMARKS.md and consumed by external tooling (jq, python, ...).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace cim::obs {
+
+/// Write `s` as a JSON string literal (quotes included, control characters
+/// and quote/backslash escaped).
+inline void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Shortest %g rendering that still round-trips typical metric values.
+inline void json_double(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os << buf;
+}
+
+/// Comma-and-nesting bookkeeping for hand-emitted JSON. Usage:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.kv("v", 1);
+///   w.key("rows"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    comma();
+    json_string(os_, k);
+    os_ << ':';
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) { comma(); json_string(os_, v); }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) { comma(); os_ << (v ? "true" : "false"); }
+  void value(double v) { comma(); json_double(os_, v); }
+  void value(std::int64_t v) { comma(); os_ << v; }
+  void value(std::uint64_t v) { comma(); os_ << v; }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    os_ << c;
+    need_comma_.push_back(false);
+  }
+  void close(char c) {
+    need_comma_.pop_back();
+    os_ << c;
+    mark_written();
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value follows its key, no comma
+      return;
+    }
+    if (!need_comma_.empty() && need_comma_.back()) os_ << ',';
+    mark_written();
+  }
+  void mark_written() {
+    if (!need_comma_.empty()) need_comma_.back() = true;
+  }
+
+  std::ostream& os_;
+  std::vector<bool> need_comma_;
+  bool pending_value_ = false;
+};
+
+}  // namespace cim::obs

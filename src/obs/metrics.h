@@ -1,0 +1,137 @@
+// Metrics registry: named counters, gauges, and histograms with pull-based
+// snapshots and JSON/CSV exporters.
+//
+// Naming convention (docs/OBSERVABILITY.md): `layer.noun[_qualifier][.label]`
+// — lower-case, dot-separated layer prefix matching the src/ module that
+// emits it (`sim.`, `net.`, `mcs.`, `proto.`, `isc.`, `trace.`), snake_case
+// nouns, and an optional trailing `.label` for a fixed enumeration (e.g.
+// `net.delivery_latency.intra` / `.inter`). Names are the stable schema:
+// renaming one is a schema change and bumps kMetricsSchemaVersion.
+//
+// Instruments are cheap cells with stable addresses: instrumented code looks
+// a metric up once (registry methods upsert) and keeps the pointer, so hot
+// paths pay one add/compare per event, never a map lookup. Histograms take
+// sim::Duration samples and summarize through stats::DurationSummary;
+// ValueHistogram does the same for unitless sizes (queue depths, batch
+// sizes). To bound memory on unbounded runs, histograms decimate once
+// max_samples is hit (keep-every-2nd, doubling the keep stride) — count,
+// sum, min, and max stay exact, percentiles become stride-sampled
+// approximations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/summary.h"
+
+namespace cim::obs {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t v) { value_ += v; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Histogram over int64 samples (durations in ns, or unitless values).
+class Int64Histogram {
+ public:
+  void observe(std::int64_t v);
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+
+  /// Percentile summary of the retained samples via stats::summarize, with
+  /// count/min/max patched to the exact values.
+  stats::DurationSummary summary() const;
+
+  /// Retained-sample cap (test hook; decimation halves retention beyond it).
+  void set_max_samples(std::size_t n) { max_samples_ = n < 2 ? 2 : n; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::uint64_t stride_ = 1;  // record every stride_-th observation
+  std::uint64_t until_next_ = 0;
+  std::size_t max_samples_ = std::size_t{1} << 20;
+  std::vector<std::int64_t> samples_;
+};
+
+/// Duration-typed histogram (values are virtual-time nanoseconds).
+class DurationHistogram : public Int64Histogram {
+ public:
+  void observe(sim::Duration d) { Int64Histogram::observe(d.ns); }
+};
+
+/// Unitless histogram (queue depths, batch sizes, backlogs).
+class ValueHistogram : public Int64Histogram {};
+
+/// A point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram, kValueHistogram };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::int64_t value = 0;          // counters and gauges
+    stats::DurationSummary summary;  // histograms
+    std::int64_t sum = 0;            // histograms
+  };
+
+  std::vector<Entry> entries;
+
+  const Entry* find(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Upsert by name. Returned references are stable for the registry's
+  /// lifetime — cache them on hot paths.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  DurationHistogram& histogram(std::string_view name);
+  ValueHistogram& value_histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  // std::map: node-based, so instrument addresses never move.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, DurationHistogram, std::less<>> histograms_;
+  std::map<std::string, ValueHistogram, std::less<>> value_histograms_;
+};
+
+/// JSON exporter (schema `cim.metrics.v1`, see docs/OBSERVABILITY.md).
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// CSV exporter: one metric per row, header
+/// `name,kind,value,count,sum,min,p50,p90,p99,max,mean`.
+void write_csv(std::ostream& os, const MetricsSnapshot& snapshot);
+
+}  // namespace cim::obs

@@ -1,0 +1,38 @@
+// The observability bundle: one MetricsRegistry plus one TraceSink, owned by
+// whoever owns the execution (isc::Federation owns one per federation) and
+// passed by pointer into the instrumented layers. Metrics are always on
+// (counter bumps are branch-plus-add); tracing is opt-in via
+// ObsOptions::trace.
+//
+// Schemas and the full metric/trace catalogs are documented in
+// docs/OBSERVABILITY.md; tests/obs_test.cpp enforces that every name emitted
+// by the instrumentation appears there.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cim::obs {
+
+struct ObsOptions {
+  TraceOptions trace;  // disabled by default
+};
+
+class Observability {
+ public:
+  Observability() = default;
+  explicit Observability(const ObsOptions& opts) : trace_(opts.trace) {}
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceSink trace_;
+};
+
+}  // namespace cim::obs

@@ -22,6 +22,7 @@ void AnbkhProcess::handle_read(VarId var, mcs::ReadCallback cb) {
 void AnbkhProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
   clock_.tick(local_index());
   store_[var] = value;
+  note_update_issued(var, value);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
     observer()->on_apply(id(), var, value, simulator().now());
@@ -42,7 +43,9 @@ void AnbkhProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
   auto* update = dynamic_cast<TimestampedUpdate*>(msg.get());
   CIM_CHECK_MSG(update != nullptr, "unexpected message type in ANBKH");
   CIM_CHECK(update->writer == sender_of(from));
+  update->received_at = simulator().now();
   pending_.push_back(std::move(*update));
+  note_update_buffered(pending_.size());
   try_apply();
 }
 
@@ -66,6 +69,7 @@ void AnbkhProcess::apply_step() {
         /*apply=*/[this, update = std::move(update)]() {
           clock_.set(update.writer, update.clock[update.writer]);
           store_[update.var] = update.value;
+          note_update_applied(update.var, update.value, update.received_at);
           if (observer() != nullptr) {
             observer()->on_apply(id(), update.var, update.value,
                                  simulator().now());

@@ -51,6 +51,9 @@ struct TobDeliver final : net::Message {
   std::uint16_t origin = 0;
   bool pre_applied = false;
   std::uint64_t seq = 0;
+  // Instrumentation only, not wire data: local receive time at the buffering
+  // process, feeding the proto.causal_wait histogram.
+  sim::Time received_at;
 
   const char* type_name() const override { return "tob.deliver"; }
   std::size_t wire_size() const override { return 24 + 4 + 8 + 2 + 8; }

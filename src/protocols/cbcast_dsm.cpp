@@ -24,6 +24,7 @@ void CbcastDsmProcess::handle_read(VarId var, mcs::ReadCallback cb) {
 }
 
 void CbcastDsmProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
+  note_update_issued(var, value);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
   }
@@ -38,6 +39,7 @@ void CbcastDsmProcess::send_to_member(std::uint16_t member,
 
 void CbcastDsmProcess::on_message(net::ChannelId, net::MessagePtr msg) {
   member_.on_network(std::move(msg));
+  note_update_buffered(member_.buffered());
 }
 
 void CbcastDsmProcess::on_deliver(std::uint16_t sender,
@@ -48,6 +50,7 @@ void CbcastDsmProcess::on_deliver(std::uint16_t sender,
       payload.var, payload.value, own,
       /*apply=*/[this, &payload]() {
         store_[payload.var] = payload.value;
+        note_update_applied(payload.var, payload.value);
         if (observer() != nullptr) {
           observer()->on_apply(id(), payload.var, payload.value,
                                simulator().now());

@@ -25,6 +25,7 @@ void LazyBatchProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
   // Local writes apply immediately (read-your-writes) and propagate.
   clock_.tick(local_index());
   store_[var] = value;
+  note_update_issued(var, value);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
     observer()->on_apply(id(), var, value, simulator().now());
@@ -45,7 +46,9 @@ void LazyBatchProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
   auto* update = dynamic_cast<TimestampedUpdate*>(msg.get());
   CIM_CHECK_MSG(update != nullptr, "unexpected message type in lazy-batch");
   CIM_CHECK(update->writer == sender_of(from));
+  update->received_at = simulator().now();
   pending_.push_back(std::move(*update));
+  note_update_buffered(pending_.size());
   schedule_batch();
 }
 
@@ -143,6 +146,7 @@ void LazyBatchProcess::run_batch() {
         u.var, u.value, /*own_write=*/false,
         /*apply=*/[this, &u]() {
           store_[u.var] = u.value;
+          note_update_applied(u.var, u.value, u.received_at);
           if (observer() != nullptr) {
             observer()->on_apply(id(), u.var, u.value, simulator().now());
           }

@@ -32,6 +32,7 @@ void PartialRepProcess::do_write(VarId var, Value value,
                                        << " outside its interest set");
   clock_.tick(local_index());
   store_[var] = value;
+  note_update_issued(var, value);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
     observer()->on_apply(id(), var, value, simulator().now());
@@ -55,7 +56,9 @@ void PartialRepProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
   auto* update = dynamic_cast<PartialUpdate*>(msg.get());
   CIM_CHECK_MSG(update != nullptr, "unexpected message type in partial-rep");
   CIM_CHECK(update->writer == sender_of(from));
+  update->received_at = simulator().now();
   pending_.push_back(std::move(*update));
+  note_update_buffered(pending_.size());
   if (!applying_) {
     applying_ = true;
     apply_step();
@@ -79,6 +82,7 @@ void PartialRepProcess::apply_step() {
         /*apply=*/[this, update = std::move(update)]() {
           clock_.set(update.writer, update.clock[update.writer]);
           store_[update.var] = update.value;
+          note_update_applied(update.var, update.value, update.received_at);
           if (observer() != nullptr) {
             observer()->on_apply(id(), update.var, update.value,
                                  simulator().now());

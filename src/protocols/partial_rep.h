@@ -40,6 +40,9 @@ struct PartialUpdate final : net::Message {
   bool has_value = false;  // false: causal marker only
   VectorClock clock;
   std::uint16_t writer = 0;
+  // Instrumentation only, not wire data: local receive time at the buffering
+  // process, feeding the proto.causal_wait histogram.
+  sim::Time received_at;
 
   const char* type_name() const override {
     return has_value ? "partial.update" : "partial.marker";

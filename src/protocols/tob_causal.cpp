@@ -20,6 +20,7 @@ void TobCausalProcess::handle_read(VarId var, mcs::ReadCallback cb) {
 }
 
 void TobCausalProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
+  note_update_issued(var, value);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
   }
@@ -78,7 +79,9 @@ void TobCausalProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
 
 void TobCausalProcess::enqueue_delivery(TobDeliver del) {
   CIM_CHECK_MSG(del.seq >= next_apply_seq_, "duplicate TOB delivery");
+  del.received_at = simulator().now();
   delivery_buffer_.emplace(del.seq, std::move(del));
+  note_update_buffered(delivery_buffer_.size());
   try_apply();
 }
 
@@ -113,8 +116,14 @@ void TobCausalProcess::apply_step() {
 
   apply_with_upcalls(
       del.var, del.value, own,
-      /*apply=*/[this, var = del.var, value = del.value]() {
+      /*apply=*/[this, own, var = del.var, value = del.value,
+                 received_at = del.received_at]() {
         store_[var] = value;
+        if (own) {
+          note_update_applied(var, value);
+        } else {
+          note_update_applied(var, value, received_at);
+        }
         if (observer() != nullptr) {
           observer()->on_apply(id(), var, value, simulator().now());
         }

@@ -6,6 +6,7 @@
 #include "common/value.h"
 #include "common/vector_clock.h"
 #include "net/message.h"
+#include "sim/time.h"
 
 namespace cim::proto {
 
@@ -14,6 +15,9 @@ struct TimestampedUpdate final : net::Message {
   Value value = kInitValue;
   VectorClock clock;
   std::uint16_t writer = 0;
+  // Instrumentation only, not wire data: local receive time at the buffering
+  // process, feeding the proto.causal_wait histogram.
+  sim::Time received_at;
 
   const char* type_name() const override { return "vc.update"; }
   std::size_t wire_size() const override {

@@ -10,6 +10,7 @@ void Simulator::at(Time t, Action action) {
   CIM_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
   heap_.push_back(Event{t, next_seq_++, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), fires_after);
+  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
 }
 
 Simulator::Event Simulator::pop_next() {

@@ -49,6 +49,10 @@ class Simulator {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
+  /// High-water mark of the event queue since construction (the
+  /// `sim.queue_depth_peak` gauge of docs/OBSERVABILITY.md).
+  std::size_t max_pending() const { return max_pending_; }
+
   /// Time of the earliest pending event. Requires !empty().
   Time next_event_time() const { return heap_.front().time; }
 
@@ -72,6 +76,7 @@ class Simulator {
   Time now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::size_t max_pending_ = 0;
   std::vector<Event> heap_;
 };
 
