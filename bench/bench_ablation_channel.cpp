@@ -75,6 +75,7 @@ Outcome sweep(bool fifo, double drop, std::uint64_t seeds) {
     };
     (*scan)();
     fed.run();
+    *scan = nullptr;  // break the closure's self-ownership cycle
 
     if (!chk::CausalChecker{}.check(fed.federation_history()).ok()) {
       ++out.violations;

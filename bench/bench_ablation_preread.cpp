@@ -88,6 +88,7 @@ Outcome sweep(isc::IsProtocolChoice choice, std::uint64_t seeds) {
     };
     (*scan)();
     fed.run();
+    *scan = nullptr;  // break the closure's self-ownership cycle
 
     auto res = chk::CausalChecker{}.check(fed.federation_history());
     if (!res.ok()) ++out.violations;

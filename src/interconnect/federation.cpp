@@ -22,6 +22,85 @@ Federation::Federation(FederationConfig config)
       fabric_, std::move(raw), std::move(config.links), config.isp_mode,
       &obs_);
   interconnector_->build();
+  install_faults(config.faults);
+}
+
+void Federation::install_faults(const sim::FaultPlan& plan) {
+  plan.validate();
+  obs::MetricsRegistry& m = obs_.metrics();
+  // Registered unconditionally: every snapshot carries the fault counters,
+  // zero-valued on calm runs.
+  obs::Counter* injected = &m.counter("faults.injected");
+  obs::Counter* partitions = &m.counter("faults.partitions");
+  obs::Counter* bursts = &m.counter("faults.bursts");
+  obs::Counter* crashes = &m.counter("faults.crashes");
+  obs::Counter* restarts = &m.counter("faults.restarts");
+  if (plan.empty()) return;
+  obs::TraceSink* trace = &obs_.trace();
+
+  for (const sim::FaultPlan::Partition& p : plan.partitions) {
+    CIM_CHECK_MSG(p.link < interconnector_->num_links(),
+                  "fault plan partitions an unknown link");
+    const auto [ab, ba] = interconnector_->link_channels(p.link);
+    sim_.at(p.begin, [this, injected, partitions, trace, p, ab, ba] {
+      fabric_.set_partitioned(ab, true);
+      fabric_.set_partitioned(ba, true);
+      injected->inc();
+      partitions->inc();
+      CIM_TRACE(trace, sim_.now(), obs::TraceCategory::kSim, "fault_partition",
+                {{"link", static_cast<std::uint64_t>(p.link)}});
+    });
+    sim_.at(p.end, [this, trace, p, ab, ba] {
+      fabric_.set_partitioned(ab, false);
+      fabric_.set_partitioned(ba, false);
+      CIM_TRACE(trace, sim_.now(), obs::TraceCategory::kSim, "fault_heal",
+                {{"link", static_cast<std::uint64_t>(p.link)}});
+    });
+  }
+
+  for (const sim::FaultPlan::BurstDrop& b : plan.bursts) {
+    CIM_CHECK_MSG(b.link < interconnector_->num_links(),
+                  "fault plan bursts an unknown link");
+    const auto [ab, ba] = interconnector_->link_channels(b.link);
+    sim_.at(b.begin, [this, injected, bursts, trace, b, ab, ba] {
+      fabric_.set_burst_drop(ab, b.drop_probability);
+      fabric_.set_burst_drop(ba, b.drop_probability);
+      injected->inc();
+      bursts->inc();
+      CIM_TRACE(trace, sim_.now(), obs::TraceCategory::kSim, "fault_burst_begin",
+                {{"link", static_cast<std::uint64_t>(b.link)},
+                 {"drop", b.drop_probability}});
+    });
+    sim_.at(b.end, [this, trace, b, ab, ba] {
+      fabric_.set_burst_drop(ab, 0.0);
+      fabric_.set_burst_drop(ba, 0.0);
+      CIM_TRACE(trace, sim_.now(), obs::TraceCategory::kSim, "fault_burst_end",
+                {{"link", static_cast<std::uint64_t>(b.link)}});
+    });
+  }
+
+  for (const sim::FaultPlan::CrashRestart& c : plan.crashes) {
+    CIM_CHECK_MSG(c.system < systems_.size(),
+                  "fault plan crashes an unknown system");
+    const SystemId sid = systems_[c.system]->id();
+    sim_.at(c.crash_at, [this, injected, crashes, trace, c, sid] {
+      for (const auto& isp : interconnector_->isps()) {
+        if (isp->id().system == sid) isp->crash();
+      }
+      injected->inc();
+      crashes->inc();
+      CIM_TRACE(trace, sim_.now(), obs::TraceCategory::kSim, "fault_crash",
+                {{"system", static_cast<std::uint64_t>(c.system)}});
+    });
+    sim_.at(c.restart_at, [this, restarts, trace, c, sid] {
+      for (const auto& isp : interconnector_->isps()) {
+        if (isp->id().system == sid) isp->restart();
+      }
+      restarts->inc();
+      CIM_TRACE(trace, sim_.now(), obs::TraceCategory::kSim, "fault_restart",
+                {{"system", static_cast<std::uint64_t>(c.system)}});
+    });
+  }
 }
 
 obs::MetricsSnapshot Federation::metrics_snapshot() {
@@ -34,6 +113,17 @@ obs::MetricsSnapshot Federation::metrics_snapshot() {
       .set(static_cast<std::int64_t>(sim_.max_pending()));
   m.gauge("net.in_flight")
       .set(static_cast<std::int64_t>(fabric_.total_in_flight()));
+  // Per-channel loss and availability queueing, refreshed from the fabric's
+  // ChannelStats (documented as net.channel.<ch>.* — the numeric channel id
+  // substitutes for <ch>).
+  for (std::size_t c = 0; c < fabric_.num_channels(); ++c) {
+    const net::ChannelId id{static_cast<std::uint32_t>(c)};
+    const net::ChannelStats& cs = fabric_.channel_stats(id);
+    const std::string prefix = "net.channel." + std::to_string(c);
+    m.gauge(prefix + ".dropped").set(static_cast<std::int64_t>(cs.dropped));
+    m.gauge(prefix + ".availability_waits")
+        .set(static_cast<std::int64_t>(cs.availability_waits));
+  }
   for (std::size_t c = 0; c < obs::kNumTraceCategories; ++c) {
     const auto cat = static_cast<obs::TraceCategory>(c);
     m.gauge(std::string("trace.events.") + obs::to_string(cat))

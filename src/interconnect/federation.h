@@ -14,6 +14,7 @@
 #include "mcs/system.h"
 #include "net/fabric.h"
 #include "obs/obs.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 
 namespace cim::isc {
@@ -26,6 +27,11 @@ struct FederationConfig {
   /// Observability options (docs/OBSERVABILITY.md). Metrics are always
   /// collected; set obs.trace.enabled to capture structured trace events.
   obs::ObsOptions obs;
+  /// Scripted chaos (docs/FAULTS.md): link indices address `links`, system
+  /// indices address `systems`. Partitions and bursts hit both directions of
+  /// the link; crashes hit every IS-process of the system. Injection is
+  /// scheduled as simulator events at construction time.
+  sim::FaultPlan faults;
 };
 
 class Federation {
@@ -64,6 +70,8 @@ class Federation {
   chk::History system_history(std::size_t index) const;
 
  private:
+  void install_faults(const sim::FaultPlan& plan);
+
   obs::Observability obs_;  // first: outlives everything that instruments
   sim::Simulator sim_;
   net::Fabric fabric_;

@@ -118,7 +118,11 @@ void Interconnector::build() {
         systems_[p.system]->app(p.slot), fabric_, obs_));
   }
 
-  // 4. Inter-system channels (one reliable FIFO channel per direction).
+  // 4. Inter-system channels (one FIFO channel per direction). A `reliable`
+  // link interposes an ARQ endpoint pair: the channels deliver *frames* to
+  // the transports, which hand in-order payloads to the IS-processes using
+  // the underlying in-channel as `from` — the IS-process wiring is identical
+  // either way.
   for (std::size_t li = 0; li < links_.size(); ++li) {
     const LinkSpec& link = links_[li];
     auto [ia, ib] = link_isps_[li];
@@ -134,10 +138,30 @@ void Interconnector::build() {
       return std::make_unique<net::AlwaysUp>();
     };
 
+    net::ReliableTransport* ta = nullptr;
+    net::ReliableTransport* tb = nullptr;
+    std::size_t ti_a = SIZE_MAX;
+    std::size_t ti_b = SIZE_MAX;
+    if (link.reliable) {
+      net::TransportConfig tc_a = link.transport;
+      net::TransportConfig tc_b = link.transport;
+      // Distinct jitter streams so the endpoints never back off in lockstep.
+      tc_b.seed = tc_a.seed * 2 + 1;
+      transports_.push_back(std::make_unique<net::ReliableTransport>(
+          fabric_, tc_a, obs_));
+      ti_a = transports_.size() - 1;
+      ta = transports_.back().get();
+      transports_.push_back(std::make_unique<net::ReliableTransport>(
+          fabric_, tc_b, obs_));
+      ti_b = transports_.size() - 1;
+      tb = transports_.back().get();
+    }
+    link_transports_.emplace_back(ti_a, ti_b);
+
     net::ChannelConfig ab;
     ab.src = isp_a.id();
     ab.dst = isp_b.id();
-    ab.receiver = &isp_b;
+    ab.receiver = link.reliable ? static_cast<net::Receiver*>(tb) : &isp_b;
     ab.delay = make_delay();
     ab.availability = make_avail();
     ab.link_class = net::LinkClass::kInterSystem;
@@ -148,17 +172,22 @@ void Interconnector::build() {
     net::ChannelConfig ba;
     ba.src = isp_b.id();
     ba.dst = isp_a.id();
-    ba.receiver = &isp_a;
+    ba.receiver = link.reliable ? static_cast<net::Receiver*>(ta) : &isp_a;
     ba.delay = make_delay();
     ba.availability = make_avail();
     ba.link_class = net::LinkClass::kInterSystem;
     ba.fifo = link.fifo;
     ba.drop_probability = link.drop_probability;
     const net::ChannelId ch_ba = fabric_.add_channel(std::move(ba));
+    link_channels_.emplace_back(ch_ab, ch_ba);
 
-    const std::size_t la = isp_a.add_link(ch_ab);
+    if (link.reliable) {
+      ta->wire(ch_ab, ch_ba, &isp_a);
+      tb->wire(ch_ba, ch_ab, &isp_b);
+    }
+    const std::size_t la = isp_a.add_link(ch_ab, ta);
     isp_a.register_in_channel(ch_ba, la);
-    const std::size_t lb = isp_b.add_link(ch_ba);
+    const std::size_t lb = isp_b.add_link(ch_ba, tb);
     isp_b.register_in_channel(ch_ab, lb);
   }
 
@@ -184,6 +213,20 @@ IsProcess& Interconnector::isp_a(std::size_t link_index) {
 IsProcess& Interconnector::isp_b(std::size_t link_index) {
   CIM_CHECK(built_ && link_index < link_isps_.size());
   return *isps_[link_isps_[link_index].second];
+}
+
+std::pair<net::ReliableTransport*, net::ReliableTransport*>
+Interconnector::link_transports(std::size_t link_index) const {
+  CIM_CHECK(built_ && link_index < link_transports_.size());
+  const auto [ti_a, ti_b] = link_transports_[link_index];
+  return {ti_a == SIZE_MAX ? nullptr : transports_[ti_a].get(),
+          ti_b == SIZE_MAX ? nullptr : transports_[ti_b].get()};
+}
+
+std::pair<net::ChannelId, net::ChannelId> Interconnector::link_channels(
+    std::size_t link_index) const {
+  CIM_CHECK(built_ && link_index < link_channels_.size());
+  return link_channels_[link_index];
 }
 
 }  // namespace cim::isc

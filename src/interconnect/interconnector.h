@@ -48,6 +48,13 @@ struct LinkSpec {
   /// causality violations; lossy links lose updates — liveness violations).
   bool fifo = true;
   double drop_probability = 0.0;
+
+  /// Interpose a ReliableTransport endpoint pair (ARQ) on this link,
+  /// re-synthesizing the reliable-FIFO assumption over a faulty channel.
+  /// With `reliable` set, fifo=false / drop_probability>0 / scripted faults
+  /// degrade latency but never correctness.
+  bool reliable = false;
+  net::TransportConfig transport;
 };
 
 class Interconnector {
@@ -73,6 +80,15 @@ class Interconnector {
   /// All IS-processes created by build().
   const std::vector<std::unique_ptr<IsProcess>>& isps() const { return isps_; }
 
+  /// The transport endpoints of link `link_index` as (side A, side B), or
+  /// (nullptr, nullptr) for a raw link.
+  std::pair<net::ReliableTransport*, net::ReliableTransport*> link_transports(
+      std::size_t link_index) const;
+
+  /// The fabric channels of link `link_index` as (A→B, B→A).
+  std::pair<net::ChannelId, net::ChannelId> link_channels(
+      std::size_t link_index) const;
+
  private:
   void validate_tree() const;
   IsProcess& isp_for(std::size_t system_index, std::size_t link_index,
@@ -88,6 +104,11 @@ class Interconnector {
   std::vector<std::unique_ptr<IsProcess>> isps_;
   std::vector<std::size_t> shared_isp_of_system_;    // index into isps_
   std::vector<std::pair<std::size_t, std::size_t>> link_isps_;  // (a, b)
+  std::vector<std::unique_ptr<net::ReliableTransport>> transports_;
+  // Per link: (transport a, transport b) indices into transports_ or
+  // SIZE_MAX, and the underlying (ab, ba) channels.
+  std::vector<std::pair<std::size_t, std::size_t>> link_transports_;
+  std::vector<std::pair<net::ChannelId, net::ChannelId>> link_channels_;
 };
 
 }  // namespace cim::isc

@@ -23,8 +23,9 @@ IsProcess::IsProcess(mcs::AppProcess& app, net::Fabric& fabric,
   }
 }
 
-std::size_t IsProcess::add_link(net::ChannelId out) {
-  out_links_.push_back(out);
+std::size_t IsProcess::add_link(net::ChannelId out,
+                                net::ReliableTransport* transport) {
+  out_links_.push_back(Link{out, transport});
   return out_links_.size() - 1;
 }
 
@@ -56,7 +57,54 @@ void IsProcess::activate(IsProtocolChoice choice) {
   mcs.set_pre_update_enabled(pre_reads_enabled_);
 }
 
+void IsProcess::crash() {
+  CIM_CHECK_MSG(!crashed_, "IS-process crashed twice without restart");
+  crashed_ = true;
+  ++crash_count_;
+  // Sever the ARQ endpoints: frames arriving while down are dropped at the
+  // transport and recovered by the peer's retransmission, never lost to the
+  // application. Raw (transport-less) links have no such shield.
+  for (Link& link : out_links_) {
+    if (link.transport != nullptr) link.transport->set_down(true);
+  }
+  CIM_TRACE(trace_, fabric_.simulator().now(), obs::TraceCategory::kIsc,
+            "isp_crash", {{"proc", id()}});
+}
+
+void IsProcess::restart() {
+  CIM_CHECK_MSG(crashed_, "restart of an IS-process that is not crashed");
+  crashed_ = false;
+  for (Link& link : out_links_) {
+    if (link.transport != nullptr) link.transport->set_down(false);
+  }
+  // Replay the upcalls parked during the outage, in arrival order. The
+  // attached MCS-process's apply pipeline blocked on each upcall's `done`,
+  // so at most one is parked and its replica state is exactly as it was at
+  // crash time — the replayed read still satisfies condition (c).
+  std::vector<ParkedUpcall> replay = std::move(parked_);
+  parked_.clear();
+  CIM_TRACE(trace_, fabric_.simulator().now(), obs::TraceCategory::kIsc,
+            "isp_restart",
+            {{"proc", id()},
+             {"replayed", static_cast<std::uint64_t>(replay.size())}});
+  for (ParkedUpcall& upcall : replay) {
+    if (upcall.is_pre) {
+      run_pre_update(upcall.var, std::move(upcall.done));
+    } else {
+      run_post_update(upcall.var, upcall.value, std::move(upcall.done));
+    }
+  }
+}
+
 void IsProcess::pre_update(VarId var, std::function<void()> done) {
+  if (crashed_) {
+    parked_.push_back(ParkedUpcall{true, var, kInitValue, std::move(done)});
+    return;
+  }
+  run_pre_update(var, std::move(done));
+}
+
+void IsProcess::run_pre_update(VarId var, std::function<void()> done) {
   // Task Pre_Propagate_out(x) (Fig. 2): read x, obtaining the previous
   // value s. The value is not used; the read's existence constrains the
   // causal order (Lemma 1).
@@ -67,6 +115,15 @@ void IsProcess::pre_update(VarId var, std::function<void()> done) {
 
 void IsProcess::post_update(VarId var, Value value,
                             std::function<void()> done) {
+  if (crashed_) {
+    parked_.push_back(ParkedUpcall{false, var, value, std::move(done)});
+    return;
+  }
+  run_post_update(var, value, std::move(done));
+}
+
+void IsProcess::run_post_update(VarId var, Value value,
+                                std::function<void()> done) {
   // Task Propagate_out(x, v) (Fig. 1): read x — condition (c) guarantees the
   // read returns v — and send ⟨x, v⟩ to the peer IS-process on every link.
   app_.read_now(var, [this, var, value, done = std::move(done)](Value read) {
@@ -88,12 +145,17 @@ void IsProcess::send_pair(std::size_t link, VarId var, Value value,
   msg->value = value;
   msg->sent_at = now;
   msg->origin_time = origin_time;
-  fabric_.send(out_links_[link], std::move(msg));
+  const Link& out = out_links_[link];
+  if (out.transport != nullptr) {
+    out.transport->send(std::move(msg));
+  } else {
+    fabric_.send(out.out, std::move(msg));
+  }
   ++pairs_sent_;
   if (m_pairs_sent_ != nullptr) {
     m_pairs_sent_->inc();
     h_link_backlog_->observe(
-        static_cast<std::int64_t>(fabric_.channel_backlog(out_links_[link])));
+        static_cast<std::int64_t>(fabric_.channel_backlog(out.out)));
   }
   CIM_TRACE(trace_, now, obs::TraceCategory::kIsc, "pair_out",
             {{"proc", id()},
@@ -105,9 +167,18 @@ void IsProcess::send_pair(std::size_t link, VarId var, Value value,
 void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
   auto* pair = dynamic_cast<PairMsg*>(msg.get());
   CIM_CHECK_MSG(pair != nullptr, "IS-process received a non-pair message");
-  ++pairs_received_;
 
   const sim::Time now = fabric_.simulator().now();
+  if (crashed_) {
+    // Only a raw (transport-less) link can deliver here while crashed — an
+    // ARQ link's endpoint is down and shields us. The pair is lost, exactly
+    // as a crashed host loses an in-flight datagram.
+    CIM_TRACE(trace_, now, obs::TraceCategory::kIsc, "pair_lost_crashed",
+              {{"proc", id()}, {"var", pair->var}, {"val", pair->value}});
+    return;
+  }
+  ++pairs_received_;
+
   if (m_pairs_received_ != nullptr) {
     m_pairs_received_->inc();
     h_hop_latency_->observe(now - pair->sent_at);

@@ -30,6 +30,17 @@
 // other link (split horizon — never back to the sender). Pairs are never
 // echoed: updates caused by this IS-process's own writes generate no
 // upcalls.
+//
+// Links either write pairs straight onto a fabric channel (the paper's
+// reliable-FIFO assumption taken at face value) or through a
+// net::ReliableTransport endpoint that synthesizes reliable FIFO over a
+// faulty link. Crash/recovery: crash() freezes the IS-process — the single
+// in-flight upcall (the MCS apply pipeline blocks on its completion, so
+// there is never more than one) is parked, and the link transports go down
+// so arriving pairs are lost to the ARQ's retransmission instead of to the
+// application. restart() replays the parked upcall against the attached
+// MCS-process (re-reading the variable) and brings the transports back up;
+// docs/FAULTS.md states the recovery invariants.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +50,7 @@
 #include "mcs/app_process.h"
 #include "mcs/upcall.h"
 #include "net/fabric.h"
+#include "net/reliable_transport.h"
 #include "obs/obs.h"
 
 namespace cim::isc {
@@ -57,8 +69,10 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   IsProcess& operator=(const IsProcess&) = delete;
 
   /// Register an outbound channel to a peer IS-process; returns the local
-  /// link index.
-  std::size_t add_link(net::ChannelId out);
+  /// link index. When `transport` is non-null, pairs are sent through it
+  /// (and it must be wired to `out`).
+  std::size_t add_link(net::ChannelId out,
+                       net::ReliableTransport* transport = nullptr);
 
   /// Declare that messages arriving on `in` belong to link `link_index`.
   void register_in_channel(net::ChannelId in, std::size_t link_index);
@@ -68,6 +82,17 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
 
   bool pre_reads_enabled() const { return pre_reads_enabled_; }
   ProcId id() const { return app_.id(); }
+
+  // ---- crash / recovery ----------------------------------------------------
+  /// Crash the IS-process: park the in-flight upcall (if any), take the link
+  /// transports down. Pairs arriving on raw (transport-less) links while
+  /// crashed are lost — only ARQ links recover them.
+  void crash();
+  /// Restart: bring transports up, then replay the parked upcall in order
+  /// (re-reading from the attached MCS-process).
+  void restart();
+  bool crashed() const { return crashed_; }
+  std::uint64_t crash_count() const { return crash_count_; }
 
   // UpcallHandler (called by the MCS-process).
   void pre_update(VarId var, std::function<void()> done) override;
@@ -81,15 +106,31 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   std::uint64_t pairs_received() const { return pairs_received_; }
 
  private:
+  struct Link {
+    net::ChannelId out;
+    net::ReliableTransport* transport = nullptr;  // null: raw fabric channel
+  };
+  struct ParkedUpcall {
+    bool is_pre = false;
+    VarId var;
+    Value value = kInitValue;  // post upcalls only
+    std::function<void()> done;
+  };
+
   void send_pair(std::size_t link, VarId var, Value value,
                  sim::Time origin_time);
+  void run_pre_update(VarId var, std::function<void()> done);
+  void run_post_update(VarId var, Value value, std::function<void()> done);
 
   mcs::AppProcess& app_;
   net::Fabric& fabric_;
-  std::vector<net::ChannelId> out_links_;
+  std::vector<Link> out_links_;
   std::vector<std::pair<std::uint32_t, std::size_t>> in_links_;  // chan, link
   bool pre_reads_enabled_ = false;
   bool activated_ = false;
+  bool crashed_ = false;
+  std::uint64_t crash_count_ = 0;
+  std::vector<ParkedUpcall> parked_;
   std::uint64_t pairs_sent_ = 0;
   std::uint64_t pairs_received_ = 0;
 

@@ -23,6 +23,9 @@ struct PairMsg final : net::Message {
 
   const char* type_name() const override { return "is.pair"; }
   std::size_t wire_size() const override { return 24 + 4 + 8; }
+  net::MessagePtr clone() const override {
+    return std::make_unique<PairMsg>(*this);
+  }
 };
 
 }  // namespace cim::isc

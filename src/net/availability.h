@@ -37,6 +37,14 @@ class AlwaysUp final : public AvailabilitySchedule {
 /// Periodic duty cycle: within each period the link is up for the first
 /// `up` duration and down for the rest. Models a dial-up connection that is
 /// brought up on a schedule.
+///
+/// Boundary semantics (pinned by tests/net_test.cpp): each period starts at
+/// offset + k·period and is up on [start, start + up), down on
+/// [start + up, start + period). A period-boundary instant is therefore up
+/// iff up > 0; t exactly at start + up is down, with next_up = the next
+/// period start; up == period means always up; up == 0 means never up
+/// (next_up = kTimeMax). Times before the first period start wrap (the
+/// schedule extends periodically in both directions).
 class PeriodicDuty final : public AvailabilitySchedule {
  public:
   PeriodicDuty(sim::Duration period, sim::Duration up, sim::Duration offset = {})

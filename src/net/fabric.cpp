@@ -64,7 +64,19 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
     m_bytes_->inc(bytes);
   }
 
-  if (ch.drop_probability > 0 && rng_.chance(ch.drop_probability)) {
+  // Loss, in precedence order: a partition severs the link outright; a
+  // scripted burst raises the loss rate; the base drop probability models a
+  // permanently unreliable channel.
+  const char* lost_why = nullptr;
+  if (ch.partitioned) {
+    lost_why = "partition";
+  } else {
+    const double p = std::max(ch.drop_probability, ch.burst_drop);
+    if (p > 0 && rng_.chance(p)) {
+      lost_why = ch.burst_drop > ch.drop_probability ? "burst" : "loss";
+    }
+  }
+  if (lost_why != nullptr) {
     ch.stats.dropped += 1;
     if (m_dropped_ != nullptr) m_dropped_->inc();
     CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "drop",
@@ -72,8 +84,9 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
                {"msg", msg_seq},
                {"src", ch.src},
                {"dst", ch.dst},
-               {"type", type_name}});
-    return;  // lost on an unreliable channel
+               {"type", type_name},
+               {"why", lost_why}});
+    return;
   }
 
   // Transmission starts when the link is next up (immediately if up now);
@@ -83,9 +96,12 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
   CIM_CHECK_MSG(start != sim::kTimeMax,
                 "message sent on a link that never comes up again");
   const sim::Duration availability_wait = start - sim_.now();
-  if (availability_wait > sim::Duration{} && m_availability_waits_ != nullptr) {
-    m_availability_waits_->inc();
-    h_availability_wait_->observe(availability_wait);
+  if (availability_wait > sim::Duration{}) {
+    ch.stats.availability_waits += 1;
+    if (m_availability_waits_ != nullptr) {
+      m_availability_waits_->inc();
+      h_availability_wait_->observe(availability_wait);
+    }
   }
   sim::Time delivery = start + ch.delay->sample(rng_);
   if (ch.fifo) {
@@ -143,6 +159,7 @@ ChannelStats Fabric::class_stats(LinkClass c) const {
       total.messages += ch.stats.messages;
       total.bytes += ch.stats.bytes;
       total.dropped += ch.stats.dropped;
+      total.availability_waits += ch.stats.availability_waits;
     }
   }
   return total;
@@ -157,6 +174,7 @@ ChannelStats Fabric::cross_system_stats(SystemId a, SystemId b) const {
       total.messages += ch.stats.messages;
       total.bytes += ch.stats.bytes;
       total.dropped += ch.stats.dropped;
+      total.availability_waits += ch.stats.availability_waits;
     }
   }
   return total;
@@ -170,6 +188,7 @@ ChannelStats Fabric::stats_where(
       total.messages += ch.stats.messages;
       total.bytes += ch.stats.bytes;
       total.dropped += ch.stats.dropped;
+      total.availability_waits += ch.stats.availability_waits;
     }
   }
   return total;

@@ -49,7 +49,8 @@ class Receiver {
 struct ChannelStats {
   std::uint64_t messages = 0;  // accepted for transmission
   std::uint64_t bytes = 0;
-  std::uint64_t dropped = 0;   // lost by an unreliable channel
+  std::uint64_t dropped = 0;   // lost: unreliable channel, burst, or partition
+  std::uint64_t availability_waits = 0;  // sends queued behind a down window
 };
 
 struct ChannelConfig {
@@ -87,8 +88,24 @@ class Fabric {
   /// preserving per-channel FIFO order.
   void send(ChannelId channel, MessagePtr msg);
 
+  // ---- runtime fault injection (driven by sim::FaultPlan events) -----------
+  /// Partitioned channels lose every message sent while the partition holds
+  /// (a partition severs the link; it does not queue like a dial-up window).
+  void set_partitioned(ChannelId id, bool partitioned) {
+    channels_.at(id.value).partitioned = partitioned;
+  }
+  bool partitioned(ChannelId id) const {
+    return channels_.at(id.value).partitioned;
+  }
+  /// Additional drop probability during a scripted loss burst; composes with
+  /// the channel's base drop_probability (the max applies). 0 ends the burst.
+  void set_burst_drop(ChannelId id, double probability) {
+    channels_.at(id.value).burst_drop = probability;
+  }
+
   sim::Simulator& simulator() { return sim_; }
 
+  std::size_t num_channels() const { return channels_.size(); }
   const ChannelStats& channel_stats(ChannelId id) const {
     return channels_.at(id.value).stats;
   }
@@ -133,6 +150,8 @@ class Fabric {
     LinkClass link_class;
     bool fifo = true;
     double drop_probability = 0.0;
+    bool partitioned = false;   // fault injection: sever the link
+    double burst_drop = 0.0;    // fault injection: scripted loss burst
     sim::Time last_delivery;  // monotone per channel -> FIFO
     std::size_t in_flight = 0;
     ChannelStats stats;

@@ -20,6 +20,11 @@ class Message {
 
   /// Approximate size on the wire in bytes (header + payload).
   virtual std::size_t wire_size() const { return 64; }
+
+  /// Deep copy, for messages that may be retransmitted by the reliable
+  /// transport (each transmission puts a fresh copy on the wire). Returns
+  /// null for message types that do not support retransmission.
+  virtual std::unique_ptr<Message> clone() const { return nullptr; }
 };
 
 using MessagePtr = std::unique_ptr<Message>;

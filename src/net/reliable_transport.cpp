@@ -1,0 +1,244 @@
+#include "net/reliable_transport.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::net {
+
+ReliableTransport::ReliableTransport(Fabric& fabric, TransportConfig config,
+                                     obs::Observability* obs)
+    : fabric_(fabric),
+      sim_(fabric.simulator()),
+      cfg_(config),
+      rng_(config.seed),
+      rto_(config.rto_initial) {
+  CIM_CHECK_MSG(cfg_.window > 0, "transport window must be positive");
+  CIM_CHECK_MSG(cfg_.rto_initial.ns > 0, "rto_initial must be positive");
+  CIM_CHECK_MSG(cfg_.backoff >= 1.0, "backoff factor must be >= 1");
+  CIM_CHECK_MSG(cfg_.jitter >= 0.0, "jitter must be non-negative");
+  if (obs != nullptr) {
+    trace_ = &obs->trace();
+    obs::MetricsRegistry& m = obs->metrics();
+    m_retx_sent_ = &m.counter("net.retx.sent");
+    m_retx_timeouts_ = &m.counter("net.retx.timeouts");
+    m_acks_ = &m.counter("net.acks");
+    m_dups_ = &m.counter("net.dups_suppressed");
+    m_down_drops_ = &m.counter("net.down_drops");
+    h_window_ = &m.value_histogram("transport.window_occupancy");
+  }
+}
+
+void ReliableTransport::wire(ChannelId out, ChannelId in, Receiver* upper) {
+  CIM_CHECK_MSG(!wired_, "transport endpoint wired twice");
+  CIM_CHECK_MSG(upper != nullptr, "transport needs an upper receiver");
+  wired_ = true;
+  out_ = out;
+  in_ = in;
+  upper_ = upper;
+}
+
+void ReliableTransport::send(MessagePtr payload) {
+  CIM_CHECK_MSG(wired_, "transport endpoint not wired");
+  CIM_CHECK_MSG(payload != nullptr, "cannot send a null payload");
+  queue_.push_back(std::move(payload));
+  admit_from_queue();
+}
+
+void ReliableTransport::admit_from_queue() {
+  while (!down_ && !queue_.empty() && unacked_.size() < cfg_.window) {
+    Unacked entry;
+    entry.seq = send_next_++;
+    entry.payload = std::move(queue_.front());
+    queue_.pop_front();
+    unacked_.push_back(std::move(entry));
+    if (h_window_ != nullptr) {
+      h_window_->observe(static_cast<std::int64_t>(unacked_.size()));
+    }
+    transmit(unacked_.back());
+  }
+}
+
+void ReliableTransport::transmit(Unacked& entry) {
+  ++entry.attempts;
+  auto frame = std::make_unique<TransportFrame>();
+  frame->seq = entry.seq;
+  frame->ack = recv_next_;
+  frame->payload = entry.payload->clone();
+  CIM_CHECK_MSG(frame->payload != nullptr,
+                "transport payloads must implement Message::clone()");
+  // The frame carries a cumulative ACK, so any delayed standalone ACK
+  // becomes redundant.
+  ack_pending_ = false;
+  ++ack_gen_;
+  if (entry.attempts > 1) {
+    ++retransmits_;
+    if (m_retx_sent_ != nullptr) m_retx_sent_->inc();
+    CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "retx",
+              {{"ch", out_.value},
+               {"seq", entry.seq},
+               {"attempt", entry.attempts}});
+  }
+  fabric_.send(out_, std::move(frame));
+  if (!retx_armed_) arm_retx_timer();
+}
+
+void ReliableTransport::arm_retx_timer() {
+  retx_armed_ = true;
+  const std::uint64_t gen = ++retx_gen_;
+  const auto stretched = static_cast<std::int64_t>(
+      static_cast<double>(rto_.ns) * (1.0 + cfg_.jitter * rng_.uniform01()));
+  sim_.after(sim::Duration{stretched}, [this, gen] {
+    if (gen != retx_gen_) return;  // superseded or disarmed
+    retx_armed_ = false;
+    on_retx_timeout();
+  });
+}
+
+void ReliableTransport::on_retx_timeout() {
+  if (down_ || unacked_.empty()) return;
+  ++timeouts_;
+  if (m_retx_timeouts_ != nullptr) m_retx_timeouts_->inc();
+  CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "retx_timeout",
+            {{"ch", out_.value},
+             {"oldest", unacked_.front().seq},
+             {"window", static_cast<std::uint64_t>(unacked_.size())},
+             {"rto_ns", rto_}});
+  // Go-back-N on timeout: back off the timer, then resend the whole window
+  // (the receiver holds back out-of-order frames, so duplicates are
+  // suppressed cheaply). The first transmit re-arms the timer at the
+  // backed-off RTO.
+  rto_ = sim::Duration{std::min(
+      static_cast<std::int64_t>(static_cast<double>(rto_.ns) * cfg_.backoff),
+      cfg_.rto_max.ns)};
+  for (Unacked& entry : unacked_) transmit(entry);
+}
+
+void ReliableTransport::handle_ack(std::uint64_t ack) {
+  bool progress = false;
+  while (!unacked_.empty() && unacked_.front().seq < ack) {
+    unacked_.pop_front();
+    progress = true;
+  }
+  if (!progress) return;
+  rto_ = cfg_.rto_initial;  // fresh ACK progress resets the backoff
+  if (unacked_.empty()) {
+    disarm_retx_timer();
+    retx_armed_ = false;
+  } else {
+    arm_retx_timer();
+  }
+  admit_from_queue();
+}
+
+void ReliableTransport::on_message(ChannelId from, MessagePtr msg) {
+  CIM_CHECK(from == in_);
+  auto* frame = dynamic_cast<TransportFrame*>(msg.get());
+  CIM_CHECK_MSG(frame != nullptr, "transport received a non-transport frame");
+  if (down_) {
+    // The owning host is crashed: the frame is lost at the NIC. The peer's
+    // retransmission timer recovers it after restart.
+    ++dropped_while_down_;
+    if (m_down_drops_ != nullptr) m_down_drops_->inc();
+    CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "down_drop",
+              {{"ch", in_.value}, {"type", frame->type_name()}});
+    return;
+  }
+
+  handle_ack(frame->ack);
+  if (frame->payload == nullptr) return;  // standalone ACK
+
+  const std::uint64_t seq = frame->seq;
+  if (seq < recv_next_) {
+    // Duplicate of an already-delivered frame (a retransmission raced the
+    // ACK). Re-ACK so the sender advances.
+    ++dups_suppressed_;
+    if (m_dups_ != nullptr) m_dups_->inc();
+    CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "dup",
+              {{"ch", in_.value}, {"seq", seq}});
+    schedule_ack();
+    return;
+  }
+  if (seq == recv_next_) {
+    deliver_in_order(seq, std::move(frame->payload));
+  } else {
+    // Out of order (the underlying channel reordered, or a gap was lost):
+    // hold back until the gap fills. Duplicate out-of-order copies of the
+    // same seq are collapsed by the map insert.
+    const bool inserted =
+        reorder_.emplace(seq, std::move(frame->payload)).second;
+    if (!inserted) {
+      ++dups_suppressed_;
+      if (m_dups_ != nullptr) m_dups_->inc();
+    }
+    CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "ooo",
+              {{"ch", in_.value},
+               {"seq", seq},
+               {"expected", recv_next_},
+               {"held", static_cast<std::uint64_t>(reorder_.size())}});
+  }
+  schedule_ack();
+}
+
+void ReliableTransport::deliver_in_order(std::uint64_t seq,
+                                         MessagePtr payload) {
+  CIM_CHECK(seq == recv_next_);
+  ++recv_next_;
+  ++delivered_;
+  upper_->on_message(in_, std::move(payload));
+  // Drain any contiguous run held back behind the gap just filled.
+  while (!reorder_.empty() && reorder_.begin()->first == recv_next_) {
+    MessagePtr next = std::move(reorder_.begin()->second);
+    reorder_.erase(reorder_.begin());
+    ++recv_next_;
+    ++delivered_;
+    upper_->on_message(in_, std::move(next));
+  }
+}
+
+void ReliableTransport::schedule_ack() {
+  if (ack_pending_) return;
+  ack_pending_ = true;
+  const std::uint64_t gen = ++ack_gen_;
+  sim_.after(cfg_.ack_delay, [this, gen] {
+    if (gen != ack_gen_ || !ack_pending_) return;  // piggybacked meanwhile
+    ack_pending_ = false;
+    send_standalone_ack();
+  });
+}
+
+void ReliableTransport::send_standalone_ack() {
+  if (down_) return;
+  ++acks_sent_;
+  if (m_acks_ != nullptr) m_acks_->inc();
+  auto frame = std::make_unique<TransportFrame>();
+  frame->ack = recv_next_;
+  CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kNet, "ack",
+            {{"ch", out_.value}, {"ack", recv_next_}});
+  fabric_.send(out_, std::move(frame));
+}
+
+void ReliableTransport::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down_) {
+    // Stop both timers; in-flight fabric deliveries will hit the down guard.
+    disarm_retx_timer();
+    retx_armed_ = false;
+    ++ack_gen_;
+    ack_pending_ = false;
+  } else {
+    // Restart: resume retransmission of everything unacknowledged, then
+    // re-open the send window for queued payloads (in that order — admitted
+    // payloads transmit on admission and must not be sent twice).
+    // recv_next_ survived the window (stable storage), so redelivered
+    // frames stay exactly-once.
+    rto_ = cfg_.rto_initial;
+    for (Unacked& entry : unacked_) transmit(entry);
+    admit_from_queue();
+  }
+}
+
+}  // namespace cim::net

@@ -33,7 +33,10 @@
 
 namespace cim::obs {
 
-inline constexpr int kTraceSchemaVersion = 1;
+// v2: transport events (retx, retx_timeout, ack, dup, ooo, down_drop), fault
+// events (fault_*, isp_crash/isp_restart, pair_lost_crashed), and the `why`
+// field on net.drop. The record layout itself is unchanged.
+inline constexpr int kTraceSchemaVersion = 2;
 
 /// Which layer emitted an event. One bit each in TraceOptions::category_mask.
 enum class TraceCategory : std::uint8_t {

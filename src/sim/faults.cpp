@@ -1,0 +1,98 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cim::sim {
+
+void FaultPlan::validate() const {
+  for (const Partition& p : partitions) {
+    CIM_CHECK_MSG(p.begin.ns >= 0, "partition begins before t=0");
+    CIM_CHECK_MSG(p.begin < p.end, "partition window is empty");
+  }
+  for (const BurstDrop& b : bursts) {
+    CIM_CHECK_MSG(b.begin.ns >= 0, "burst begins before t=0");
+    CIM_CHECK_MSG(b.begin < b.end, "burst window is empty");
+    CIM_CHECK_MSG(b.drop_probability >= 0.0 && b.drop_probability <= 1.0,
+                  "burst drop probability outside [0, 1]");
+  }
+  std::map<std::size_t, std::vector<std::pair<Time, Time>>> by_system;
+  for (const CrashRestart& c : crashes) {
+    CIM_CHECK_MSG(c.crash_at.ns >= 0, "crash before t=0");
+    CIM_CHECK_MSG(c.crash_at < c.restart_at, "crash window is empty");
+    by_system[c.system].emplace_back(c.crash_at, c.restart_at);
+  }
+  for (auto& [system, windows] : by_system) {
+    std::sort(windows.begin(), windows.end());
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+      CIM_CHECK_MSG(windows[i - 1].second <= windows[i].first,
+                    "overlapping crash windows for system " << system);
+    }
+  }
+}
+
+Time FaultPlan::horizon() const {
+  Time h = kTimeZero;
+  for (const Partition& p : partitions) h = std::max(h, p.end);
+  for (const BurstDrop& b : bursts) h = std::max(h, b.end);
+  for (const CrashRestart& c : crashes) h = std::max(h, c.restart_at);
+  return h;
+}
+
+FaultPlan make_chaos_plan(const ChaosOptions& options, std::uint64_t seed) {
+  CIM_CHECK_MSG(options.num_links > 0, "chaos plan needs at least one link");
+  CIM_CHECK_MSG(options.num_systems > 0,
+                "chaos plan needs at least one system");
+  CIM_CHECK_MSG(options.horizon.ns > 0, "chaos horizon must be positive");
+  Rng rng(seed);
+  FaultPlan plan;
+
+  const auto begin_before = [&](Duration length) {
+    const std::int64_t latest = std::max<std::int64_t>(
+        std::int64_t{1}, options.horizon.ns - length.ns);
+    return Time{static_cast<std::int64_t>(
+        rng.uniform(0, static_cast<std::uint64_t>(latest - 1)))};
+  };
+
+  for (std::size_t i = 0; i < options.num_partitions; ++i) {
+    FaultPlan::Partition p;
+    p.link = rng.uniform(0, options.num_links - 1);
+    p.begin = begin_before(options.partition_length);
+    p.end = p.begin + options.partition_length;
+    plan.partitions.push_back(p);
+  }
+  for (std::size_t i = 0; i < options.num_bursts; ++i) {
+    FaultPlan::BurstDrop b;
+    b.link = rng.uniform(0, options.num_links - 1);
+    b.begin = begin_before(options.burst_length);
+    b.end = b.begin + options.burst_length;
+    b.drop_probability = options.burst_drop;
+    plan.bursts.push_back(b);
+  }
+  // Crashes round-robin over systems; windows of the same system are placed
+  // in disjoint slices of the horizon so they can never overlap.
+  for (std::size_t i = 0; i < options.num_crashes; ++i) {
+    FaultPlan::CrashRestart c;
+    c.system = i % options.num_systems;
+    const std::size_t rounds =
+        (options.num_crashes + options.num_systems - 1) / options.num_systems;
+    const std::size_t round = i / options.num_systems;
+    const Duration slice{options.horizon.ns /
+                         static_cast<std::int64_t>(rounds)};
+    const Time slice_begin{slice.ns * static_cast<std::int64_t>(round)};
+    const std::int64_t slack =
+        std::max<std::int64_t>(std::int64_t{1},
+                               slice.ns - options.crash_length.ns);
+    c.crash_at = slice_begin + Duration{static_cast<std::int64_t>(
+                     rng.uniform(0, static_cast<std::uint64_t>(slack - 1)))};
+    c.restart_at = c.crash_at + options.crash_length;
+    plan.crashes.push_back(c);
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace cim::sim

@@ -1,0 +1,92 @@
+// Scripted fault plans for chaos testing.
+//
+// A FaultPlan is pure data: timed link partitions (with heals), loss bursts,
+// and process crash/restart windows, expressed against abstract *link* and
+// *system* indices. The plan lives at this layer so any executor can script
+// faults against virtual time; the interconnect layer (isc::Federation)
+// interprets the indices — link i is the i-th LinkSpec, system s the s-th
+// SystemConfig — and drives the plan from simulator events (see
+// docs/FAULTS.md for the injection semantics and recovery invariants).
+//
+// Plans are either written by hand (deterministic regression scenarios) or
+// sampled with make_chaos_plan, which scatters a configured number of each
+// fault kind across a horizon from a seed — the scripted-chaos equivalent of
+// a soak test: same seed, same storm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cim::sim {
+
+struct FaultPlan {
+  /// Both directions of link `link` lose every message in [begin, end).
+  struct Partition {
+    std::size_t link = 0;
+    Time begin;
+    Time end;
+  };
+
+  /// Both directions of link `link` drop messages with `drop_probability`
+  /// during [begin, end) (composed with the channel's base loss by max).
+  struct BurstDrop {
+    std::size_t link = 0;
+    Time begin;
+    Time end;
+    double drop_probability = 1.0;
+  };
+
+  /// Every IS-process of system `system` crashes at `crash_at` and restarts
+  /// at `restart_at`, replaying its deferred upcalls from its MCS-process.
+  struct CrashRestart {
+    std::size_t system = 0;
+    Time crash_at;
+    Time restart_at;
+  };
+
+  std::vector<Partition> partitions;
+  std::vector<BurstDrop> bursts;
+  std::vector<CrashRestart> crashes;
+
+  bool empty() const {
+    return partitions.empty() && bursts.empty() && crashes.empty();
+  }
+
+  /// Total scripted fault events (each window counts once).
+  std::size_t size() const {
+    return partitions.size() + bursts.size() + crashes.size();
+  }
+
+  /// CIM_CHECKs structural sanity: windows are non-empty and start at
+  /// non-negative times, burst probabilities are in [0, 1], and crash
+  /// windows of the same system do not overlap.
+  void validate() const;
+
+  /// Latest end/restart instant of any scripted fault (kTimeZero if empty):
+  /// after this instant no injected fault is active, so a run that quiesces
+  /// later has healed completely.
+  Time horizon() const;
+};
+
+struct ChaosOptions {
+  Duration horizon = seconds(2);     // faults scatter over [0, horizon)
+  std::size_t num_partitions = 1;
+  Duration partition_length = milliseconds(500);
+  std::size_t num_bursts = 2;
+  Duration burst_length = milliseconds(100);
+  double burst_drop = 0.5;
+  std::size_t num_crashes = 1;       // crash/restart windows per plan
+  Duration crash_length = milliseconds(200);
+  std::size_t num_links = 1;         // fault targets: links [0, num_links)
+  std::size_t num_systems = 2;       // crash targets: systems [0, num_systems)
+};
+
+/// Sample a storm: scatter the configured faults uniformly over the horizon.
+/// Deterministic in (options, seed). Crash windows of one system never
+/// overlap (they are spread round-robin over systems, then spaced).
+FaultPlan make_chaos_plan(const ChaosOptions& options, std::uint64_t seed);
+
+}  // namespace cim::sim

@@ -121,6 +121,7 @@ TEST(ChannelFaults, NonFifoLinkBreaksCausalityOfTheUnion) {
     };
     (*scan)();
     fed.run();
+    *scan = nullptr;  // break the closure's self-ownership cycle
 
     if (!chk::CausalChecker{}.check(fed.federation_history()).ok()) {
       violated_once = true;
@@ -159,6 +160,7 @@ TEST(ChannelFaults, FifoLinkNeverViolatesInSameScenario) {
     };
     (*scan)();
     fed.run();
+    *scan = nullptr;  // break the closure's self-ownership cycle
     auto res = chk::CausalChecker{}.check(fed.federation_history());
     EXPECT_TRUE(res.ok()) << "seed " << seed << ": " << res.detail;
   }

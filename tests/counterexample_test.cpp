@@ -79,6 +79,9 @@ void run_counterexample(Federation& fed, Probe& probe) {
   };
   (*poll)();
   fed.run();
+  // The stored lambda captures `poll` itself; break the ownership cycle so
+  // the closure is reclaimed.
+  *poll = nullptr;
   ASSERT_TRUE(probe.fired);
 }
 

@@ -247,6 +247,66 @@ TEST(Availability, PeriodicDutyOffsetShiftsWindow) {
   EXPECT_FALSE(duty.is_up(sim::Time{} + sim::milliseconds(8)));
 }
 
+// Pin the exact-boundary semantics documented on PeriodicDuty: the period
+// start instant is up (when up > 0), the instant the up window closes is
+// down, and next_up from there is the next period start.
+TEST(Availability, PeriodicDutyExactPeriodBoundaries) {
+  PeriodicDuty duty(sim::milliseconds(10), sim::milliseconds(3),
+                    sim::milliseconds(5));
+  for (int k = 0; k < 4; ++k) {
+    const sim::Time start =
+        sim::Time{} + sim::milliseconds(5) + sim::milliseconds(10 * k);
+    EXPECT_TRUE(duty.is_up(start)) << "period " << k;
+    // Last up instant vs first down instant of the window.
+    EXPECT_TRUE(duty.is_up(start + (sim::milliseconds(3) - sim::Duration{1})));
+    EXPECT_FALSE(duty.is_up(start + sim::milliseconds(3))) << "period " << k;
+    // next_up from the window-close edge and from deep in the down part
+    // both land exactly on the next period start.
+    EXPECT_EQ(duty.next_up(start + sim::milliseconds(3)),
+              start + sim::milliseconds(10));
+    EXPECT_EQ(duty.next_up(start + (sim::milliseconds(10) - sim::Duration{1})),
+              start + sim::milliseconds(10));
+    // next_up at an up instant is the identity.
+    EXPECT_EQ(duty.next_up(start), start);
+  }
+}
+
+TEST(Availability, PeriodicDutyFullDutyAlwaysUp) {
+  // up == period: the down part is empty, including at period boundaries.
+  PeriodicDuty duty(sim::milliseconds(10), sim::milliseconds(10));
+  for (int ms : {0, 9, 10, 15, 20, 100}) {
+    const sim::Time t = sim::Time{} + sim::milliseconds(ms);
+    EXPECT_TRUE(duty.is_up(t)) << ms << "ms";
+    EXPECT_EQ(duty.next_up(t), t) << ms << "ms";
+  }
+}
+
+TEST(Availability, PeriodicDutyBeforeFirstPeriodStart) {
+  // The schedule extends periodically to times before the offset: with
+  // period 10 / up 3 / offset 5, the prior window is [-5ms, -2ms).
+  PeriodicDuty duty(sim::milliseconds(10), sim::milliseconds(3),
+                    sim::milliseconds(5));
+  EXPECT_TRUE(duty.is_up(sim::Time{-5'000'000}));
+  EXPECT_TRUE(duty.is_up(sim::Time{-3'000'001}));
+  EXPECT_FALSE(duty.is_up(sim::Time{-2'000'000}));
+  EXPECT_FALSE(duty.is_up(sim::Time{0}));
+  EXPECT_EQ(duty.next_up(sim::Time{0}), sim::Time{} + sim::milliseconds(5));
+  EXPECT_EQ(duty.next_up(sim::Time{-2'000'000}),
+            sim::Time{} + sim::milliseconds(5));
+}
+
+TEST(Availability, PeriodicDutyZeroUpNextUpFromAnyInstant) {
+  // up == 0 must report kTimeMax from every instant, including exact period
+  // starts (phase 0 is *not* inside an empty up window).
+  PeriodicDuty duty(sim::milliseconds(10), sim::milliseconds(0),
+                    sim::milliseconds(4));
+  for (int ms : {0, 4, 14, 24}) {
+    const sim::Time t = sim::Time{} + sim::milliseconds(ms);
+    EXPECT_FALSE(duty.is_up(t)) << ms << "ms";
+    EXPECT_EQ(duty.next_up(t), sim::kTimeMax) << ms << "ms";
+  }
+}
+
 TEST(Availability, WindowsScheduleAndFinalUp) {
   std::vector<Windows::Window> w{
       {sim::Time{10}, sim::Time{20}},

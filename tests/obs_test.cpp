@@ -238,7 +238,7 @@ TEST(ObsTrace, JsonlRendersEveryFieldType) {
   std::ostringstream os;
   sink.write_jsonl(os);
   EXPECT_EQ(os.str(),
-            "{\"v\":1,\"seq\":0,\"t\":42,\"cat\":\"isc\",\"ev\":\"pair_in\","
+            "{\"v\":2,\"seq\":0,\"t\":42,\"cat\":\"isc\",\"ev\":\"pair_in\","
             "\"f\":{\"proc\":\"1.4\",\"var\":3,\"lat\":-5,\"rate\":0.5,"
             "\"type\":\"vc.update\"}}\n");
 }
@@ -303,10 +303,29 @@ TEST(ObsFederation, EveryEmittedNameIsDocumented) {
   buf << doc_file.rdbuf();
   const std::string doc = buf.str();
 
+  // Per-instance metric families (net.channel.3.dropped) are documented once
+  // with a placeholder (net.channel.<ch>.dropped): normalize every numeric
+  // dotted segment before the doc lookup.
+  const auto doc_name = [](const std::string& name) {
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < name.size()) {
+      std::size_t dot = name.find('.', pos);
+      if (dot == std::string::npos) dot = name.size();
+      const std::string seg = name.substr(pos, dot - pos);
+      const bool numeric =
+          !seg.empty() && seg.find_first_not_of("0123456789") == std::string::npos;
+      out += numeric ? "<ch>" : seg;
+      if (dot < name.size()) out += '.';
+      pos = dot + 1;
+    }
+    return out;
+  };
+
   const obs::MetricsSnapshot snap = fed.metrics_snapshot();
   EXPECT_GE(snap.entries.size(), 20u);  // the full stack is instrumented
   for (const obs::MetricsSnapshot::Entry& e : snap.entries) {
-    EXPECT_NE(doc.find("`" + e.name + "`"), std::string::npos)
+    EXPECT_NE(doc.find("`" + doc_name(e.name) + "`"), std::string::npos)
         << "metric `" << e.name << "` is not documented in OBSERVABILITY.md";
   }
 
