@@ -9,6 +9,7 @@
 //
 //   chaos_federation [seed]        default seed 7; same seed, same storm
 //   chaos_federation 7 --trace t.jsonl   also dump the structured trace
+//   chaos_federation 7 --metrics m.json  also dump the metrics snapshot
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -27,9 +28,12 @@ using namespace cim;
 int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
     }
@@ -121,6 +125,16 @@ int main(int argc, char** argv) {
     std::ofstream out(trace_path);
     fed.observability().trace().write_jsonl(out);
     std::cout << "  trace               " << trace_path << "\n";
+    if (fed.observability().trace().dropped() > 0) {
+      std::cerr << "chaos_federation: warning: trace ring dropped "
+                << fed.observability().trace().dropped()
+                << " events; raise cfg.obs.trace.capacity for a full trace\n";
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    obs::write_json(out, fed.metrics_snapshot());
+    std::cout << "  metrics             " << metrics_path << "\n";
   }
 
   const bool lossless = a.pairs_sent() == b.pairs_received() &&

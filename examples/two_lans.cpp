@@ -145,6 +145,11 @@ Result run_interconnected(const ObsOutputs& outputs) {
       fed.observability().trace().write_jsonl(os);
       std::cout << "[trace: " << outputs.trace_path << ", "
                 << fed.observability().trace().size() << " events]\n";
+      if (fed.observability().trace().dropped() > 0) {
+        std::cerr << "two_lans: warning: trace ring dropped "
+                  << fed.observability().trace().dropped()
+                  << " events; raise cfg.obs.trace.capacity for a full trace\n";
+      }
     }
   }
   if (!outputs.metrics_path.empty()) {

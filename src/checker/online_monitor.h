@@ -1,0 +1,147 @@
+// Online causal-consistency monitor: a bounded-memory streaming consumer of
+// the structured trace that flags consistency violations *while the run is
+// still executing* — unlike the offline checkers (causal_checker.h,
+// search_checker.h), which need the complete history afterwards.
+//
+// The monitor attaches to a TraceSink as its listener and watches the v3
+// write-lifecycle events (every one carries the originating WriteId):
+//
+//   fifo_regress — per-writer FIFO application order. A replica applied
+//     write #s of some origin after already applying #s' > s from the same
+//     origin, with virtual time elapsed in between. Program order is part
+//     of causal order, so an *observable* inversion violates causality.
+//     Two benign shapes are excluded: re-applying the same seq (the AW-seq
+//     protocol pre-applies its own writes and re-applies them at their
+//     total-order position), and inversions at one virtual instant (the
+//     lazy-batch protocol applies a whole batch atomically — scrambled
+//     inside, but no read can interleave, which is exactly why a single
+//     lazy-batch system stays causal even though it lacks Causal Updating).
+//   read_regress — per-variable read monotonicity. Two consecutive reads of
+//     a variable by one process returned writes of the same origin with
+//     decreasing sequence numbers: the process travelled back in time.
+//   stale_read — writes-into order (the paper's Section 5 counterexample).
+//     A process that has observed write #k of origin o (by reading any of
+//     o's values, or by being o) reads a variable x and gets a value
+//     causally *older* than o's latest write to x among #1..#k — either the
+//     initial value, or an overwritten same-origin write. The Claim 4
+//     history (w(x)1 · w(y)2 at p, then r(y)2 · r(x)0 elsewhere) is exactly
+//     this.
+//
+// Detection is a sound under-approximation: sequence-number knowledge is
+// propagated only by direct reads (no transitive closure through third
+// processes), so every reported violation is real, but not every violation
+// is reported. Values are assumed unique per execution (the repo-wide
+// workload convention) so a value identifies its write.
+//
+// Every violation is recorded, emitted as a `chk`/`violation` trace event
+// and counted in the `checker.violations` metric the moment the offending
+// event is observed. All state is bounded by MonitorOptions caps; when a
+// cap is hit the oldest entries are forgotten (reducing detection power,
+// never soundness).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_read.h"
+
+namespace cim::chk {
+
+struct MonitorOptions {
+  bool enabled = false;
+  bool check_fifo_apply = true;
+  bool check_read_monotonic = true;
+  bool check_writes_into = true;
+  std::size_t max_tracked_values = 1 << 16;  // value -> write id map
+  std::size_t max_writes_per_var = 1 << 10;  // per (origin, var) seq history
+  std::size_t max_violations = 256;          // retained Violation records
+};
+
+struct Violation {
+  const char* kind = nullptr;  // "fifo_regress" | "read_regress" | "stale_read"
+  std::int64_t t = 0;          // virtual time of the offending event, ns
+  ProcId proc;                 // process at which the violation surfaced
+  VarId var;
+  WriteId wid;                 // offending write (invalid for init reads)
+  std::uint32_t expected_seq = 0;  // newest same-origin seq the proc knew
+  std::uint32_t got_seq = 0;       // seq actually observed (0 = init)
+};
+
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(MonitorOptions opts = {});
+
+  /// Categories the monitor consumes (plus chk, which it emits).
+  static std::uint32_t required_category_mask();
+
+  /// Attach as `sink`'s listener; violations are then reported live as
+  /// `violation` trace events and on the `checker.violations` counter.
+  /// Either pointer may be null (offline use: feed observe() directly).
+  void attach(obs::TraceSink* sink, obs::MetricsRegistry* metrics);
+  void detach();
+
+  /// Feed one live / parsed event. chk-category events are ignored (the
+  /// monitor's own emissions do not recurse).
+  void observe(const obs::TraceEvent& ev);
+  void observe(const obs::ParsedTraceEvent& ev);
+
+  const MonitorOptions& options() const { return opts_; }
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t violation_count() const { return violation_count_; }
+  /// Retained violation records, oldest first (capped at max_violations;
+  /// violation_count() keeps the true total).
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  static std::uint64_t key(std::uint32_t a, std::uint32_t b) {
+    return (std::uint64_t(a) << 32) | b;
+  }
+  static std::uint32_t pack(ProcId p) {
+    return (std::uint32_t(p.system.value) << 16) | p.index;
+  }
+
+  void on_write_issue(std::int64_t t, ProcId proc, WriteId wid, VarId var,
+                      Value value);
+  void on_read_done(std::int64_t t, ProcId proc, VarId var, Value value);
+  void on_update_applied(std::int64_t t, ProcId proc, WriteId wid);
+  void learn(ProcId proc, WriteId wid);
+  void report(Violation v);
+
+  MonitorOptions opts_;
+  obs::TraceSink* sink_ = nullptr;
+  obs::Counter* m_violations_ = nullptr;
+
+  // value -> (wid, var) for every write seen issued; FIFO-bounded.
+  struct WriteInfo {
+    WriteId wid;
+    VarId var;
+  };
+  std::unordered_map<Value, WriteInfo> by_value_;
+  std::deque<Value> by_value_order_;
+
+  // (origin, var) -> ascending seqs of that origin's writes to var.
+  std::unordered_map<std::uint64_t, std::deque<std::uint32_t>> writes_;
+  // (proc, origin) -> highest seq of origin the proc has read or issued.
+  std::unordered_map<std::uint64_t, std::uint32_t> knows_;
+  // (proc, var) -> write returned by the proc's last read of var.
+  std::unordered_map<std::uint64_t, WriteId> last_read_;
+  // (replica, origin) -> highest seq applied at the replica, and when.
+  struct Applied {
+    std::uint32_t seq = 0;
+    std::int64_t t = 0;
+  };
+  std::unordered_map<std::uint64_t, Applied> applied_;
+
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace cim::chk

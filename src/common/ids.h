@@ -45,6 +45,33 @@ struct OpId {
   friend constexpr auto operator<=>(OpId, OpId) = default;
 };
 
+/// Globally unique identifier of a *write* within one execution: the origin
+/// process packed with its per-process write sequence number. Minted once at
+/// the origin application process and carried unchanged across protocol
+/// update messages, interconnect pairs, and every lifecycle trace event, so a
+/// single write can be followed end-to-end through the federation.
+///
+/// Layout: (origin system << 48) | (origin local index << 32) | seq.
+/// Sequence numbers start at 1; value 0 is "no write id".
+struct WriteId {
+  std::uint64_t value = 0;
+
+  static constexpr WriteId make(ProcId origin, std::uint32_t seq) {
+    return WriteId{(static_cast<std::uint64_t>(origin.system.value) << 48) |
+                   (static_cast<std::uint64_t>(origin.index) << 32) | seq};
+  }
+  constexpr bool valid() const { return value != 0; }
+  constexpr ProcId origin() const {
+    return ProcId{SystemId{static_cast<std::uint16_t>(value >> 48)},
+                  static_cast<std::uint16_t>((value >> 32) & 0xFFFF)};
+  }
+  constexpr std::uint32_t seq() const {
+    return static_cast<std::uint32_t>(value);
+  }
+
+  friend constexpr auto operator<=>(WriteId, WriteId) = default;
+};
+
 inline std::ostream& operator<<(std::ostream& os, SystemId s) {
   return os << "S" << s.value;
 }
@@ -56,6 +83,10 @@ inline std::ostream& operator<<(std::ostream& os, VarId v) {
 }
 inline std::ostream& operator<<(std::ostream& os, OpId o) {
   return os << "op#" << o.value;
+}
+inline std::ostream& operator<<(std::ostream& os, WriteId w) {
+  const ProcId o = w.origin();
+  return os << "w(" << o.system.value << "," << o.index << ")#" << w.seq();
 }
 
 inline std::string to_string(ProcId p) {
@@ -87,6 +118,12 @@ template <>
 struct hash<cim::OpId> {
   size_t operator()(cim::OpId o) const noexcept {
     return std::hash<std::uint64_t>{}(o.value);
+  }
+};
+template <>
+struct hash<cim::WriteId> {
+  size_t operator()(cim::WriteId w) const noexcept {
+    return std::hash<std::uint64_t>{}(w.value);
   }
 };
 }  // namespace std

@@ -4,12 +4,23 @@
 #include <utility>
 
 #include "common/check.h"
+#include "net/reliable_transport.h"
 
 namespace cim::isc {
 
 Federation::Federation(FederationConfig config)
     : obs_(config.obs), fabric_(sim_, config.seed) {
   CIM_CHECK_MSG(!config.systems.empty(), "federation needs at least one system");
+  if (config.monitor.enabled) {
+    // The monitor rides the trace stream: force tracing on and make sure
+    // the categories it consumes (and chk, which it emits) pass the mask.
+    obs::TraceSink& trace = obs_.trace();
+    trace.set_enabled(true);
+    trace.set_category_mask(trace.category_mask() |
+                            chk::OnlineMonitor::required_category_mask());
+    monitor_ = std::make_unique<chk::OnlineMonitor>(config.monitor);
+    monitor_->attach(&trace, &obs_.metrics());
+  }
   fabric_.set_observability(&obs_);
   for (mcs::SystemConfig& sc : config.systems) {
     systems_.push_back(std::make_unique<mcs::System>(
@@ -128,6 +139,36 @@ obs::MetricsSnapshot Federation::metrics_snapshot() {
     const auto cat = static_cast<obs::TraceCategory>(c);
     m.gauge(std::string("trace.events.") + obs::to_string(cat))
         .set(static_cast<std::int64_t>(obs_.trace().category_count(cat)));
+  }
+  m.gauge("trace.dropped")
+      .set(static_cast<std::int64_t>(obs_.trace().dropped()));
+  // Per-endpoint ARQ state for reliable links (net.endpoint.<ep>.* — the
+  // endpoint id 2*link+side substitutes for <ep>; side 0 = A, 1 = B).
+  for (std::size_t l = 0; l < interconnector_->num_links(); ++l) {
+    const auto [a, b] = interconnector_->link_transports(l);
+    const net::ReliableTransport* sides[2] = {a, b};
+    for (int side = 0; side < 2; ++side) {
+      const net::ReliableTransport* ep = sides[side];
+      if (ep == nullptr) continue;
+      const std::string prefix =
+          "net.endpoint." + std::to_string(2 * l + std::size_t(side));
+      m.gauge(prefix + ".retransmits")
+          .set(static_cast<std::int64_t>(ep->retransmits()));
+      m.gauge(prefix + ".timeouts")
+          .set(static_cast<std::int64_t>(ep->timeouts()));
+      m.gauge(prefix + ".dups_suppressed")
+          .set(static_cast<std::int64_t>(ep->dups_suppressed()));
+      m.gauge(prefix + ".acks_sent")
+          .set(static_cast<std::int64_t>(ep->acks_sent()));
+      m.gauge(prefix + ".down_drops")
+          .set(static_cast<std::int64_t>(ep->dropped_while_down()));
+      m.gauge(prefix + ".delivered")
+          .set(static_cast<std::int64_t>(ep->delivered()));
+      m.gauge(prefix + ".window_in_use")
+          .set(static_cast<std::int64_t>(ep->window_in_use()));
+      m.gauge(prefix + ".queued")
+          .set(static_cast<std::int64_t>(ep->queued()));
+    }
   }
   return m.snapshot();
 }

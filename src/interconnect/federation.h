@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "checker/history.h"
+#include "checker/online_monitor.h"
 #include "interconnect/interconnector.h"
 #include "mcs/memory_observer.h"
 #include "mcs/system.h"
@@ -32,6 +33,13 @@ struct FederationConfig {
   /// the link; crashes hit every IS-process of the system. Injection is
   /// scheduled as simulator events at construction time.
   sim::FaultPlan faults;
+  /// Online causal-consistency monitor (checker/online_monitor.h). Enabling
+  /// it force-enables tracing (and the categories the monitor consumes) and
+  /// attaches the monitor as the trace listener, so violations surface as
+  /// `chk`/`violation` events and on `checker.violations` *during* the run.
+  /// Disabled (the default), no listener is installed and instrumentation
+  /// cost is unchanged.
+  chk::MonitorOptions monitor;
 };
 
 class Federation {
@@ -45,6 +53,8 @@ class Federation {
   chk::Recorder& recorder() { return recorder_; }
   Interconnector& interconnector() { return *interconnector_; }
   obs::Observability& observability() { return obs_; }
+  /// The online monitor, or null when config.monitor.enabled was false.
+  chk::OnlineMonitor* monitor() { return monitor_.get(); }
 
   /// Pull-based metrics snapshot: refreshes the point-in-time gauges
   /// (sim.*, net.in_flight, trace.events.*) and returns the registry's
@@ -73,6 +83,7 @@ class Federation {
   void install_faults(const sim::FaultPlan& plan);
 
   obs::Observability obs_;  // first: outlives everything that instruments
+  std::unique_ptr<chk::OnlineMonitor> monitor_;
   sim::Simulator sim_;
   net::Fabric fabric_;
   chk::Recorder recorder_;

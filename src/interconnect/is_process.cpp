@@ -91,14 +91,16 @@ void IsProcess::restart() {
     if (upcall.is_pre) {
       run_pre_update(upcall.var, std::move(upcall.done));
     } else {
-      run_post_update(upcall.var, upcall.value, std::move(upcall.done));
+      run_post_update(upcall.var, upcall.value, upcall.wid,
+                      std::move(upcall.done));
     }
   }
 }
 
 void IsProcess::pre_update(VarId var, std::function<void()> done) {
   if (crashed_) {
-    parked_.push_back(ParkedUpcall{true, var, kInitValue, std::move(done)});
+    parked_.push_back(
+        ParkedUpcall{true, var, kInitValue, WriteId{}, std::move(done)});
     return;
   }
   run_pre_update(var, std::move(done));
@@ -113,38 +115,40 @@ void IsProcess::run_pre_update(VarId var, std::function<void()> done) {
   app_.read_now(var, [done = std::move(done)](Value) { done(); });
 }
 
-void IsProcess::post_update(VarId var, Value value,
+void IsProcess::post_update(VarId var, Value value, WriteId wid,
                             std::function<void()> done) {
   if (crashed_) {
-    parked_.push_back(ParkedUpcall{false, var, value, std::move(done)});
+    parked_.push_back(ParkedUpcall{false, var, value, wid, std::move(done)});
     return;
   }
-  run_post_update(var, value, std::move(done));
+  run_post_update(var, value, wid, std::move(done));
 }
 
-void IsProcess::run_post_update(VarId var, Value value,
+void IsProcess::run_post_update(VarId var, Value value, WriteId wid,
                                 std::function<void()> done) {
   // Task Propagate_out(x, v) (Fig. 1): read x — condition (c) guarantees the
   // read returns v — and send ⟨x, v⟩ to the peer IS-process on every link.
-  app_.read_now(var, [this, var, value, done = std::move(done)](Value read) {
+  app_.read_now(var,
+                [this, var, value, wid, done = std::move(done)](Value read) {
     CIM_CHECK_MSG(read == value,
                   "condition (c) violated: post-update read must return v");
     const sim::Time origin = fabric_.simulator().now();
     for (std::size_t link = 0; link < out_links_.size(); ++link) {
-      send_pair(link, var, read, origin);
+      send_pair(link, var, read, wid, origin);
     }
     done();
   });
 }
 
 void IsProcess::send_pair(std::size_t link, VarId var, Value value,
-                          sim::Time origin_time) {
+                          WriteId wid, sim::Time origin_time) {
   const sim::Time now = fabric_.simulator().now();
   auto msg = std::make_unique<PairMsg>();
   msg->var = var;
   msg->value = value;
   msg->sent_at = now;
   msg->origin_time = origin_time;
+  msg->write_id = wid;
   const Link& out = out_links_[link];
   if (out.transport != nullptr) {
     out.transport->send(std::move(msg));
@@ -161,6 +165,7 @@ void IsProcess::send_pair(std::size_t link, VarId var, Value value,
             {{"proc", id()},
              {"var", var},
              {"val", value},
+             {"wid", wid},
              {"link", static_cast<std::uint64_t>(link)}});
 }
 
@@ -174,7 +179,10 @@ void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
     // ARQ link's endpoint is down and shields us. The pair is lost, exactly
     // as a crashed host loses an in-flight datagram.
     CIM_TRACE(trace_, now, obs::TraceCategory::kIsc, "pair_lost_crashed",
-              {{"proc", id()}, {"var", pair->var}, {"val", pair->value}});
+              {{"proc", id()},
+               {"var", pair->var},
+               {"val", pair->value},
+               {"wid", pair->write_id}});
     return;
   }
   ++pairs_received_;
@@ -188,6 +196,7 @@ void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
             {{"proc", id()},
              {"var", pair->var},
              {"val", pair->value},
+             {"wid", pair->write_id},
              {"hop_ns", now - pair->sent_at},
              {"prop_ns", now - pair->origin_time}});
 
@@ -202,10 +211,13 @@ void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
   // explicit), then apply locally: task Propagate_in(y, u) issues the write.
   for (std::size_t link = 0; link < out_links_.size(); ++link) {
     if (link != source_link) {
-      send_pair(link, pair->var, pair->value, pair->origin_time);
+      send_pair(link, pair->var, pair->value, pair->write_id,
+                pair->origin_time);
     }
   }
-  app_.write(pair->var, pair->value);
+  // Re-issue under the *origin's* wid so the write keeps its identity as it
+  // crosses systems.
+  app_.write_with_wid(pair->var, pair->value, pair->write_id);
 }
 
 }  // namespace cim::isc

@@ -96,7 +96,7 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
 
   // UpcallHandler (called by the MCS-process).
   void pre_update(VarId var, std::function<void()> done) override;
-  void post_update(VarId var, Value value,
+  void post_update(VarId var, Value value, WriteId wid,
                    std::function<void()> done) override;
 
   // net::Receiver (pairs from peer IS-processes).
@@ -114,13 +114,15 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
     bool is_pre = false;
     VarId var;
     Value value = kInitValue;  // post upcalls only
+    WriteId wid;               // post upcalls only
     std::function<void()> done;
   };
 
-  void send_pair(std::size_t link, VarId var, Value value,
+  void send_pair(std::size_t link, VarId var, Value value, WriteId wid,
                  sim::Time origin_time);
   void run_pre_update(VarId var, std::function<void()> done);
-  void run_post_update(VarId var, Value value, std::function<void()> done);
+  void run_post_update(VarId var, Value value, WriteId wid,
+                       std::function<void()> done);
 
   mcs::AppProcess& app_;
   net::Fabric& fabric_;

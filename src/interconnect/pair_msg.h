@@ -15,17 +15,20 @@ struct PairMsg final : net::Message {
   VarId var;
   Value value = kInitValue;
   // Instrumentation only, not wire data (the pair stays the paper's entire
-  // wire format): send time of this hop (isc.pair_hop_latency) and the time
-  // the originating IS-process first propagated the update — preserved across
-  // tree forwarding, feeding isc.propagation_latency.
+  // wire format): send time of this hop (isc.pair_hop_latency), the time the
+  // originating IS-process first propagated the update — preserved across
+  // tree forwarding, feeding isc.propagation_latency — and the originating
+  // write's id, preserved likewise so the write can be traced end-to-end.
   sim::Time sent_at;
   sim::Time origin_time;
+  WriteId write_id;
 
   const char* type_name() const override { return "is.pair"; }
   std::size_t wire_size() const override { return 24 + 4 + 8; }
   net::MessagePtr clone() const override {
     return std::make_unique<PairMsg>(*this);
   }
+  WriteId wid() const override { return write_id; }
 };
 
 }  // namespace cim::isc

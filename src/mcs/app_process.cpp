@@ -30,10 +30,17 @@ void AppProcess::read(VarId var, ReadCallback k) {
 }
 
 void AppProcess::write(VarId var, Value value, WriteCallback k) {
+  write_with_wid(var, value, WriteId::make(id_, ++next_wseq_), std::move(k));
+}
+
+void AppProcess::write_with_wid(VarId var, Value value, WriteId wid,
+                                WriteCallback k) {
+  CIM_CHECK_MSG(wid.valid(), "writes must carry a write id");
   Request req;
   req.kind = chk::OpKind::kWrite;
   req.var = var;
   req.value = value;
+  req.wid = wid;
   req.on_write = std::move(k);
   enqueue(std::move(req));
 }
@@ -103,12 +110,15 @@ void AppProcess::issue(Request req) {
   } else {
     if (m_writes_ != nullptr) m_writes_->inc();
     CIM_TRACE(trace_, sim_.now(), obs::TraceCategory::kMcs, "write_issue",
-              {{"proc", id_}, {"var", req.var}, {"val", req.value}});
+              {{"proc", id_},
+               {"var", req.var},
+               {"val", req.value},
+               {"wid", req.wid}});
     const OpId op = recorder_.begin(id_, is_isp_, chk::OpKind::kWrite, req.var,
                                     req.value, sim_.now());
-    mcs_.handle_write(req.var, req.value,
+    mcs_.handle_write(req.var, req.value, req.wid,
                       [this, op, started, var = req.var, value = req.value,
-                       k = std::move(req.on_write)]() {
+                       wid = req.wid, k = std::move(req.on_write)]() {
                         recorder_.end_write(op, sim_.now());
                         ++completed_;
                         busy_ = false;
@@ -120,6 +130,7 @@ void AppProcess::issue(Request req) {
                                   {{"proc", id_},
                                    {"var", var},
                                    {"val", value},
+                                   {"wid", wid},
                                    {"lat_ns", sim_.now() - started}});
                         if (k) k();
                         pump();

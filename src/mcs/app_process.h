@@ -38,8 +38,15 @@ class AppProcess {
   /// completes. Queued behind any outstanding operation.
   void read(VarId var, ReadCallback k = {});
 
-  /// Issue a write; `k` (optional) runs when the operation completes.
+  /// Issue a write; `k` (optional) runs when the operation completes. A
+  /// fresh WriteId is minted from this process id and its write counter.
   void write(VarId var, Value value, WriteCallback k = {});
+
+  /// Issue a write carrying an existing WriteId. Used by IS-processes when
+  /// re-issuing a propagated write (Propagate_in), so the origin's wid
+  /// follows the write into this system's trace events. `wid` must be valid.
+  void write_with_wid(VarId var, Value value, WriteId wid,
+                      WriteCallback k = {});
 
   /// Issue a read immediately, bypassing the operation queue. Used by
   /// IS-processes inside upcall handlers, where the MCS guarantees immediate
@@ -57,6 +64,7 @@ class AppProcess {
     chk::OpKind kind = chk::OpKind::kRead;
     VarId var;
     Value value = kInitValue;  // writes only
+    WriteId wid;               // writes only
     ReadCallback on_read;
     WriteCallback on_write;
     sim::Time enqueued_at;
@@ -76,6 +84,7 @@ class AppProcess {
   bool pumping_ = false;
   std::deque<Request> queue_;
   std::uint64_t completed_ = 0;
+  std::uint32_t next_wseq_ = 0;  // per-process write counter (wid seq part)
 
   // Cached instrument cells (null without observability).
   obs::TraceSink* trace_ = nullptr;

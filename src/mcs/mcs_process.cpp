@@ -17,10 +17,11 @@ McsProcess::McsProcess(const McsContext& ctx) : ctx_(ctx), rng_(ctx.rng_seed) {
   }
 }
 
-void McsProcess::note_update_issued(VarId var, Value value) {
+void McsProcess::note_update_issued(VarId var, Value value, WriteId wid) {
   if (m_issued_ != nullptr) m_issued_->inc();
   CIM_TRACE(trace_, simulator().now(), obs::TraceCategory::kProto,
-            "update_issued", {{"proc", id()}, {"var", var}, {"val", value}});
+            "update_issued",
+            {{"proc", id()}, {"var", var}, {"val", value}, {"wid", wid}});
 }
 
 void McsProcess::note_update_buffered(std::size_t buffer_size) {
@@ -31,13 +32,14 @@ void McsProcess::note_update_buffered(std::size_t buffer_size) {
             "update_buffered", {{"proc", id()}, {"buf", buffer_size}});
 }
 
-void McsProcess::note_update_applied(VarId var, Value value) {
+void McsProcess::note_update_applied(VarId var, Value value, WriteId wid) {
   if (m_applied_ != nullptr) m_applied_->inc();
   CIM_TRACE(trace_, simulator().now(), obs::TraceCategory::kProto,
-            "update_applied", {{"proc", id()}, {"var", var}, {"val", value}});
+            "update_applied",
+            {{"proc", id()}, {"var", var}, {"val", value}, {"wid", wid}});
 }
 
-void McsProcess::note_update_applied(VarId var, Value value,
+void McsProcess::note_update_applied(VarId var, Value value, WriteId wid,
                                      sim::Time received_at) {
   if (m_applied_ != nullptr) {
     m_applied_->inc();
@@ -48,6 +50,7 @@ void McsProcess::note_update_applied(VarId var, Value value,
             {{"proc", id()},
              {"var", var},
              {"val", value},
+             {"wid", wid},
              {"wait_ns", simulator().now() - received_at}});
 }
 
@@ -71,25 +74,27 @@ void McsProcess::send_to(std::uint16_t to, net::MessagePtr msg) {
   fabric().send(out_[to], std::move(msg));
 }
 
-void McsProcess::handle_write(VarId var, Value value, WriteCallback cb) {
+void McsProcess::handle_write(VarId var, Value value, WriteId wid,
+                              WriteCallback cb) {
   if (upcall_in_flight_) {
     // Condition (a): the replica values involved in an in-flight upcall must
     // stay stable; local writes wait until the upcall dance completes.
-    deferred_writes_.push_back(DeferredWrite{var, value, std::move(cb)});
+    deferred_writes_.push_back(DeferredWrite{var, value, wid, std::move(cb)});
     return;
   }
-  do_write(var, value, std::move(cb));
+  do_write(var, value, wid, std::move(cb));
 }
 
 void McsProcess::drain_deferred_writes() {
   while (!deferred_writes_.empty() && !upcall_in_flight_) {
     DeferredWrite w = std::move(deferred_writes_.front());
     deferred_writes_.pop_front();
-    do_write(w.var, w.value, std::move(w.cb));
+    do_write(w.var, w.value, w.wid, std::move(w.cb));
   }
 }
 
-void McsProcess::apply_with_upcalls(VarId var, Value value, bool own_write,
+void McsProcess::apply_with_upcalls(VarId var, Value value, WriteId wid,
+                                    bool own_write,
                                     std::function<void()> apply,
                                     std::function<void()> done) {
   if (upcall_handler_ == nullptr || own_write) {
@@ -109,10 +114,10 @@ void McsProcess::apply_with_upcalls(VarId var, Value value, bool own_write,
     drain_deferred_writes();
     done();
   };
-  auto apply_and_post = [this, var, value, apply = std::move(apply),
+  auto apply_and_post = [this, var, value, wid, apply = std::move(apply),
                          finish = std::move(finish)]() {
     apply();
-    upcall_handler_->post_update(var, value, finish);
+    upcall_handler_->post_update(var, value, wid, finish);
   };
 
   if (pre_update_enabled_) {

@@ -67,7 +67,9 @@ class McsProcess : public net::Receiver {
 
   /// Serve a write call. While an upcall is in flight the call is deferred
   /// (condition (a)); otherwise it is passed to the protocol's do_write.
-  void handle_write(VarId var, Value value, WriteCallback cb);
+  /// `wid` is the globally-unique write id minted by the issuing application
+  /// process (or carried over from the origin system by an IS-process).
+  void handle_write(VarId var, Value value, WriteId wid, WriteCallback cb);
 
   // ---- IS-process support -------------------------------------------------
   void attach_upcall_handler(UpcallHandler* handler) {
@@ -87,14 +89,15 @@ class McsProcess : public net::Receiver {
 
  protected:
   /// Protocol implementation of a (non-deferred) write call.
-  virtual void do_write(VarId var, Value value, WriteCallback cb) = 0;
+  virtual void do_write(VarId var, Value value, WriteId wid,
+                        WriteCallback cb) = 0;
 
   /// Apply one replica update through the upcall discipline. `own_write` is
   /// true when the update stems from a write issued by the attached
   /// application process itself (such updates never generate upcalls).
   /// `apply` performs the replica mutation; `done` resumes the protocol's
   /// apply pipeline afterwards.
-  void apply_with_upcalls(VarId var, Value value, bool own_write,
+  void apply_with_upcalls(VarId var, Value value, WriteId wid, bool own_write,
                           std::function<void()> apply,
                           std::function<void()> done);
 
@@ -106,15 +109,16 @@ class McsProcess : public net::Receiver {
 
   // ---- protocol instrumentation (docs/OBSERVABILITY.md, `proto.*`) --------
   /// A local write was issued and propagated (counter + trace).
-  void note_update_issued(VarId var, Value value);
+  void note_update_issued(VarId var, Value value, WriteId wid);
   /// A remote update entered the protocol's reorder/batch buffer; sample its
   /// occupancy *after* insertion.
   void note_update_buffered(std::size_t buffer_size);
   /// A remote update was applied to the replica. `received_at` (if known)
   /// feeds the causal-wait histogram: time the update sat buffered until its
   /// causal dependencies arrived.
-  void note_update_applied(VarId var, Value value);
-  void note_update_applied(VarId var, Value value, sim::Time received_at);
+  void note_update_applied(VarId var, Value value, WriteId wid);
+  void note_update_applied(VarId var, Value value, WriteId wid,
+                           sim::Time received_at);
 
   const std::vector<net::ChannelId>& out_channels() const { return out_; }
   /// Sender local index of a registered inbound channel.
@@ -143,6 +147,7 @@ class McsProcess : public net::Receiver {
   struct DeferredWrite {
     VarId var;
     Value value;
+    WriteId wid;
     WriteCallback cb;
   };
   std::deque<DeferredWrite> deferred_writes_;

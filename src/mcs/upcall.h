@@ -32,7 +32,10 @@ class UpcallHandler {
   virtual void pre_update(VarId var, std::function<void()> done) = 0;
 
   /// Sent immediately after the replica of `var` was updated with `value`.
-  virtual void post_update(VarId var, Value value,
+  /// `wid` identifies the originating write (WriteId{} when the protocol
+  /// lost track of it); IS-processes propagate it on the outgoing pair so
+  /// one write can be traced across systems.
+  virtual void post_update(VarId var, Value value, WriteId wid,
                            std::function<void()> done) = 0;
 };
 

@@ -32,6 +32,8 @@ namespace cim::mp {
 struct CbPayload {
   VarId var;
   Value value = kInitValue;
+  // Instrumentation only, not wire data: the originating write's id.
+  WriteId wid;
 };
 
 struct CbcastMsg final : net::Message {
@@ -43,6 +45,7 @@ struct CbcastMsg final : net::Message {
   std::size_t wire_size() const override {
     return 24 + 4 + 8 + 2 + 8 * clock.size();
   }
+  WriteId wid() const override { return payload.wid; }
 };
 
 /// Outgoing fan-out, provided by the embedding layer.

@@ -56,6 +56,7 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
   const std::uint64_t msg_seq = msg_seq_++;
   const char* type_name = msg->type_name();
   const std::size_t bytes = msg->wire_size();
+  const WriteId wid = msg->wid();
 
   ch.stats.messages += 1;
   ch.stats.bytes += bytes;
@@ -85,7 +86,8 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
                {"src", ch.src},
                {"dst", ch.dst},
                {"type", type_name},
-               {"why", lost_why}});
+               {"why", lost_why},
+               {"wid", wid}});
     return;
   }
 
@@ -119,7 +121,8 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
              {"src", ch.src},
              {"dst", ch.dst},
              {"type", type_name},
-             {"bytes", bytes}});
+             {"bytes", bytes},
+             {"wid", wid}});
 
   // Box the unique_ptr in a shared_ptr so the action is copyable (as
   // std::function requires) while the message keeps single ownership.
@@ -127,15 +130,16 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
   Receiver* receiver = ch.receiver;
   const sim::Time sent_at = sim_.now();
   sim_.at(delivery, [this, receiver, channel, box, msg_seq, sent_at,
-                     type_name]() {
+                     type_name, wid]() {
     on_delivered(channels_[channel.value], channel, msg_seq, sent_at,
-                 type_name);
+                 type_name, wid);
     receiver->on_message(channel, std::move(*box));
   });
 }
 
 void Fabric::on_delivered(Channel& ch, ChannelId id, std::uint64_t msg_seq,
-                          sim::Time sent_at, const char* type_name) {
+                          sim::Time sent_at, const char* type_name,
+                          WriteId wid) {
   ch.in_flight -= 1;
   const sim::Duration latency = sim_.now() - sent_at;
   if (m_delivered_ != nullptr) {
@@ -149,7 +153,8 @@ void Fabric::on_delivered(Channel& ch, ChannelId id, std::uint64_t msg_seq,
              {"msg", msg_seq},
              {"dst", ch.dst},
              {"type", type_name},
-             {"latency_ns", latency}});
+             {"latency_ns", latency},
+             {"wid", wid}});
 }
 
 ChannelStats Fabric::class_stats(LinkClass c) const {

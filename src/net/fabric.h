@@ -158,7 +158,7 @@ class Fabric {
   };
 
   void on_delivered(Channel& ch, ChannelId id, std::uint64_t msg_seq,
-                    sim::Time sent_at, const char* type_name);
+                    sim::Time sent_at, const char* type_name, WriteId wid);
 
   sim::Simulator& sim_;
   Rng rng_;

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <memory>
 
+#include "common/ids.h"
+
 namespace cim::net {
 
 class Message {
@@ -20,6 +22,12 @@ class Message {
 
   /// Approximate size on the wire in bytes (header + payload).
   virtual std::size_t wire_size() const { return 64; }
+
+  /// The write this message propagates, if any (WriteId{} otherwise).
+  /// Instrumentation only: lets the fabric stamp `wid` on its send/deliver
+  /// trace events without knowing concrete message types. Carrier messages
+  /// (transport frames) forward their payload's wid.
+  virtual WriteId wid() const { return WriteId{}; }
 
   /// Deep copy, for messages that may be retransmitted by the reliable
   /// transport (each transmission puts a fresh copy on the wire). Returns

@@ -163,6 +163,7 @@ struct TransportFrame final : Message {
     // seq + ack + flags, plus the payload when present.
     return 20 + (payload ? payload->wire_size() : 0);
   }
+  WriteId wid() const override { return payload ? payload->wid() : WriteId{}; }
 };
 
 }  // namespace cim::net

@@ -1,7 +1,8 @@
 // Minimal JSON emission shared by the observability exporters and the bench
-// report writer. Emission only — the repo never parses JSON at runtime; the
-// schemas it emits are specified in docs/OBSERVABILITY.md and
-// docs/BENCHMARKS.md and consumed by external tooling (jq, python, ...).
+// report writer. The matching parser (used by the cim_trace CLI and the
+// offline monitor to read trace JSONL back) lives in trace_read.h; the
+// schemas are specified in docs/OBSERVABILITY.md and docs/BENCHMARKS.md and
+// also consumed by external tooling (jq, python, Perfetto, ...).
 #pragma once
 
 #include <cstdint>

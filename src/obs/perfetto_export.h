@@ -1,0 +1,33 @@
+// Chrome Trace Event JSON export (the `cim_trace export --perfetto`
+// backend), loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping (docs/TRACE_TOOLS.md):
+//   - one track per simulated process: pid = system id, tid = process index
+//     (named via "M" process_name / thread_name metadata records);
+//   - every trace record becomes an "i" (instant) event on its process
+//     track, args carrying the record's fields verbatim;
+//   - each write id becomes an async "b"/"e" pair on the origin process,
+//     spanning write_issue → last observation of the wid anywhere, so the
+//     full propagation of a write reads as one horizontal span;
+//   - derived "X" (complete) slices make the interesting latencies visible:
+//     `causal_wait` on the applying process and `is_hop` on the receiving
+//     IS-process.
+//
+// Events with no process affinity (e.g. simulator-level records) land on a
+// synthetic "trace" track. Timestamps are virtual nanoseconds rendered as
+// microseconds (the format's unit).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace_read.h"
+
+namespace cim::obs {
+
+/// Write `events` as one Chrome Trace Event JSON document (object form:
+/// {"traceEvents": [...]}).
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<ParsedTraceEvent>& events);
+
+}  // namespace cim::obs

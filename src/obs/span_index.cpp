@@ -1,0 +1,259 @@
+#include "obs/span_index.h"
+
+#include <algorithm>
+#include <ostream>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace cim::obs {
+
+namespace {
+
+const TraceField* find_field(const TraceEvent& ev, std::string_view key) {
+  for (std::uint8_t k = 0; k < ev.num_fields; ++k) {
+    const TraceField& f = ev.fields[k];
+    if (f.key != nullptr && key == f.key) return &f;
+  }
+  return nullptr;
+}
+
+std::int64_t live_int(const TraceEvent& ev, std::string_view key,
+                      std::int64_t def) {
+  const TraceField* f = find_field(ev, key);
+  if (f == nullptr) return def;
+  switch (f->kind) {
+    case TraceField::Kind::kInt: return f->i;
+    case TraceField::Kind::kUint: return static_cast<std::int64_t>(f->u);
+    default: return def;
+  }
+}
+
+bool live_proc(const TraceEvent& ev, std::string_view key, ProcId& out) {
+  const TraceField* f = find_field(ev, key);
+  if (f == nullptr || f->kind != TraceField::Kind::kProc) return false;
+  out = ProcId{SystemId{static_cast<std::uint16_t>(f->proc >> 16)},
+               static_cast<std::uint16_t>(f->proc & 0xFFFF)};
+  return true;
+}
+
+}  // namespace
+
+std::int64_t WriteSpan::completion_t() const {
+  std::int64_t t = std::max(issue_t, origin_done_t);
+  for (const Apply& a : applies) t = std::max(t, a.t);
+  for (const PairOut& p : pair_outs) t = std::max(t, p.t);
+  for (const PairIn& p : pair_ins) t = std::max(t, p.t);
+  return t;
+}
+
+WriteSpan& SpanIndex::span_for(WriteId wid) {
+  auto [it, inserted] = by_wid_.try_emplace(wid, spans_.size());
+  if (inserted) {
+    spans_.emplace_back();
+    spans_.back().wid = wid;
+    order_.push_back(wid);
+  }
+  return spans_[it->second];
+}
+
+const WriteSpan* SpanIndex::span(WriteId wid) const {
+  auto it = by_wid_.find(wid);
+  return it == by_wid_.end() ? nullptr : &spans_[it->second];
+}
+
+void SpanIndex::on_write_issue(std::int64_t t, ProcId proc, WriteId wid,
+                               VarId var, Value value) {
+  WriteSpan& s = span_for(wid);
+  s.var = var;
+  s.value = value;
+  // An IS-process re-issues foreign writes locally (Propagate_in); only the
+  // issue at the minting process anchors the span's origin timeline.
+  if (proc == wid.origin()) {
+    s.origin_seen = true;
+    s.issue_t = t;
+  }
+}
+
+void SpanIndex::on_write_done(std::int64_t t, ProcId proc, WriteId wid) {
+  WriteSpan& s = span_for(wid);
+  if (proc == wid.origin()) s.origin_done_t = t;
+}
+
+void SpanIndex::on_update_applied(std::int64_t t, ProcId proc, WriteId wid,
+                                  std::int64_t wait_ns) {
+  span_for(wid).applies.push_back({proc, t, wait_ns});
+}
+
+void SpanIndex::on_pair_out(std::int64_t t, ProcId proc, WriteId wid,
+                            std::uint64_t link) {
+  span_for(wid).pair_outs.push_back({proc, t, link});
+}
+
+void SpanIndex::on_pair_in(std::int64_t t, ProcId proc, WriteId wid,
+                           std::int64_t hop_ns, std::int64_t prop_ns) {
+  span_for(wid).pair_ins.push_back({proc, t, hop_ns, prop_ns});
+}
+
+void SpanIndex::observe(const TraceEvent& ev) {
+  ++events_seen_;
+  const WriteId wid{static_cast<std::uint64_t>(live_int(ev, "wid", 0))};
+  if (!wid.valid()) return;
+  ProcId proc{};
+  if (!live_proc(ev, "proc", proc)) return;
+  const std::int64_t t = ev.t.ns;
+  const std::string_view name = ev.name;
+  switch (ev.cat) {
+    case TraceCategory::kMcs:
+      if (name == "write_issue") {
+        on_write_issue(t, proc, wid, VarId{static_cast<std::uint32_t>(
+                                         live_int(ev, "var", 0))},
+                       live_int(ev, "val", 0));
+      } else if (name == "write_done") {
+        on_write_done(t, proc, wid);
+      }
+      break;
+    case TraceCategory::kProto:
+      if (name == "update_applied") {
+        on_update_applied(t, proc, wid, live_int(ev, "wait_ns", -1));
+      }
+      break;
+    case TraceCategory::kIsc:
+      if (name == "pair_out") {
+        on_pair_out(t, proc, wid,
+                    static_cast<std::uint64_t>(live_int(ev, "link", 0)));
+      } else if (name == "pair_in") {
+        on_pair_in(t, proc, wid, live_int(ev, "hop_ns", 0),
+                   live_int(ev, "prop_ns", 0));
+      }
+      break;
+    default: break;
+  }
+}
+
+void SpanIndex::observe(const ParsedTraceEvent& ev) {
+  ++events_seen_;
+  const WriteId wid = ev.wid();
+  if (!wid.valid()) return;
+  ProcId proc{};
+  if (!ev.field_proc("proc", proc)) return;
+  if (ev.cat == "mcs") {
+    if (ev.name == "write_issue") {
+      on_write_issue(ev.t, proc, wid,
+                     VarId{static_cast<std::uint32_t>(ev.field_int("var"))},
+                     ev.field_int("val"));
+    } else if (ev.name == "write_done") {
+      on_write_done(ev.t, proc, wid);
+    }
+  } else if (ev.cat == "proto") {
+    if (ev.name == "update_applied") {
+      on_update_applied(ev.t, proc, wid, ev.field_int("wait_ns", -1));
+    }
+  } else if (ev.cat == "isc") {
+    if (ev.name == "pair_out") {
+      on_pair_out(ev.t, proc, wid, ev.field_uint("link"));
+    } else if (ev.name == "pair_in") {
+      on_pair_in(ev.t, proc, wid, ev.field_int("hop_ns"),
+                 ev.field_int("prop_ns"));
+    }
+  }
+}
+
+void SpanIndex::index(const TraceSink& sink) {
+  sink.for_each([this](const TraceEvent& ev) { observe(ev); });
+}
+
+void SpanIndex::index(const std::vector<ParsedTraceEvent>& events) {
+  for (const ParsedTraceEvent& ev : events) observe(ev);
+}
+
+SpanIndex::StageBreakdown SpanIndex::stages() const {
+  StageBreakdown out;
+  for (const WriteSpan& s : spans_) {
+    const SystemId origin_sys = s.wid.origin().system;
+    if (s.origin_seen && s.origin_done_t >= 0) {
+      out.origin_apply.push_back(sim::Duration{s.origin_done_t - s.issue_t});
+    }
+    for (const WriteSpan::Apply& a : s.applies) {
+      if (a.wait_ns >= 0) out.causal_wait.push_back(sim::Duration{a.wait_ns});
+      if (!s.origin_seen || a.proc == s.wid.origin()) continue;
+      const sim::Duration lat{a.t - s.issue_t};
+      if (a.proc.system == origin_sys) {
+        out.fanout_intra.push_back(lat);
+      } else {
+        out.remote_apply.push_back(lat);
+      }
+    }
+    for (const WriteSpan::PairIn& p : s.pair_ins) {
+      out.is_hop.push_back(sim::Duration{p.hop_ns});
+      out.propagation.push_back(sim::Duration{p.prop_ns});
+    }
+  }
+  return out;
+}
+
+void SpanIndex::write_spans_jsonl(std::ostream& os) const {
+  for (WriteId wid : order_) {
+    const WriteSpan& s = spans_[by_wid_.at(wid)];
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("wid", s.wid.value);
+    {
+      const ProcId o = s.wid.origin();
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%u.%u", unsigned(o.system.value),
+                    unsigned(o.index));
+      w.kv("origin", std::string_view(buf));
+    }
+    w.kv("seq", std::uint64_t{s.wid.seq()});
+    w.kv("var", std::uint64_t{s.var.value});
+    w.kv("val", std::int64_t{s.value});
+    if (s.origin_seen) w.kv("issue_t", s.issue_t);
+    if (s.origin_done_t >= 0) w.kv("done_t", s.origin_done_t);
+    w.kv("completion_t", s.completion_t());
+    w.key("applies");
+    w.begin_array();
+    for (const WriteSpan::Apply& a : s.applies) {
+      w.begin_object();
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%u.%u", unsigned(a.proc.system.value),
+                    unsigned(a.proc.index));
+      w.kv("proc", std::string_view(buf));
+      w.kv("t", a.t);
+      if (a.wait_ns >= 0) w.kv("wait_ns", a.wait_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("pair_outs");
+    w.begin_array();
+    for (const WriteSpan::PairOut& p : s.pair_outs) {
+      w.begin_object();
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%u.%u", unsigned(p.proc.system.value),
+                    unsigned(p.proc.index));
+      w.kv("proc", std::string_view(buf));
+      w.kv("t", p.t);
+      w.kv("link", p.link);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("pair_ins");
+    w.begin_array();
+    for (const WriteSpan::PairIn& p : s.pair_ins) {
+      w.begin_object();
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%u.%u", unsigned(p.proc.system.value),
+                    unsigned(p.proc.index));
+      w.kv("proc", std::string_view(buf));
+      w.kv("t", p.t);
+      w.kv("hop_ns", p.hop_ns);
+      w.kv("prop_ns", p.prop_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+  }
+}
+
+}  // namespace cim::obs

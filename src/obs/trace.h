@@ -36,7 +36,12 @@ namespace cim::obs {
 // v2: transport events (retx, retx_timeout, ack, dup, ooo, down_drop), fault
 // events (fault_*, isp_crash/isp_restart, pair_lost_crashed), and the `why`
 // field on net.drop. The record layout itself is unchanged.
-inline constexpr int kTraceSchemaVersion = 2;
+// v3: every write lifecycle event (`write_issue` → `update_issued` → net
+// `send`/`deliver` → `pair_out`/`pair_in` → `update_applied`) carries the
+// originating `wid` (see cim::WriteId); new `chk` category with the
+// `violation` event emitted by checker::OnlineMonitor; field slots per record
+// raised from 6 to 8.
+inline constexpr int kTraceSchemaVersion = 3;
 
 /// Which layer emitted an event. One bit each in TraceOptions::category_mask.
 enum class TraceCategory : std::uint8_t {
@@ -46,8 +51,9 @@ enum class TraceCategory : std::uint8_t {
   kProto = 3,  // MCS-protocol internals: updates issued / buffered / applied
   kIsc = 4,    // IS-processes: pairs, pre-reads, propagation
   kApp = 5,    // free for examples / user code
+  kChk = 6,    // online consistency monitor: violation reports
 };
-inline constexpr std::size_t kNumTraceCategories = 6;
+inline constexpr std::size_t kNumTraceCategories = 7;
 
 inline const char* to_string(TraceCategory c) {
   switch (c) {
@@ -57,6 +63,7 @@ inline const char* to_string(TraceCategory c) {
     case TraceCategory::kProto: return "proto";
     case TraceCategory::kIsc: return "isc";
     case TraceCategory::kApp: return "app";
+    case TraceCategory::kChk: return "chk";
   }
   return "?";
 }
@@ -100,11 +107,13 @@ struct TraceField {
         proc((static_cast<std::uint32_t>(p.system.value) << 16) | p.index) {}
   constexpr TraceField(const char* k, VarId v)
       : key(k), kind(Kind::kUint), u(v.value) {}
+  constexpr TraceField(const char* k, WriteId w)
+      : key(k), kind(Kind::kUint), u(w.value) {}
   constexpr TraceField(const char* k, sim::Duration d)
       : key(k), kind(Kind::kInt), i(d.ns) {}
 };
 
-inline constexpr std::size_t kMaxTraceFields = 6;
+inline constexpr std::size_t kMaxTraceFields = 8;
 
 /// A recorded event. POD; field slots beyond num_fields are unused.
 struct TraceEvent {
@@ -138,6 +147,7 @@ class TraceSink {
   /// (so a trace can be paused and exported later).
   void set_enabled(bool enabled);
   void set_category_mask(std::uint32_t mask) { opts_.category_mask = mask; }
+  std::uint32_t category_mask() const { return opts_.category_mask; }
 
   /// Record one event. Callers must check enabled(cat) first (CIM_TRACE does)
   /// so that field construction is never paid when tracing is off; record()
@@ -145,6 +155,15 @@ class TraceSink {
   /// silently truncated.
   void record(sim::Time t, TraceCategory cat, const char* name,
               std::initializer_list<TraceField> fields);
+
+  /// Streaming consumer invoked synchronously for every accepted event,
+  /// after it is stored in the ring. One listener at a time (nullptr
+  /// detaches). The listener may itself record events (e.g. the online
+  /// monitor emitting `violation`); recursion is bounded because the
+  /// monitor ignores chk-category events.
+  using Listener = std::function<void(const TraceEvent&)>;
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+  bool has_listener() const { return static_cast<bool>(listener_); }
 
   // ---- introspection -------------------------------------------------------
   std::uint64_t recorded() const { return total_; }  // accepted, ever
@@ -177,6 +196,7 @@ class TraceSink {
   std::vector<TraceEvent> ring_;
   std::uint64_t total_ = 0;
   std::array<std::uint64_t, kNumTraceCategories> per_category_{};
+  Listener listener_;
 };
 
 /// Instrumentation-site helper: evaluates the field list only when `sink`

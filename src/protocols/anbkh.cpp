@@ -19,10 +19,11 @@ void AnbkhProcess::handle_read(VarId var, mcs::ReadCallback cb) {
   cb(replica_value(var));
 }
 
-void AnbkhProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
+void AnbkhProcess::do_write(VarId var, Value value, WriteId wid,
+                            mcs::WriteCallback cb) {
   clock_.tick(local_index());
   store_[var] = value;
-  note_update_issued(var, value);
+  note_update_issued(var, value, wid);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
     observer()->on_apply(id(), var, value, simulator().now());
@@ -34,6 +35,7 @@ void AnbkhProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
     msg->value = value;
     msg->clock = clock_;
     msg->writer = local_index();
+    msg->write_id = wid;
     send_to(j, std::move(msg));
   }
   cb();
@@ -65,11 +67,12 @@ void AnbkhProcess::apply_step() {
     const VarId var = update.var;
     const Value value = update.value;
     apply_with_upcalls(
-        var, value, /*own_write=*/false,
+        var, value, update.write_id, /*own_write=*/false,
         /*apply=*/[this, update = std::move(update)]() {
           clock_.set(update.writer, update.clock[update.writer]);
           store_[update.var] = update.value;
-          note_update_applied(update.var, update.value, update.received_at);
+          note_update_applied(update.var, update.value, update.write_id,
+                              update.received_at);
           if (observer() != nullptr) {
             observer()->on_apply(id(), update.var, update.value,
                                  simulator().now());

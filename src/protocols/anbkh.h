@@ -39,7 +39,8 @@ class AnbkhProcess final : public mcs::McsProcess {
   Value replica_value(VarId var) const;
 
  protected:
-  void do_write(VarId var, Value value, mcs::WriteCallback cb) override;
+  void do_write(VarId var, Value value, WriteId wid,
+                mcs::WriteCallback cb) override;
 
  private:
   void try_apply();

@@ -18,8 +18,9 @@ void AwSeqProcess::handle_read(VarId var, mcs::ReadCallback cb) {
   cb(replica_value(var));  // the local-read fast path
 }
 
-void AwSeqProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
-  note_update_issued(var, value);
+void AwSeqProcess::do_write(VarId var, Value value, WriteId wid,
+                            mcs::WriteCallback cb) {
+  note_update_issued(var, value, wid);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
   }
@@ -30,20 +31,22 @@ void AwSeqProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
     if (observer() != nullptr) {
       observer()->on_apply(id(), var, value, simulator().now());
     }
-    publish(var, value, /*pre_applied=*/true);
+    publish(var, value, wid, /*pre_applied=*/true);
     cb();
     return;
   }
   pending_write_acks_.push_back(std::move(cb));
-  publish(var, value, /*pre_applied=*/false);
+  publish(var, value, wid, /*pre_applied=*/false);
 }
 
-void AwSeqProcess::publish(VarId var, Value value, bool pre_applied) {
+void AwSeqProcess::publish(VarId var, Value value, WriteId wid,
+                           bool pre_applied) {
   TobPublish pub;
   pub.var = var;
   pub.value = value;
   pub.origin = local_index();
   pub.pre_applied = pre_applied;
+  pub.write_id = wid;
   if (is_sequencer()) {
     sequence(pub);
   } else {
@@ -57,6 +60,7 @@ void AwSeqProcess::sequence(const TobPublish& pub) {
   del.value = pub.value;
   del.origin = pub.origin;
   del.pre_applied = pub.pre_applied;
+  del.write_id = pub.write_id;
   del.seq = next_seq_to_assign_++;
   for (std::uint16_t j = 0; j < num_procs(); ++j) {
     if (j == local_index()) continue;
@@ -103,16 +107,16 @@ void AwSeqProcess::apply_step() {
 
   const bool own = del.origin == local_index();
   apply_with_upcalls(
-      del.var, del.value, /*own_write=*/own,
+      del.var, del.value, del.write_id, /*own_write=*/own,
       /*apply=*/[this, own, var = del.var, value = del.value,
-                 received_at = del.received_at]() {
+                 wid = del.write_id, received_at = del.received_at]() {
         // For a pre-applied own write this is a (convergence-restoring)
         // re-application at the update's global sequence position.
         store_[var] = value;
         if (own) {
-          note_update_applied(var, value);
+          note_update_applied(var, value, wid);
         } else {
-          note_update_applied(var, value, received_at);
+          note_update_applied(var, value, wid, received_at);
         }
         if (observer() != nullptr) {
           observer()->on_apply(id(), var, value, simulator().now());

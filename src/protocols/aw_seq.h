@@ -40,9 +40,12 @@ struct TobPublish final : net::Message {
   Value value = kInitValue;
   std::uint16_t origin = 0;
   bool pre_applied = false;  // origin already applied it (IS-process write)
+  // Instrumentation only, not wire data: the originating write's id.
+  WriteId write_id;
 
   const char* type_name() const override { return "tob.publish"; }
   std::size_t wire_size() const override { return 24 + 4 + 8 + 2; }
+  WriteId wid() const override { return write_id; }
 };
 
 struct TobDeliver final : net::Message {
@@ -51,12 +54,15 @@ struct TobDeliver final : net::Message {
   std::uint16_t origin = 0;
   bool pre_applied = false;
   std::uint64_t seq = 0;
-  // Instrumentation only, not wire data: local receive time at the buffering
-  // process, feeding the proto.causal_wait histogram.
+  // Instrumentation only, not wire data: the originating write's id, and the
+  // local receive time at the buffering process, feeding the
+  // proto.causal_wait histogram.
+  WriteId write_id;
   sim::Time received_at;
 
   const char* type_name() const override { return "tob.deliver"; }
   std::size_t wire_size() const override { return 24 + 4 + 8 + 2 + 8; }
+  WriteId wid() const override { return write_id; }
 };
 
 class AwSeqProcess final : public mcs::McsProcess {
@@ -74,10 +80,11 @@ class AwSeqProcess final : public mcs::McsProcess {
   std::uint64_t applied_count() const { return next_apply_seq_; }
 
  protected:
-  void do_write(VarId var, Value value, mcs::WriteCallback cb) override;
+  void do_write(VarId var, Value value, WriteId wid,
+                mcs::WriteCallback cb) override;
 
  private:
-  void publish(VarId var, Value value, bool pre_applied);
+  void publish(VarId var, Value value, WriteId wid, bool pre_applied);
   void sequence(const TobPublish& pub);
   void enqueue_delivery(TobDeliver del);
   void try_apply();

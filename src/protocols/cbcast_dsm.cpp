@@ -23,12 +23,14 @@ void CbcastDsmProcess::handle_read(VarId var, mcs::ReadCallback cb) {
   cb(replica_value(var));
 }
 
-void CbcastDsmProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
-  note_update_issued(var, value);
+void CbcastDsmProcess::do_write(VarId var, Value value, WriteId wid,
+                                mcs::WriteCallback cb) {
+  note_update_issued(var, value, wid);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
   }
-  member_.broadcast(mp::CbPayload{var, value});  // self-delivery applies it
+  // Self-delivery applies it.
+  member_.broadcast(mp::CbPayload{var, value, wid});
   cb();
 }
 
@@ -47,10 +49,10 @@ void CbcastDsmProcess::on_deliver(std::uint16_t sender,
   const bool own = sender == local_index();
   bool completed = false;
   apply_with_upcalls(
-      payload.var, payload.value, own,
+      payload.var, payload.value, payload.wid, own,
       /*apply=*/[this, &payload]() {
         store_[payload.var] = payload.value;
-        note_update_applied(payload.var, payload.value);
+        note_update_applied(payload.var, payload.value, payload.wid);
         if (observer() != nullptr) {
           observer()->on_apply(id(), payload.var, payload.value,
                                simulator().now());

@@ -39,7 +39,8 @@ class CbcastDsmProcess final : public mcs::McsProcess,
   const mp::CbcastMember& member() const { return member_; }
 
  protected:
-  void do_write(VarId var, Value value, mcs::WriteCallback cb) override;
+  void do_write(VarId var, Value value, WriteId wid,
+                mcs::WriteCallback cb) override;
 
  private:
   // mp::CbTransport — group member indices coincide with local indices.

@@ -21,11 +21,12 @@ void LazyBatchProcess::handle_read(VarId var, mcs::ReadCallback cb) {
   cb(replica_value(var));
 }
 
-void LazyBatchProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
+void LazyBatchProcess::do_write(VarId var, Value value, WriteId wid,
+                                mcs::WriteCallback cb) {
   // Local writes apply immediately (read-your-writes) and propagate.
   clock_.tick(local_index());
   store_[var] = value;
-  note_update_issued(var, value);
+  note_update_issued(var, value, wid);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
     observer()->on_apply(id(), var, value, simulator().now());
@@ -37,6 +38,7 @@ void LazyBatchProcess::do_write(VarId var, Value value, mcs::WriteCallback cb) {
     msg->value = value;
     msg->clock = clock_;
     msg->writer = local_index();
+    msg->write_id = wid;
     send_to(j, std::move(msg));
   }
   cb();
@@ -143,10 +145,10 @@ void LazyBatchProcess::run_batch() {
   for (TimestampedUpdate& u : batch) {
     bool completed = false;
     apply_with_upcalls(
-        u.var, u.value, /*own_write=*/false,
+        u.var, u.value, u.write_id, /*own_write=*/false,
         /*apply=*/[this, &u]() {
           store_[u.var] = u.value;
-          note_update_applied(u.var, u.value, u.received_at);
+          note_update_applied(u.var, u.value, u.write_id, u.received_at);
           if (observer() != nullptr) {
             observer()->on_apply(id(), u.var, u.value, simulator().now());
           }

@@ -63,7 +63,8 @@ class LazyBatchProcess final : public mcs::McsProcess {
   std::uint64_t scrambled_batches() const { return scrambled_batches_; }
 
  protected:
-  void do_write(VarId var, Value value, mcs::WriteCallback cb) override;
+  void do_write(VarId var, Value value, WriteId wid,
+                mcs::WriteCallback cb) override;
 
  private:
   void schedule_batch();

@@ -26,13 +26,13 @@ void PartialRepProcess::handle_read(VarId var, mcs::ReadCallback cb) {
   cb(replica_value(var));
 }
 
-void PartialRepProcess::do_write(VarId var, Value value,
+void PartialRepProcess::do_write(VarId var, Value value, WriteId wid,
                                  mcs::WriteCallback cb) {
   CIM_CHECK_MSG(holds(var), "process " << id() << " writes " << var
                                        << " outside its interest set");
   clock_.tick(local_index());
   store_[var] = value;
-  note_update_issued(var, value);
+  note_update_issued(var, value, wid);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
     observer()->on_apply(id(), var, value, simulator().now());
@@ -42,6 +42,7 @@ void PartialRepProcess::do_write(VarId var, Value value,
     auto msg = std::make_unique<PartialUpdate>();
     msg->clock = clock_;
     msg->writer = local_index();
+    msg->write_id = wid;
     if (holds(j, var)) {
       msg->var = var;
       msg->value = value;
@@ -78,11 +79,12 @@ void PartialRepProcess::apply_step() {
       return;
     }
     apply_with_upcalls(
-        update.var, update.value, /*own_write=*/false,
+        update.var, update.value, update.write_id, /*own_write=*/false,
         /*apply=*/[this, update = std::move(update)]() {
           clock_.set(update.writer, update.clock[update.writer]);
           store_[update.var] = update.value;
-          note_update_applied(update.var, update.value, update.received_at);
+          note_update_applied(update.var, update.value, update.write_id,
+                              update.received_at);
           if (observer() != nullptr) {
             observer()->on_apply(id(), update.var, update.value,
                                  simulator().now());

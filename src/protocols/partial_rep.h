@@ -40,8 +40,10 @@ struct PartialUpdate final : net::Message {
   bool has_value = false;  // false: causal marker only
   VectorClock clock;
   std::uint16_t writer = 0;
-  // Instrumentation only, not wire data: local receive time at the buffering
-  // process, feeding the proto.causal_wait histogram.
+  // Instrumentation only, not wire data: the originating write's id (set on
+  // markers too — they stem from the same write), and the local receive time
+  // at the buffering process, feeding the proto.causal_wait histogram.
+  WriteId write_id;
   sim::Time received_at;
 
   const char* type_name() const override {
@@ -51,6 +53,7 @@ struct PartialUpdate final : net::Message {
     // Marker: header + writer + clock. Full update adds var id + value.
     return (has_value ? 24 + 4 + 8 : 24) + 2 + 8 * clock.size();
   }
+  WriteId wid() const override { return write_id; }
 };
 
 class PartialRepProcess final : public mcs::McsProcess {
@@ -69,7 +72,8 @@ class PartialRepProcess final : public mcs::McsProcess {
   Value replica_value(VarId var) const;
 
  protected:
-  void do_write(VarId var, Value value, mcs::WriteCallback cb) override;
+  void do_write(VarId var, Value value, WriteId wid,
+                mcs::WriteCallback cb) override;
 
  private:
   bool holds(std::uint16_t index, VarId var) const {

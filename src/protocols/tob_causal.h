@@ -59,10 +59,11 @@ class TobCausalProcess final : public mcs::McsProcess {
   std::uint64_t own_deliveries_skipped() const { return own_skipped_; }
 
  protected:
-  void do_write(VarId var, Value value, mcs::WriteCallback cb) override;
+  void do_write(VarId var, Value value, WriteId wid,
+                mcs::WriteCallback cb) override;
 
  private:
-  void publish(VarId var, Value value, bool pre_applied);
+  void publish(VarId var, Value value, WriteId wid, bool pre_applied);
   void sequence(const TobPublish& pub);
   void enqueue_delivery(TobDeliver del);
   void try_apply();

@@ -16,7 +16,10 @@
 //    order (Lemma 1) and the interconnected system stays causal.
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "checker/causal_checker.h"
+#include "checker/online_monitor.h"
 #include "helpers.h"
 
 namespace cim::isc {
@@ -86,7 +89,9 @@ void run_counterexample(Federation& fed, Probe& probe) {
 }
 
 TEST(Counterexample, Protocol1AloneViolatesCausality) {
-  Federation fed(counterexample_config(IsProtocolChoice::kForceProtocol1));
+  FederationConfig cfg = counterexample_config(IsProtocolChoice::kForceProtocol1);
+  cfg.monitor.enabled = true;  // the online monitor must convict this live
+  Federation fed(std::move(cfg));
   ASSERT_FALSE(fed.interconnector().shared_isp(0).pre_reads_enabled());
 
   Probe probe;
@@ -94,6 +99,23 @@ TEST(Counterexample, Protocol1AloneViolatesCausality) {
 
   // The stale read happened...
   EXPECT_EQ(probe.x_when_y_seen, kInitValue);
+  // ...and the online monitor flagged it *during* the run: the stale r(x)
+  // surfaces as a writes-into violation (and the inverted pair arrival as a
+  // per-writer FIFO regression in S1), emitted as `chk`/`violation` trace
+  // events and on the checker.violations counter.
+  ASSERT_NE(fed.monitor(), nullptr);
+  EXPECT_GT(fed.monitor()->violation_count(), 0u);
+  bool stale = false;
+  for (const chk::Violation& v : fed.monitor()->violations()) {
+    if (std::string_view(v.kind) == "stale_read" && v.var == X) stale = true;
+  }
+  EXPECT_TRUE(stale) << "expected a stale_read violation on x";
+  EXPECT_GT(fed.observability().trace().category_count(obs::TraceCategory::kChk),
+            0u);
+  const obs::MetricsSnapshot snap = fed.metrics_snapshot();
+  const obs::MetricsSnapshot::Entry* mv = snap.find("checker.violations");
+  ASSERT_NE(mv, nullptr);
+  EXPECT_GT(mv->value, 0);
   // ...the ISP's replica really was updated out of causal order...
   auto& isp_mcs = dynamic_cast<proto::LazyBatchProcess&>(
       fed.system(0).mcs(fed.system(0).num_app_processes()));
@@ -110,7 +132,9 @@ TEST(Counterexample, Protocol1AloneViolatesCausality) {
 }
 
 TEST(Counterexample, Protocol2RestoresCausality) {
-  Federation fed(counterexample_config(IsProtocolChoice::kAuto));
+  FederationConfig cfg = counterexample_config(IsProtocolChoice::kAuto);
+  cfg.monitor.enabled = true;
+  Federation fed(std::move(cfg));
   // Auto selects IS-protocol 2 because lazy-batch lacks Causal Updating.
   ASSERT_TRUE(fed.interconnector().shared_isp(0).pre_reads_enabled());
 
@@ -119,6 +143,10 @@ TEST(Counterexample, Protocol2RestoresCausality) {
 
   // The pre-read forced causal apply order: x was already visible.
   EXPECT_EQ(probe.x_when_y_seen, 1);
+  // The same monitor stays silent on the repaired run.
+  ASSERT_NE(fed.monitor(), nullptr);
+  EXPECT_EQ(fed.monitor()->violation_count(), 0u);
+  EXPECT_GT(fed.monitor()->events_seen(), 0u);
   auto& isp_mcs = dynamic_cast<proto::LazyBatchProcess&>(
       fed.system(0).mcs(fed.system(0).num_app_processes()));
   EXPECT_EQ(isp_mcs.scrambled_batches(), 0u);

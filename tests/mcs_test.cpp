@@ -31,7 +31,7 @@ struct RecordingHandler final : UpcallHandler {
     }
   }
 
-  void post_update(VarId var, Value value,
+  void post_update(VarId var, Value value, WriteId,
                    std::function<void()> done) override {
     if (app != nullptr) {
       app->read_now(var, [this, var, done = std::move(done)](Value v) {
@@ -135,7 +135,8 @@ struct DeferringHandler final : UpcallHandler {
 
   void pre_update(VarId, std::function<void()> done) override { done(); }
 
-  void post_update(VarId var, Value, std::function<void()> done) override {
+  void post_update(VarId var, Value, WriteId,
+                   std::function<void()> done) override {
     if (!wrote) {
       wrote = true;
       // Issue a write *during* the upcall: it must be deferred, so a read

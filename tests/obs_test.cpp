@@ -93,6 +93,32 @@ TEST(ObsMetrics, HistogramDecimationKeepsExactAggregates) {
   EXPECT_LE(s.p99.ns, s.max.ns);
 }
 
+TEST(ObsMetrics, HistogramDecimationAcrossDefaultCap) {
+  // Cross the default 2^20 retained-sample cap with a linear ramp: the
+  // aggregates must stay exact and the stride-sampled percentiles must stay
+  // close to the true order statistics of the ramp.
+  obs::Int64Histogram h;
+  const std::int64_t n = (std::int64_t{1} << 20) + 300000;  // ~1.35M
+  for (std::int64_t v = 1; v <= n; ++v) h.observe(v);
+
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(h.sum(), n * (n + 1) / 2);
+  const stats::DurationSummary s = h.summary();
+  EXPECT_EQ(s.count, static_cast<std::size_t>(n));
+  EXPECT_EQ(s.min.ns, 1);
+  EXPECT_EQ(s.max.ns, n);
+  EXPECT_DOUBLE_EQ(s.mean_ns, double(n + 1) / 2.0);
+  // For a ramp the true pXX is XX% of n; allow 2% of n of stride error.
+  const double tol = 0.02 * double(n);
+  EXPECT_NEAR(double(s.p50.ns), 0.50 * double(n), tol);
+  EXPECT_NEAR(double(s.p90.ns), 0.90 * double(n), tol);
+  EXPECT_NEAR(double(s.p99.ns), 0.99 * double(n), tol);
+  EXPECT_LE(s.min.ns, s.p50.ns);
+  EXPECT_LE(s.p50.ns, s.p90.ns);
+  EXPECT_LE(s.p90.ns, s.p99.ns);
+  EXPECT_LE(s.p99.ns, s.max.ns);
+}
+
 TEST(ObsMetrics, SnapshotSortedByNameAndFindable) {
   obs::MetricsRegistry reg;
   reg.counter("z.last").inc(3);
@@ -158,6 +184,24 @@ TEST(ObsMetrics, CsvExporterShape) {
   ASSERT_TRUE(std::getline(lines, line));
   // Histogram rows leave the counter/gauge "value" cell empty.
   EXPECT_EQ(line.substr(0, 18), "c.lat,histogram,,1");
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(ObsMetrics, CsvExporterGaugeAndValueHistogramRows) {
+  obs::MetricsRegistry reg;
+  reg.gauge("b.gauge").set(-7);
+  reg.value_histogram("d.depth").observe(4);
+
+  std::ostringstream os;
+  obs::write_csv(os, reg.snapshot());
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));  // header
+  ASSERT_TRUE(std::getline(lines, line));
+  // Gauges carry a value and leave the histogram cells empty.
+  EXPECT_EQ(line.substr(0, 16), "b.gauge,gauge,-7");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.substr(0, 8), "d.depth,");
   EXPECT_FALSE(std::getline(lines, line));
 }
 
@@ -238,9 +282,42 @@ TEST(ObsTrace, JsonlRendersEveryFieldType) {
   std::ostringstream os;
   sink.write_jsonl(os);
   EXPECT_EQ(os.str(),
-            "{\"v\":2,\"seq\":0,\"t\":42,\"cat\":\"isc\",\"ev\":\"pair_in\","
+            "{\"v\":3,\"seq\":0,\"t\":42,\"cat\":\"isc\",\"ev\":\"pair_in\","
             "\"f\":{\"proc\":\"1.4\",\"var\":3,\"lat\":-5,\"rate\":0.5,"
             "\"type\":\"vc.update\"}}\n");
+}
+
+TEST(ObsTrace, ListenerSeesAcceptedEventsOnlyAndMayRecord) {
+  obs::TraceOptions opts;
+  opts.enabled = true;
+  opts.capacity = 8;
+  opts.category_mask = obs::category_bit(TraceCategory::kNet) |
+                       obs::category_bit(TraceCategory::kChk);
+  obs::TraceSink sink(opts);
+
+  int seen = 0;
+  sink.set_listener([&sink, &seen](const obs::TraceEvent& ev) {
+    ++seen;
+    // A listener may itself record (the online monitor emits `violation`);
+    // guard on category exactly like the monitor to bound recursion.
+    if (ev.cat != TraceCategory::kChk) {
+      sink.record(ev.t, TraceCategory::kChk, "violation", {});
+    }
+  });
+  ASSERT_TRUE(sink.has_listener());
+
+  sink.record(sim::Time{1}, TraceCategory::kNet, "send", {});
+  sink.record(sim::Time{2}, TraceCategory::kProto, "update_issued", {});  // masked
+  // The net event and the listener's own chk event were both stored and
+  // both delivered to the listener; the masked proto event was neither.
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(sink.recorded(), 2u);
+  EXPECT_EQ(sink.category_count(TraceCategory::kChk), 1u);
+
+  sink.set_listener(nullptr);
+  EXPECT_FALSE(sink.has_listener());
+  sink.record(sim::Time{3}, TraceCategory::kNet, "send", {});
+  EXPECT_EQ(seen, 2);
 }
 
 TEST(ObsTrace, ClearResetsCountersKeepsCapacity) {

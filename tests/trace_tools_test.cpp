@@ -1,0 +1,407 @@
+// Trace tooling tests: write ids on the lifecycle events, JSONL round-trip
+// through the trace_read parser, per-write span reconstruction (live and
+// offline agree; propagation reproduces isc.propagation_latency), the
+// Chrome Trace Event exporter's schema, and the online monitor's detection
+// rules on synthetic streams.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/online_monitor.h"
+#include "helpers.h"
+#include "obs/perfetto_export.h"
+#include "obs/span_index.h"
+#include "obs/trace_read.h"
+
+namespace cim {
+namespace {
+
+using obs::ParsedTraceEvent;
+using obs::TraceCategory;
+using test::X;
+using test::Y;
+
+TEST(WriteIdentity, PackingRoundTrips) {
+  const ProcId origin{SystemId{3}, 7};
+  const WriteId wid = WriteId::make(origin, 42);
+  EXPECT_TRUE(wid.valid());
+  EXPECT_EQ(wid.origin(), origin);
+  EXPECT_EQ(wid.seq(), 42u);
+  EXPECT_FALSE(WriteId{}.valid());
+
+  std::ostringstream os;
+  os << wid;
+  EXPECT_EQ(os.str(), "w(3,7)#42");
+}
+
+// Runs a small two-system workload with tracing on and returns the
+// federation's trace as JSONL.
+std::string traced_run(std::string& out_jsonl, std::size_t writes = 4) {
+  isc::FederationConfig cfg = test::two_systems(2, proto::anbkh_protocol(),
+                                                proto::anbkh_protocol(), 11);
+  cfg.obs.trace.enabled = true;
+  isc::Federation fed(std::move(cfg));
+  for (std::size_t i = 0; i < writes; ++i) {
+    fed.system(0).app(0).write(X, static_cast<Value>(100 + i));
+  }
+  fed.system(1).app(0).read(X, [](Value) {});
+  fed.run();
+
+  std::ostringstream os;
+  fed.observability().trace().write_jsonl(os);
+  out_jsonl = os.str();
+
+  // Live-side ground truth for the span tests: the propagation histogram.
+  const obs::MetricsSnapshot snap = fed.metrics_snapshot();
+  const obs::MetricsSnapshot::Entry* prop =
+      snap.find("isc.propagation_latency");
+  EXPECT_NE(prop, nullptr);
+  std::ostringstream truth;
+  if (prop != nullptr) {
+    truth << prop->summary.count << ' ' << prop->summary.p50.ns << ' '
+          << prop->summary.p99.ns << ' ' << prop->summary.max.ns;
+  }
+  return truth.str();
+}
+
+TEST(TraceLifecycle, EveryWriteStageCarriesTheWid) {
+  std::string jsonl;
+  traced_run(jsonl);
+  std::vector<std::string> errors;
+  std::istringstream in(jsonl);
+  const std::vector<ParsedTraceEvent> events =
+      obs::read_trace_jsonl(in, &errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  ASSERT_FALSE(events.empty());
+
+  std::set<std::string> with_wid;
+  for (const ParsedTraceEvent& ev : events) {
+    if (ev.wid().valid()) with_wid.insert(ev.cat + "." + ev.name);
+  }
+  // The full v3 lifecycle is stamped.
+  for (const char* stage :
+       {"mcs.write_issue", "mcs.write_done", "proto.update_issued",
+        "proto.update_applied", "net.send", "net.deliver", "isc.pair_out",
+        "isc.pair_in"}) {
+    EXPECT_TRUE(with_wid.count(stage)) << stage << " never carried a wid";
+  }
+}
+
+TEST(TraceReadback, JsonlRoundTripPreservesRecords) {
+  std::string jsonl;
+  traced_run(jsonl);
+  std::istringstream in(jsonl);
+  std::vector<std::string> errors;
+  const std::vector<ParsedTraceEvent> events =
+      obs::read_trace_jsonl(in, &errors);
+  EXPECT_TRUE(errors.empty());
+
+  // Same number of non-empty lines as records, every record v3 with a
+  // monotone seq and a category the schema knows.
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(events.size(), lines);
+  std::uint64_t prev_seq = 0;
+  for (const ParsedTraceEvent& ev : events) {
+    EXPECT_EQ(ev.v, obs::kTraceSchemaVersion);
+    EXPECT_GE(ev.seq, prev_seq);
+    prev_seq = ev.seq;
+    EXPECT_FALSE(ev.cat.empty());
+    EXPECT_FALSE(ev.name.empty());
+  }
+}
+
+TEST(TraceReadback, ParserHandlesEscapesAndNesting) {
+  obs::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(
+      R"({"a":[1,-2.5,true,null],"b":{"s":"x\"\nA"},"n":18446744073709551615})",
+      v, &err))
+      << err;
+  ASSERT_EQ(v.kind, obs::JsonValue::Kind::kObject);
+  const obs::JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 4u);
+  EXPECT_EQ(a->items[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(a->items[1].as_double(), -2.5);
+  EXPECT_EQ(v.find("b")->find("s")->s, "x\"\nA");
+  // Full-range u64 (a wid) survives through the two's-complement round-trip.
+  EXPECT_EQ(static_cast<std::uint64_t>(v.find("n")->as_int()),
+            18446744073709551615ull);
+
+  EXPECT_FALSE(obs::parse_json("{\"a\":}", v, &err));
+  EXPECT_FALSE(obs::parse_json("[1,2", v, &err));
+  EXPECT_FALSE(obs::parse_json("{} trailing", v, &err));
+}
+
+TEST(SpanIndex, LiveAndOfflineAgreeAndPropagationMatchesHistogram) {
+  isc::FederationConfig cfg = test::two_systems(2, proto::anbkh_protocol(),
+                                                proto::anbkh_protocol(), 23);
+  cfg.obs.trace.enabled = true;
+  isc::Federation fed(std::move(cfg));
+  for (Value v = 1; v <= 6; ++v) fed.system(0).app(0).write(X, 100 + v);
+  fed.run();
+
+  // Live: index straight off the ring.
+  obs::SpanIndex live;
+  live.index(fed.observability().trace());
+  // Offline: through JSONL and the parser.
+  std::ostringstream os;
+  fed.observability().trace().write_jsonl(os);
+  std::istringstream in(os.str());
+  obs::SpanIndex offline;
+  offline.index(obs::read_trace_jsonl(in));
+
+  ASSERT_EQ(live.size(), offline.size());
+  ASSERT_EQ(live.size(), 6u);
+  for (WriteId wid : live.wids()) {
+    const obs::WriteSpan* a = live.span(wid);
+    const obs::WriteSpan* b = offline.span(wid);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->issue_t, b->issue_t);
+    EXPECT_EQ(a->origin_done_t, b->origin_done_t);
+    EXPECT_EQ(a->applies.size(), b->applies.size());
+    EXPECT_EQ(a->pair_ins.size(), b->pair_ins.size());
+    EXPECT_EQ(a->completion_t(), b->completion_t());
+  }
+
+  // Acceptance: the propagation stage reproduces isc.propagation_latency.
+  const obs::MetricsSnapshot snap = fed.metrics_snapshot();
+  const obs::MetricsSnapshot::Entry* prop =
+      snap.find("isc.propagation_latency");
+  ASSERT_NE(prop, nullptr);
+  const stats::DurationSummary want = prop->summary;
+  const stats::DurationSummary got =
+      stats::summarize(offline.stages().propagation);
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_EQ(got.min.ns, want.min.ns);
+  EXPECT_EQ(got.p50.ns, want.p50.ns);
+  EXPECT_EQ(got.p90.ns, want.p90.ns);
+  EXPECT_EQ(got.p99.ns, want.p99.ns);
+  EXPECT_EQ(got.max.ns, want.max.ns);
+
+  // Span JSONL: one line per write, each parseable.
+  std::ostringstream spans_os;
+  offline.write_spans_jsonl(spans_os);
+  std::istringstream spans_in(spans_os.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(spans_in, line)) {
+    obs::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(obs::parse_json(line, v, &err)) << err;
+    EXPECT_NE(v.find("wid"), nullptr);
+    EXPECT_NE(v.find("applies"), nullptr);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 6u);
+}
+
+TEST(PerfettoExport, EmitsValidChromeTraceJson) {
+  std::string jsonl;
+  traced_run(jsonl);
+  std::istringstream in(jsonl);
+  const std::vector<ParsedTraceEvent> events = obs::read_trace_jsonl(in);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, events);
+
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(os.str(), root, &err)) << err;
+  ASSERT_EQ(root.kind, obs::JsonValue::Kind::kObject);
+  const obs::JsonValue* te = root.find("traceEvents");
+  ASSERT_NE(te, nullptr);
+  ASSERT_EQ(te->kind, obs::JsonValue::Kind::kArray);
+  ASSERT_GT(te->items.size(), events.size());  // records + metadata + spans
+
+  std::set<std::string> phases;
+  std::set<std::pair<std::int64_t, std::int64_t>> pid_tid;
+  for (const obs::JsonValue& ev : te->items) {
+    ASSERT_EQ(ev.kind, obs::JsonValue::Kind::kObject);
+    // The Trace Event Format's required header on every record.
+    const obs::JsonValue* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_EQ(ph->kind, obs::JsonValue::Kind::kString);
+    phases.insert(ph->s);
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_NE(ev.find("ts"), nullptr);
+    EXPECT_TRUE(ev.find("ts")->is_number());
+    const obs::JsonValue* pid = ev.find("pid");
+    const obs::JsonValue* tid = ev.find("tid");
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    pid_tid.emplace(pid->as_int(), tid->as_int());
+    if (ph->s == "X") {
+      ASSERT_NE(ev.find("dur"), nullptr);
+      EXPECT_GT(ev.find("dur")->as_double(), 0.0);
+    }
+  }
+  // Metadata, instants, async write spans, and derived slices all present.
+  for (const char* ph : {"M", "i", "b", "e", "X"}) {
+    EXPECT_TRUE(phases.count(ph)) << "no '" << ph << "' events emitted";
+  }
+  // One track per process: both systems' processes appear.
+  std::set<std::int64_t> pids;
+  for (const auto& [pid, tid] : pid_tid) pids.insert(pid);
+  EXPECT_GE(pids.size(), 2u);
+}
+
+// ---- online monitor: detection rules on synthetic streams ------------------
+
+class MonitorFeed {
+ public:
+  explicit MonitorFeed(chk::MonitorOptions opts = {.enabled = true})
+      : monitor_(opts) {}
+
+  chk::OnlineMonitor& monitor() { return monitor_; }
+
+  void write_issue(std::int64_t t, ProcId p, WriteId wid, VarId var,
+                   Value val) {
+    ParsedTraceEvent ev = base(t, "mcs", "write_issue", p);
+    add(ev, "wid", static_cast<std::int64_t>(wid.value));
+    add(ev, "var", static_cast<std::int64_t>(var.value));
+    add(ev, "val", val);
+    monitor_.observe(ev);
+  }
+  void read_done(std::int64_t t, ProcId p, VarId var, Value val) {
+    ParsedTraceEvent ev = base(t, "mcs", "read_done", p);
+    add(ev, "var", static_cast<std::int64_t>(var.value));
+    add(ev, "val", val);
+    monitor_.observe(ev);
+  }
+  void applied(std::int64_t t, ProcId p, WriteId wid) {
+    ParsedTraceEvent ev = base(t, "proto", "update_applied", p);
+    add(ev, "wid", static_cast<std::int64_t>(wid.value));
+    monitor_.observe(ev);
+  }
+
+ private:
+  static ParsedTraceEvent base(std::int64_t t, const char* cat,
+                               const char* name, ProcId p) {
+    ParsedTraceEvent ev;
+    ev.v = obs::kTraceSchemaVersion;
+    ev.t = t;
+    ev.cat = cat;
+    ev.name = name;
+    ev.fields.kind = obs::JsonValue::Kind::kObject;
+    obs::JsonValue proc;
+    proc.kind = obs::JsonValue::Kind::kString;
+    proc.s = std::to_string(p.system.value) + "." + std::to_string(p.index);
+    ev.fields.members.emplace_back("proc", std::move(proc));
+    return ev;
+  }
+  static void add(ParsedTraceEvent& ev, const char* key, std::int64_t v) {
+    obs::JsonValue j;
+    j.kind = obs::JsonValue::Kind::kInt;
+    j.i = v;
+    ev.fields.members.emplace_back(key, std::move(j));
+  }
+
+  chk::OnlineMonitor monitor_;
+};
+
+const ProcId P00{SystemId{0}, 0};
+const ProcId P01{SystemId{0}, 1};
+const ProcId P10{SystemId{1}, 0};
+
+TEST(OnlineMonitor, FlagsObservableFifoRegression) {
+  MonitorFeed feed;
+  const WriteId w1 = WriteId::make(P00, 1);
+  const WriteId w2 = WriteId::make(P00, 2);
+  feed.write_issue(0, P00, w1, X, 1);
+  feed.write_issue(5, P00, w2, Y, 2);
+  feed.applied(10, P10, w2);
+  feed.applied(20, P10, w1);  // #1 after #2, time elapsed: regression
+  ASSERT_EQ(feed.monitor().violation_count(), 1u);
+  EXPECT_STREQ(feed.monitor().violations()[0].kind, "fifo_regress");
+  EXPECT_EQ(feed.monitor().violations()[0].expected_seq, 2u);
+  EXPECT_EQ(feed.monitor().violations()[0].got_seq, 1u);
+}
+
+TEST(OnlineMonitor, AtomicBatchInversionAndReapplyAreBenign) {
+  MonitorFeed feed;
+  const WriteId w1 = WriteId::make(P00, 1);
+  const WriteId w2 = WriteId::make(P00, 2);
+  feed.write_issue(0, P00, w1, X, 1);
+  feed.write_issue(5, P00, w2, Y, 2);
+  // Inverted but at one virtual instant (lazy-batch atomic apply): benign.
+  feed.applied(10, P01, w2);
+  feed.applied(10, P01, w1);
+  // Re-applying the same seq later (AW-seq own-write re-apply): benign.
+  feed.applied(15, P01, w2);
+  EXPECT_EQ(feed.monitor().violation_count(), 0u);
+}
+
+TEST(OnlineMonitor, FlagsStaleReadAfterNewerKnowledge) {
+  // The paper's Claim-4 history: p writes x=1 then y=2; a reader sees y=2
+  // and then reads x's initial value.
+  MonitorFeed feed;
+  feed.write_issue(0, P00, WriteId::make(P00, 1), X, 1);
+  feed.write_issue(5, P00, WriteId::make(P00, 2), Y, 2);
+  feed.read_done(50, P10, Y, 2);            // learns P00 up to #2
+  feed.read_done(60, P10, X, kInitValue);   // stale: #1 wrote x
+  ASSERT_EQ(feed.monitor().violation_count(), 1u);
+  const chk::Violation& v = feed.monitor().violations()[0];
+  EXPECT_STREQ(v.kind, "stale_read");
+  EXPECT_EQ(v.proc, P10);
+  EXPECT_EQ(v.var, X);
+  EXPECT_EQ(v.expected_seq, 1u);
+  EXPECT_EQ(v.got_seq, 0u);
+}
+
+TEST(OnlineMonitor, NoViolationWithoutCausalKnowledge) {
+  MonitorFeed feed;
+  feed.write_issue(0, P00, WriteId::make(P00, 1), X, 1);
+  feed.write_issue(5, P00, WriteId::make(P00, 2), Y, 2);
+  // Reading init before learning anything is fine (propagation delay).
+  feed.read_done(10, P10, X, kInitValue);
+  feed.read_done(11, P10, Y, kInitValue);
+  // Reading the newest known same-origin write is fine too.
+  feed.read_done(50, P10, Y, 2);
+  feed.read_done(60, P10, X, 1);
+  EXPECT_EQ(feed.monitor().violation_count(), 0u);
+}
+
+TEST(OnlineMonitor, FlagsReadRegression) {
+  MonitorFeed feed;
+  feed.write_issue(0, P00, WriteId::make(P00, 1), X, 1);
+  feed.write_issue(5, P00, WriteId::make(P00, 2), X, 7);
+  feed.read_done(50, P10, X, 7);
+  feed.read_done(60, P10, X, 1);  // same origin, older seq: regression
+  ASSERT_GE(feed.monitor().violation_count(), 1u);
+  EXPECT_STREQ(feed.monitor().violations()[0].kind, "read_regress");
+}
+
+TEST(OnlineMonitor, DisabledFederationMonitorAddsNothing) {
+  isc::FederationConfig cfg = test::two_systems(2, proto::anbkh_protocol(),
+                                                proto::anbkh_protocol(), 5);
+  // monitor.enabled stays false.
+  isc::Federation fed(std::move(cfg));
+  EXPECT_EQ(fed.monitor(), nullptr);
+  EXPECT_FALSE(fed.observability().trace().enabled());
+  EXPECT_FALSE(fed.observability().trace().has_listener());
+  fed.system(0).app(0).write(X, 1);
+  fed.run();
+  EXPECT_EQ(fed.observability().trace().recorded(), 0u);
+}
+
+TEST(OnlineMonitor, EnabledFederationMonitorForcesTracing) {
+  isc::FederationConfig cfg = test::two_systems(2, proto::anbkh_protocol(),
+                                                proto::anbkh_protocol(), 5);
+  cfg.monitor.enabled = true;  // note: obs.trace.enabled left false
+  isc::Federation fed(std::move(cfg));
+  ASSERT_NE(fed.monitor(), nullptr);
+  EXPECT_TRUE(fed.observability().trace().enabled());
+  EXPECT_TRUE(fed.observability().trace().has_listener());
+  fed.system(0).app(0).write(X, 1);
+  fed.run();
+  EXPECT_GT(fed.monitor()->events_seen(), 0u);
+  EXPECT_EQ(fed.monitor()->violation_count(), 0u);  // ANBKH is causal
+}
+
+}  // namespace
+}  // namespace cim

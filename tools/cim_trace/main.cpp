@@ -1,0 +1,176 @@
+// cim_trace: analyze and export structured trace JSONL (docs/TRACE_TOOLS.md).
+//
+//   cim_trace summarize <trace.jsonl>      per-stage latency breakdown
+//   cim_trace spans     <trace.jsonl>      one JSON object per write id
+//   cim_trace check     <trace.jsonl>      offline consistency check (exit 1
+//                                          when violations are found)
+//   cim_trace export --perfetto <trace.jsonl> [-o out.json]
+//                                          Chrome Trace Event JSON for
+//                                          Perfetto / chrome://tracing
+//
+// The input is the file TraceSink::write_jsonl() produces (schema
+// docs/OBSERVABILITY.md); pass `-` to read stdin.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/online_monitor.h"
+#include "obs/perfetto_export.h"
+#include "obs/span_index.h"
+#include "obs/trace_read.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace {
+
+using cim::obs::ParsedTraceEvent;
+
+int usage() {
+  std::cerr
+      << "usage: cim_trace <command> [options] <trace.jsonl>\n"
+         "  summarize <trace.jsonl>                per-stage latency table\n"
+         "  spans <trace.jsonl>                    per-write span JSONL\n"
+         "  check <trace.jsonl>                    offline consistency check\n"
+         "  export --perfetto <trace.jsonl> [-o F] Chrome Trace Event JSON\n"
+         "Pass '-' as the trace file to read stdin.\n";
+  return 2;
+}
+
+bool load(const std::string& path, std::vector<ParsedTraceEvent>& events) {
+  std::vector<std::string> errors;
+  if (path == "-") {
+    events = cim::obs::read_trace_jsonl(std::cin, &errors);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cim_trace: cannot open " << path << "\n";
+      return false;
+    }
+    events = cim::obs::read_trace_jsonl(in, &errors);
+  }
+  for (const std::string& e : errors) {
+    std::cerr << "cim_trace: " << path << ": " << e << "\n";
+  }
+  if (events.empty()) {
+    std::cerr << "cim_trace: " << path << ": no trace records\n";
+    return false;
+  }
+  return true;
+}
+
+void add_stage_row(cim::stats::Table& table, const char* stage,
+                   const std::vector<cim::sim::Duration>& samples) {
+  const cim::stats::DurationSummary s = cim::stats::summarize(samples);
+  table.add_row(stage, s.count, s.min.ns, s.p50.ns, s.p90.ns, s.p99.ns,
+                s.max.ns, static_cast<std::int64_t>(s.mean_ns));
+}
+
+int cmd_summarize(const std::vector<ParsedTraceEvent>& events) {
+  cim::obs::SpanIndex index;
+  index.index(events);
+  const auto stages = index.stages();
+
+  std::cout << "records: " << events.size() << "   writes: " << index.size()
+            << "\n\n";
+  cim::stats::Table table({"stage", "count", "min_ns", "p50_ns", "p90_ns",
+                           "p99_ns", "max_ns", "mean_ns"});
+  add_stage_row(table, "origin_apply", stages.origin_apply);
+  add_stage_row(table, "fanout_intra", stages.fanout_intra);
+  add_stage_row(table, "causal_wait", stages.causal_wait);
+  add_stage_row(table, "is_hop", stages.is_hop);
+  add_stage_row(table, "remote_apply", stages.remote_apply);
+  add_stage_row(table, "propagation", stages.propagation);
+  table.print(std::cout);
+  std::cout << "\npropagation reproduces the isc.propagation_latency "
+               "histogram (same samples, full precision).\n";
+  return 0;
+}
+
+int cmd_spans(const std::vector<ParsedTraceEvent>& events) {
+  cim::obs::SpanIndex index;
+  index.index(events);
+  index.write_spans_jsonl(std::cout);
+  return 0;
+}
+
+int cmd_check(const std::vector<ParsedTraceEvent>& events) {
+  cim::chk::OnlineMonitor monitor{cim::chk::MonitorOptions{.enabled = true}};
+  for (const ParsedTraceEvent& ev : events) monitor.observe(ev);
+  if (monitor.violation_count() == 0) {
+    std::cout << "ok: " << events.size()
+              << " records, no causal violations detected\n";
+    return 0;
+  }
+  cim::stats::Table table(
+      {"kind", "t_ns", "proc", "var", "wid", "expect_seq", "got_seq"});
+  for (const cim::chk::Violation& v : monitor.violations()) {
+    std::ostringstream proc, wid;
+    proc << v.proc;
+    wid << v.wid;
+    table.add_row(v.kind, v.t, proc.str(), v.var.value, wid.str(),
+                  v.expected_seq, v.got_seq);
+  }
+  table.print(std::cout);
+  std::cout << "\n" << monitor.violation_count() << " violation(s)\n";
+  return 1;
+}
+
+int cmd_export(const std::vector<ParsedTraceEvent>& events,
+               const std::string& out_path) {
+  if (out_path.empty() || out_path == "-") {
+    cim::obs::write_chrome_trace(std::cout, events);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cim_trace: cannot write " << out_path << "\n";
+    return 2;
+  }
+  cim::obs::write_chrome_trace(out, events);
+  std::cerr << "wrote " << out_path << " (" << events.size()
+            << " records); open in ui.perfetto.dev or chrome://tracing\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  std::string trace_path;
+  std::string out_path;
+  bool perfetto = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--perfetto") {
+      perfetto = true;
+    } else if (arg == "-o" || arg == "--out") {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (trace_path.empty()) return usage();
+
+  std::vector<ParsedTraceEvent> events;
+  if (!load(trace_path, events)) return 2;
+
+  if (cmd == "summarize") return cmd_summarize(events);
+  if (cmd == "spans") return cmd_spans(events);
+  if (cmd == "check") return cmd_check(events);
+  if (cmd == "export") {
+    if (!perfetto) {
+      std::cerr << "cim_trace: export currently requires --perfetto\n";
+      return 2;
+    }
+    return cmd_export(events, out_path);
+  }
+  return usage();
+}
