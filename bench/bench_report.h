@@ -25,7 +25,58 @@
 
 namespace cim::bench {
 
-inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr int kBenchSchemaVersion = 2;
+
+// Build identification baked into every report so a JSON file is
+// self-describing: regressions across differently-built binaries (Debug vs
+// Release, different compilers) are build artifacts, not code changes, and
+// compare_benches.py warns when these fields differ.
+inline const char* compiler_id() {
+#if defined(__clang__)
+  return "clang";
+#elif defined(__GNUC__)
+  return "gcc";
+#else
+  return "unknown";
+#endif
+}
+
+inline std::string compiler_version() {
+#if defined(__clang_major__)
+  return std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) +
+         "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* build_type() {
+#if defined(CIM_BUILD_TYPE)
+  return CIM_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* git_sha() {
+#if defined(CIM_GIT_SHA)
+  return CIM_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* sanitize_flags() {
+#if defined(CIM_SANITIZE)
+  return "asan,ubsan";
+#else
+  return "none";
+#endif
+}
 
 class JsonReport {
  public:
@@ -80,6 +131,15 @@ class JsonReport {
     return rows_.back();
   }
 
+  /// Record a bench-level parameter in the `meta` object (e.g. the workload
+  /// seed). Compiler, build type and git SHA are stamped automatically.
+  void meta(std::string key, std::string value) {
+    meta_.emplace_back(std::move(key), std::move(value));
+  }
+  void meta(std::string key, std::uint64_t value) {
+    meta(std::move(key), std::to_string(value));
+  }
+
   /// Flush the report (also runs at destruction; idempotent).
   void write() {
     if (written_) return;
@@ -98,6 +158,15 @@ class JsonReport {
     w.kv("schema", "cim.bench.v1");
     w.kv("v", kBenchSchemaVersion);
     w.kv("bench", name_);
+    w.key("meta");
+    w.begin_object();
+    w.kv("compiler", compiler_id());
+    w.kv("compiler_version", compiler_version());
+    w.kv("build_type", build_type());
+    w.kv("git_sha", git_sha());
+    w.kv("sanitize", sanitize_flags());
+    for (const auto& [key, value] : meta_) w.kv(key, value);
+    w.end_object();
     w.key("rows");
     w.begin_array();
     for (const Row& row : rows_) {
@@ -116,6 +185,7 @@ class JsonReport {
 
  private:
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<Row> rows_;
   bool written_ = false;
 };

@@ -6,8 +6,10 @@
 //  * latency — the worst-case visibility generalizes the star's 3l+2d to
 //    (h+1)l + h·d, where h is the hop-eccentricity of the writer's system in
 //    the tree (per-link IS-processes, the paper's construction).
+#include <algorithm>
 #include <iostream>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "checker/causal_checker.h"
 #include "stats/table.h"
@@ -54,9 +56,76 @@ sim::Duration worst_latency(bench::Topology topo, std::size_t m,
       .value_or(sim::Duration{-1});
 }
 
+// Engine throughput on a steady-state tree federation: the perf-regression
+// rows of the harness (scripts/run_benches.sh). Virtual-time results are
+// deterministic for a fixed seed; wall_s and events_per_sec measure the host.
+struct PerfResult {
+  std::uint64_t events = 0;
+  std::uint64_t ops = 0;
+  double wall_s = 0.0;
+  sim::Duration p99_visibility{0};
+};
+
+bench::FedParams perf_params(bench::Topology topo, std::size_t m,
+                             std::uint16_t procs, std::uint64_t seed) {
+  bench::FedParams params;
+  params.num_systems = m;
+  params.procs_per_system = procs;
+  params.topology = topo;
+  params.intra_delay = sim::microseconds(100);
+  params.link_delay = sim::milliseconds(1);
+  params.seed = seed;
+  return params;
+}
+
+PerfResult perf_run(bench::Topology topo, std::size_t m, std::uint16_t procs,
+                    std::uint32_t ops_per_process, std::uint64_t seed) {
+  wl::UniformConfig wc;
+  wc.ops_per_process = ops_per_process;
+  wc.write_fraction = 0.5;
+  wc.seed = seed;
+  PerfResult r;
+  r.ops = static_cast<std::uint64_t>(m) * procs * ops_per_process;
+
+  // Timed run: no observers attached, so wall_s measures the engine
+  // (simulate -> send -> deliver -> apply), not the stats machinery.
+  {
+    isc::Federation fed(
+        bench::make_config(perf_params(topo, m, procs, seed)));
+    auto runners = wl::install_uniform(fed, wc);
+    const bench::WallTimer timer;
+    fed.run();
+    r.wall_s = timer.seconds();
+    r.events = fed.simulator().events_fired();
+  }
+
+  // Untimed re-run with the visibility tracker for the p99 row (virtual-time,
+  // deterministic — identical seed reproduces the same event sequence).
+  {
+    isc::Federation fed(
+        bench::make_config(perf_params(topo, m, procs, seed)));
+    stats::VisibilityTracker vis;
+    fed.add_observer(&vis);
+    auto runners = wl::install_uniform(fed, wc);
+    fed.run();
+    std::vector<sim::Duration> lat =
+        vis.all_visibilities(bench::all_app_procs(fed));
+    if (!lat.empty()) {
+      std::sort(lat.begin(), lat.end(),
+                [](sim::Duration a, sim::Duration b) { return a.ns < b.ns; });
+      r.p99_visibility = lat[(lat.size() * 99) / 100];
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 int main() {
+  bench::JsonReport report("tree_scale");
+  const std::uint64_t kPerfSeed = 97;
+  report.meta("seed", kPerfSeed);
+
   std::cout << "E8 — scaling Corollary 1: trees of m interconnected systems\n\n";
 
   const std::uint16_t procs = 2;
@@ -67,9 +136,14 @@ int main() {
     for (std::size_t m : {std::size_t{2}, std::size_t{4}, std::size_t{8},
                           std::size_t{16}}) {
       const std::size_t n = m * procs;
+      const double measured = messages_per_write(topo, m, procs);
       traffic.add_row(bench::to_string(topo), m, n,
-                      static_cast<double>(n + m - 1),
-                      messages_per_write(topo, m, procs));
+                      static_cast<double>(n + m - 1), measured);
+      report
+          .row(std::string("traffic.") + bench::to_string(topo) + "_m" +
+               std::to_string(m))
+          .field("paper", static_cast<double>(n + m - 1))
+          .field("measured", measured);
     }
   }
   traffic.print();
@@ -88,8 +162,14 @@ int main() {
       const std::size_t h = bench::eccentricity(edges, m, 0);
       const sim::Duration expect =
           static_cast<std::int64_t>(h + 1) * l + static_cast<std::int64_t>(h) * d;
+      const sim::Duration measured = worst_latency(topo, m, l, d);
       latency.add_row(bench::to_string(topo), m, h, bench::ms_string(expect),
-                      bench::ms_string(worst_latency(topo, m, l, d)));
+                      bench::ms_string(measured));
+      report
+          .row(std::string("latency.") + bench::to_string(topo) + "_m" +
+               std::to_string(m))
+          .field_ns("paper", expect)
+          .field_ns("measured", measured);
     }
   }
   latency.print();
@@ -97,5 +177,31 @@ int main() {
   std::cout << "\nThe star keeps h (and latency) constant as m grows — the "
                "paper's recommended\nshape — while the chain's latency grows "
                "linearly with m.\n";
+
+  std::cout << "\nEngine throughput (events/sec, wall clock — the "
+               "perf-regression rows)\n";
+  stats::Table perf({"topology", "m", "events", "wall s", "events/s", "ops/s",
+                     "p99 vis"});
+  for (bench::Topology topo :
+       {bench::Topology::kStar, bench::Topology::kBinaryTree}) {
+    for (std::size_t m : {std::size_t{4}, std::size_t{8}}) {
+      const PerfResult r = perf_run(topo, m, /*procs=*/4,
+                                    /*ops_per_process=*/200, kPerfSeed);
+      const double eps = static_cast<double>(r.events) / r.wall_s;
+      const double ops = static_cast<double>(r.ops) / r.wall_s;
+      perf.add_row(bench::to_string(topo), m, r.events, r.wall_s, eps, ops,
+                   bench::ms_string(r.p99_visibility));
+      report
+          .row(std::string("perf.") + bench::to_string(topo) + "_m" +
+               std::to_string(m))
+          .field("events", r.events)
+          .field("ops", r.ops)
+          .field("wall_s", r.wall_s)
+          .field("events_per_sec", eps)
+          .field("ops_per_sec", ops)
+          .field_ns("p99_visibility", r.p99_visibility);
+    }
+  }
+  perf.print();
   return 0;
 }

@@ -3,6 +3,7 @@
 // and prints a paper-vs-measured table.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <queue>
@@ -130,6 +131,22 @@ inline std::vector<ProcId> all_app_procs(isc::Federation& fed) {
   }
   return out;
 }
+
+/// Wall-clock stopwatch for host-time throughput rows. Virtual time measures
+/// the simulated world; events/sec against wall time measures the simulator
+/// engine itself, which is what the perf-regression harness tracks.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline std::string ms_string(sim::Duration d) {
   const double ms = static_cast<double>(d.ns) / 1e6;

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Diff two directories of BENCH_*.json perf reports (schema cim.bench.v1).
+
+Usage:
+    scripts/compare_benches.py --baseline bench/baseline --candidate bench/out
+                               [--threshold 0.10] [--cliff 0.25] [--warn-only]
+
+Rows are matched by (bench, row name). Only fields with a known "direction"
+are judged:
+
+    higher is better:  *_per_sec, *_per_second
+    lower is better:   wall_s, real_time_ns, cpu_time_ns
+
+A change worse than --threshold (default 10%) is a REGRESSION; with
+--warn-only it only warns unless the change is worse than --cliff (default
+25%), the hard-fail backstop for noisy shared runners. Improvements and
+informational fields are printed but never fail the run.
+
+Exit status: 0 clean (or warnings only), 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+HIGHER_BETTER = ("_per_sec", "_per_second")
+LOWER_BETTER = {"wall_s", "real_time_ns", "cpu_time_ns"}
+# Build-identity meta fields: differing values make the comparison
+# apples-to-oranges, so they warn loudly.
+IDENTITY_META = ("compiler", "compiler_version", "build_type", "sanitize")
+
+
+def direction(field):
+    if any(field.endswith(suf) for suf in HIGHER_BETTER):
+        return +1
+    if field in LOWER_BETTER:
+        return -1
+    return 0
+
+
+def load_reports(directory):
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path) as f:
+            doc = json.load(f)
+        reports[doc.get("bench", os.path.basename(path))] = doc
+    return reports
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True)
+    ap.add_argument("--threshold", type=float, default=0.10)
+    ap.add_argument("--cliff", type=float, default=0.25)
+    ap.add_argument("--warn-only", action="store_true")
+    args = ap.parse_args()
+
+    base = load_reports(args.baseline)
+    cand = load_reports(args.candidate)
+    if not base:
+        print(f"compare_benches: no BENCH_*.json in {args.baseline}",
+              file=sys.stderr)
+        return 2
+    if not cand:
+        print(f"compare_benches: no BENCH_*.json in {args.candidate}",
+              file=sys.stderr)
+        return 2
+
+    regressions = warnings = improvements = compared = 0
+    for bench, bdoc in sorted(base.items()):
+        cdoc = cand.get(bench)
+        if cdoc is None:
+            print(f"[warn] {bench}: present in baseline, missing in candidate")
+            warnings += 1
+            continue
+
+        bmeta, cmeta = bdoc.get("meta", {}), cdoc.get("meta", {})
+        for key in IDENTITY_META:
+            if key in bmeta and key in cmeta and bmeta[key] != cmeta[key]:
+                print(f"[warn] {bench}: meta.{key} differs "
+                      f"({bmeta[key]} -> {cmeta[key]}); comparison may be "
+                      f"apples-to-oranges")
+                warnings += 1
+
+        brows = {r["row"]: r for r in bdoc.get("rows", [])}
+        crows = {r["row"]: r for r in cdoc.get("rows", [])}
+        for name, brow in sorted(brows.items()):
+            crow = crows.get(name)
+            if crow is None:
+                print(f"[warn] {bench}/{name}: row missing in candidate")
+                warnings += 1
+                continue
+            for field, bval in brow.items():
+                sign = direction(field)
+                if sign == 0 or not isinstance(bval, (int, float)) \
+                        or isinstance(bval, bool):
+                    continue
+                cval = crow.get(field)
+                if not isinstance(cval, (int, float)) or bval == 0:
+                    continue
+                compared += 1
+                # Positive delta = better, for either direction.
+                delta = sign * (cval - bval) / abs(bval)
+                tag = f"{bench}/{name}.{field}"
+                pct = f"{delta * +100:+.1f}%"
+                if delta < -args.threshold:
+                    hard = delta < -args.cliff or not args.warn_only
+                    kind = "REGRESSION" if hard else "warn-regression"
+                    print(f"[{kind}] {tag}: {bval:g} -> {cval:g} ({pct})")
+                    if hard:
+                        regressions += 1
+                    else:
+                        warnings += 1
+                elif delta > args.threshold:
+                    print(f"[improved] {tag}: {bval:g} -> {cval:g} ({pct})")
+                    improvements += 1
+
+    print(f"\ncompare_benches: {compared} metrics compared, "
+          f"{improvements} improved, {warnings} warning(s), "
+          f"{regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,11 @@ class Recorder {
   /// Number of operations recorded so far (completed or not).
   std::size_t count() const { return ops_.size(); }
 
+  /// Pre-size the operation log. Long steady-state runs call this once up
+  /// front so recording never reallocates inside the event loop (the
+  /// allocation-free invariant of docs/ARCHITECTURE.md).
+  void reserve(std::size_t n) { ops_.reserve(n); }
+
   /// All *completed* operations. Pending (never-responded) operations are
   /// excluded: the paper's computations contain only completed operations.
   History full() const;

@@ -4,6 +4,14 @@
 // violation means a bug; the cost is negligible next to simulation work).
 // Failure throws InvariantViolation so tests can assert on it and the
 // simulator can surface a clean diagnostic instead of UB.
+//
+// CIM_DCHECK is the debug-only flavor for per-event/per-entry hot paths
+// (vector-clock indexing, channel lookups, heap pops) where an always-on
+// branch is measurable. It compiles to the same throw in Debug builds and
+// under CIM_SANITIZE, and to nothing in Release/RelWithDebInfo (which define
+// NDEBUG). Use CIM_CHECK for anything reachable from user configuration or
+// protocol messages; CIM_DCHECK only where the caller already guarantees the
+// invariant and a violation would be a bug in *this* repository.
 #pragma once
 
 #include <sstream>
@@ -41,3 +49,25 @@ class InvariantViolation : public std::logic_error {
       ::cim::check_failed(#expr, __FILE__, __LINE__, cim_check_os_.str()); \
     }                                                             \
   } while (0)
+
+// Debug-only checks: full CIM_CHECK semantics in Debug builds and sanitizer
+// builds (-DCIM_SANITIZE=ON defines CIM_SANITIZE), compiled out entirely in
+// NDEBUG builds. The `if (false)` form keeps the expression syntactically
+// checked (and its variables "used") without evaluating it.
+#if !defined(NDEBUG) || defined(CIM_SANITIZE)
+#define CIM_DCHECK(expr) CIM_CHECK(expr)
+#define CIM_DCHECK_MSG(expr, msg) CIM_CHECK_MSG(expr, msg)
+#else
+#define CIM_DCHECK(expr) \
+  do {                   \
+    if (false) {         \
+      (void)(expr);      \
+    }                    \
+  } while (0)
+#define CIM_DCHECK_MSG(expr, msg) \
+  do {                            \
+    if (false) {                  \
+      (void)(expr);               \
+    }                             \
+  } while (0)
+#endif

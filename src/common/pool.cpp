@@ -1,0 +1,39 @@
+#include "common/pool.h"
+
+namespace cim {
+
+BlockPool::Cache::~Cache() {
+  for (int c = 0; c < kNumClasses; ++c) {
+    FreeNode* node = free_lists[c];
+    while (node != nullptr) {
+      FreeNode* next = node->next;
+      ::operator delete(static_cast<unsigned char*>(static_cast<void*>(node)) -
+                        kHeader);
+      node = next;
+    }
+    free_lists[c] = nullptr;
+  }
+  cached = 0;
+}
+
+std::size_t BlockPool::cached_blocks() noexcept { return cache().cached; }
+
+void BlockPool::trim() noexcept {
+  Cache& k = cache();
+  for (int c = 0; c < kNumClasses; ++c) {
+    FreeNode* node = k.free_lists[c];
+    while (node != nullptr) {
+      FreeNode* next = node->next;
+      ::operator delete(static_cast<unsigned char*>(static_cast<void*>(node)) -
+                        kHeader);
+      --k.cached;
+      node = next;
+    }
+    k.free_lists[c] = nullptr;
+  }
+}
+
+std::uint64_t BlockPool::hits() noexcept { return cache().hits; }
+std::uint64_t BlockPool::misses() noexcept { return cache().misses; }
+
+}  // namespace cim

@@ -1,28 +1,27 @@
 #include "common/vector_clock.h"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 
 namespace cim {
 
 void VectorClock::merge(const VectorClock& other) {
-  assert(counts_.size() == other.counts_.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    counts_[i] = std::max(counts_[i], other.counts_[i]);
+  CIM_DCHECK(size() == other.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    data_[i] = std::max(data_[i], other.data_[i]);
   }
 }
 
 bool VectorClock::leq(const VectorClock& other) const {
-  assert(counts_.size() == other.counts_.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] > other.counts_[i]) return false;
+  CIM_DCHECK(size() == other.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (data_[i] > other.data_[i]) return false;
   }
   return true;
 }
 
 bool VectorClock::lt(const VectorClock& other) const {
-  return leq(other) && counts_ != other.counts_;
+  return leq(other) && !(*this == other);
 }
 
 bool VectorClock::concurrent_with(const VectorClock& other) const {
@@ -31,12 +30,12 @@ bool VectorClock::concurrent_with(const VectorClock& other) const {
 
 bool VectorClock::ready_at(const VectorClock& replica_clock,
                            std::size_t writer) const {
-  assert(counts_.size() == replica_clock.counts_.size());
-  for (std::size_t j = 0; j < counts_.size(); ++j) {
+  CIM_DCHECK(size() == replica_clock.size());
+  for (std::size_t j = 0; j < size(); ++j) {
     if (j == writer) {
-      if (counts_[j] != replica_clock.counts_[j] + 1) return false;
+      if (data_[j] != replica_clock.data_[j] + 1) return false;
     } else {
-      if (counts_[j] > replica_clock.counts_[j]) return false;
+      if (data_[j] > replica_clock.data_[j]) return false;
     }
   }
   return true;
@@ -45,9 +44,9 @@ bool VectorClock::ready_at(const VectorClock& replica_clock,
 std::string VectorClock::to_string() const {
   std::ostringstream os;
   os << "[";
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
+  for (std::size_t i = 0; i < size(); ++i) {
     if (i) os << ",";
-    os << counts_[i];
+    os << data_[i];
   }
   os << "]";
   return os.str();

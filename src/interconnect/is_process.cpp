@@ -97,7 +97,7 @@ void IsProcess::restart() {
   }
 }
 
-void IsProcess::pre_update(VarId var, std::function<void()> done) {
+void IsProcess::pre_update(VarId var, mcs::DoneFn done) {
   if (crashed_) {
     parked_.push_back(
         ParkedUpcall{true, var, kInitValue, WriteId{}, std::move(done)});
@@ -106,7 +106,7 @@ void IsProcess::pre_update(VarId var, std::function<void()> done) {
   run_pre_update(var, std::move(done));
 }
 
-void IsProcess::run_pre_update(VarId var, std::function<void()> done) {
+void IsProcess::run_pre_update(VarId var, mcs::DoneFn done) {
   // Task Pre_Propagate_out(x) (Fig. 2): read x, obtaining the previous
   // value s. The value is not used; the read's existence constrains the
   // causal order (Lemma 1).
@@ -116,7 +116,7 @@ void IsProcess::run_pre_update(VarId var, std::function<void()> done) {
 }
 
 void IsProcess::post_update(VarId var, Value value, WriteId wid,
-                            std::function<void()> done) {
+                            mcs::DoneFn done) {
   if (crashed_) {
     parked_.push_back(ParkedUpcall{false, var, value, wid, std::move(done)});
     return;
@@ -125,7 +125,7 @@ void IsProcess::post_update(VarId var, Value value, WriteId wid,
 }
 
 void IsProcess::run_post_update(VarId var, Value value, WriteId wid,
-                                std::function<void()> done) {
+                                mcs::DoneFn done) {
   // Task Propagate_out(x, v) (Fig. 1): read x — condition (c) guarantees the
   // read returns v — and send ⟨x, v⟩ to the peer IS-process on every link.
   app_.read_now(var,
@@ -170,8 +170,9 @@ void IsProcess::send_pair(std::size_t link, VarId var, Value value,
 }
 
 void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
-  auto* pair = dynamic_cast<PairMsg*>(msg.get());
-  CIM_CHECK_MSG(pair != nullptr, "IS-process received a non-pair message");
+  CIM_DCHECK_MSG(dynamic_cast<PairMsg*>(msg.get()) != nullptr,
+                 "IS-process received a non-pair message");
+  auto* pair = static_cast<PairMsg*>(msg.get());
 
   const sim::Time now = fabric_.simulator().now();
   if (crashed_) {

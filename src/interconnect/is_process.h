@@ -95,9 +95,9 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   std::uint64_t crash_count() const { return crash_count_; }
 
   // UpcallHandler (called by the MCS-process).
-  void pre_update(VarId var, std::function<void()> done) override;
+  void pre_update(VarId var, mcs::DoneFn done) override;
   void post_update(VarId var, Value value, WriteId wid,
-                   std::function<void()> done) override;
+                   mcs::DoneFn done) override;
 
   // net::Receiver (pairs from peer IS-processes).
   void on_message(net::ChannelId from, net::MessagePtr msg) override;
@@ -115,14 +115,14 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
     VarId var;
     Value value = kInitValue;  // post upcalls only
     WriteId wid;               // post upcalls only
-    std::function<void()> done;
+    mcs::DoneFn done;
   };
 
   void send_pair(std::size_t link, VarId var, Value value, WriteId wid,
                  sim::Time origin_time);
-  void run_pre_update(VarId var, std::function<void()> done);
+  void run_pre_update(VarId var, mcs::DoneFn done);
   void run_post_update(VarId var, Value value, WriteId wid,
-                       std::function<void()> done);
+                       mcs::DoneFn done);
 
   mcs::AppProcess& app_;
   net::Fabric& fabric_;

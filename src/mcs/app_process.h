@@ -14,10 +14,8 @@
 // deadlock between the upcall dance and Propagate_in writes).
 #pragma once
 
-#include <deque>
-#include <functional>
-
 #include "checker/history.h"
+#include "common/vec_queue.h"
 #include "mcs/mcs_process.h"
 #include "mcs/types.h"
 
@@ -82,7 +80,7 @@ class AppProcess {
 
   bool busy_ = false;
   bool pumping_ = false;
-  std::deque<Request> queue_;
+  VecQueue<Request> queue_;
   std::uint64_t completed_ = 0;
   std::uint32_t next_wseq_ = 0;  // per-process write counter (wid seq part)
 

@@ -60,17 +60,22 @@ void McsProcess::set_out_channels(std::vector<net::ChannelId> out) {
 }
 
 void McsProcess::register_in_channel(net::ChannelId ch, std::uint16_t from) {
+  if (ch.value >= in_senders_.size()) {
+    in_senders_.resize(ch.value + 1, kNoSender);
+  }
   in_senders_[ch.value] = from;
 }
 
 std::uint16_t McsProcess::sender_of(net::ChannelId ch) const {
-  auto it = in_senders_.find(ch.value);
-  CIM_CHECK_MSG(it != in_senders_.end(), "message on unregistered channel");
-  return it->second;
+  // Flat lookup on the per-message path; registration happens at finalize().
+  CIM_CHECK_MSG(ch.value < in_senders_.size() &&
+                    in_senders_[ch.value] != kNoSender,
+                "message on unregistered channel");
+  return in_senders_[ch.value];
 }
 
 void McsProcess::send_to(std::uint16_t to, net::MessagePtr msg) {
-  CIM_CHECK(to < out_.size() && to != ctx_.local_index);
+  CIM_DCHECK(to < out_.size() && to != ctx_.local_index);
   fabric().send(out_[to], std::move(msg));
 }
 
@@ -94,9 +99,8 @@ void McsProcess::drain_deferred_writes() {
 }
 
 void McsProcess::apply_with_upcalls(VarId var, Value value, WriteId wid,
-                                    bool own_write,
-                                    std::function<void()> apply,
-                                    std::function<void()> done) {
+                                    bool own_write, DoneFn apply,
+                                    DoneFn done) {
   if (upcall_handler_ == nullptr || own_write) {
     // "The update of a replica due to a write operation issued by the
     // IS-process does not generate any upcall."
@@ -115,13 +119,13 @@ void McsProcess::apply_with_upcalls(VarId var, Value value, WriteId wid,
     done();
   };
   auto apply_and_post = [this, var, value, wid, apply = std::move(apply),
-                         finish = std::move(finish)]() {
+                         finish = std::move(finish)]() mutable {
     apply();
-    upcall_handler_->post_update(var, value, wid, finish);
+    upcall_handler_->post_update(var, value, wid, std::move(finish));
   };
 
   if (pre_update_enabled_) {
-    upcall_handler_->pre_update(var, apply_and_post);
+    upcall_handler_->pre_update(var, std::move(apply_and_post));
   } else {
     apply_and_post();
   }

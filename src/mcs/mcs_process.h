@@ -14,11 +14,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
+
+#include "common/vec_queue.h"
 
 #include "common/ids.h"
 #include "common/rng.h"
@@ -98,8 +98,7 @@ class McsProcess : public net::Receiver {
   /// `apply` performs the replica mutation; `done` resumes the protocol's
   /// apply pipeline afterwards.
   void apply_with_upcalls(VarId var, Value value, WriteId wid, bool own_write,
-                          std::function<void()> apply,
-                          std::function<void()> done);
+                          DoneFn apply, DoneFn done);
 
   sim::Simulator& simulator() { return *ctx_.simulator; }
   net::Fabric& fabric() { return *ctx_.fabric; }
@@ -138,7 +137,10 @@ class McsProcess : public net::Receiver {
   obs::DurationHistogram* h_causal_wait_ = nullptr;
   obs::ValueHistogram* h_buffer_ = nullptr;
   std::vector<net::ChannelId> out_;
-  std::unordered_map<std::uint32_t, std::uint16_t> in_senders_;
+  // Sender lookup per inbound message: a flat vector indexed by channel id
+  // (channel ids are dense, fabric-assigned). kNoSender marks unregistered.
+  static constexpr std::uint16_t kNoSender = 0xffff;
+  std::vector<std::uint16_t> in_senders_;
 
   UpcallHandler* upcall_handler_ = nullptr;
   bool pre_update_enabled_ = true;
@@ -150,7 +152,7 @@ class McsProcess : public net::Receiver {
     WriteId wid;
     WriteCallback cb;
   };
-  std::deque<DeferredWrite> deferred_writes_;
+  VecQueue<DeferredWrite> deferred_writes_;
 };
 
 /// Factory invoked by System::finalize for each local process slot.

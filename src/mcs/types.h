@@ -7,14 +7,19 @@
 // process.
 #pragma once
 
-#include <functional>
-
 #include "common/ids.h"
+#include "common/small_fn.h"
 #include "common/value.h"
 
 namespace cim::mcs {
 
-using ReadCallback = std::function<void(Value)>;
-using WriteCallback = std::function<void()>;
+// SmallFn, not std::function: one of these is created per operation, so the
+// response path must not allocate (see docs/ARCHITECTURE.md, "the
+// allocation-free hot path"). Move-only is fine — a response fires once.
+using ReadCallback = SmallFn<void(Value)>;
+using WriteCallback = SmallFn<void()>;
+
+// The upcall/apply-pipeline continuation ("done"): same reasoning.
+using DoneFn = SmallFn<void()>;
 
 }  // namespace cim::mcs

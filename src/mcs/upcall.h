@@ -15,10 +15,9 @@
 // respectively (condition (c)).
 #pragma once
 
-#include <functional>
-
 #include "common/ids.h"
 #include "common/value.h"
+#include "mcs/types.h"
 
 namespace cim::mcs {
 
@@ -29,14 +28,14 @@ class UpcallHandler {
   /// Sent immediately before the replica of `var` is updated. The update is
   /// performed only after `done` is invoked. Only sent when pre-update
   /// upcalls are enabled (IS-protocol 2); IS-protocol 1 disables them.
-  virtual void pre_update(VarId var, std::function<void()> done) = 0;
+  virtual void pre_update(VarId var, DoneFn done) = 0;
 
   /// Sent immediately after the replica of `var` was updated with `value`.
   /// `wid` identifies the originating write (WriteId{} when the protocol
   /// lost track of it); IS-processes propagate it on the outgoing pair so
   /// one write can be traced across systems.
   virtual void post_update(VarId var, Value value, WriteId wid,
-                           std::function<void()> done) = 0;
+                           DoneFn done) = 0;
 };
 
 }  // namespace cim::mcs

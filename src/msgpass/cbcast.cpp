@@ -29,9 +29,10 @@ void CbcastMember::broadcast(const CbPayload& payload) {
 }
 
 void CbcastMember::on_network(net::MessagePtr msg) {
-  auto* cb = dynamic_cast<CbcastMsg*>(msg.get());
-  CIM_CHECK_MSG(cb != nullptr, "unexpected message type in cbcast");
-  CIM_CHECK_MSG(cb->sender != index_, "cbcast echo");
+  CIM_DCHECK_MSG(dynamic_cast<CbcastMsg*>(msg.get()) != nullptr,
+                 "unexpected message type in cbcast");
+  auto* cb = static_cast<CbcastMsg*>(msg.get());
+  CIM_DCHECK_MSG(cb->sender != index_, "cbcast echo");
   pending_.push_back(std::move(*cb));
   try_deliver();
 }

@@ -15,8 +15,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/ids.h"
 #include "common/value.h"
@@ -84,7 +84,9 @@ class CbcastMember {
   CbTransport& transport_;
   DeliverFn deliver_;
   VectorClock clock_;
-  std::deque<CbcastMsg> pending_;
+  // vector, not deque: order-preserving erase keeps FIFO-per-sender scans
+  // deterministic and the retained capacity keeps steady state allocation-free.
+  std::vector<CbcastMsg> pending_;
   std::uint64_t delivered_ = 0;
 };
 

@@ -50,8 +50,8 @@ ChannelId Fabric::add_channel(ChannelConfig config) {
 }
 
 void Fabric::send(ChannelId channel, MessagePtr msg) {
-  CIM_CHECK(channel.value < channels_.size());
-  CIM_CHECK_MSG(msg != nullptr, "cannot send a null message");
+  CIM_DCHECK(channel.value < channels_.size());
+  CIM_DCHECK_MSG(msg != nullptr, "cannot send a null message");
   Channel& ch = channels_[channel.value];
   const std::uint64_t msg_seq = msg_seq_++;
   const char* type_name = msg->type_name();
@@ -124,16 +124,16 @@ void Fabric::send(ChannelId channel, MessagePtr msg) {
              {"bytes", bytes},
              {"wid", wid}});
 
-  // Box the unique_ptr in a shared_ptr so the action is copyable (as
-  // std::function requires) while the message keeps single ownership.
-  auto box = std::make_shared<MessagePtr>(std::move(msg));
+  // The delivery action is move-only (sim::Simulator::Action is a SmallFn),
+  // so the owning unique_ptr moves straight into the closure — no shared_ptr
+  // box, and the whole capture fits the action's inline buffer.
   Receiver* receiver = ch.receiver;
   const sim::Time sent_at = sim_.now();
-  sim_.at(delivery, [this, receiver, channel, box, msg_seq, sent_at,
-                     type_name, wid]() {
+  sim_.at(delivery, [this, receiver, channel, msg = std::move(msg), msg_seq,
+                     sent_at, type_name, wid]() mutable {
     on_delivered(channels_[channel.value], channel, msg_seq, sent_at,
                  type_name, wid);
-    receiver->on_message(channel, std::move(*box));
+    receiver->on_message(channel, std::move(msg));
   });
 }
 

@@ -4,18 +4,36 @@
 // its own message structs; wire_size() is an estimate used only by the
 // traffic accounting of the Section-6 experiments (the simulator never
 // serializes anything).
+//
+// Messages are pool-allocated: the class-level operator new/delete below
+// route every `std::make_unique<SomeMsg>()` — including the clone() copies
+// the reliable transport retransmits — through cim::BlockPool, so a message's
+// send→deliver→destroy round trip recycles storage instead of hitting the
+// heap. Derived classes inherit the operators; nothing else to do.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <new>
 
 #include "common/ids.h"
+#include "common/pool.h"
 
 namespace cim::net {
 
 class Message {
  public:
   virtual ~Message() = default;
+
+  static void* operator new(std::size_t size) {
+    return BlockPool::allocate(size);
+  }
+  static void operator delete(void* p) noexcept { BlockPool::deallocate(p); }
+  // Sized/aligned forms delegate: BlockPool reads the size class from its
+  // own header, and message types are never over-aligned.
+  static void operator delete(void* p, std::size_t) noexcept {
+    BlockPool::deallocate(p);
+  }
 
   /// Human-readable message kind, for tracing.
   virtual const char* type_name() const = 0;

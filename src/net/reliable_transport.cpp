@@ -135,8 +135,9 @@ void ReliableTransport::handle_ack(std::uint64_t ack) {
 
 void ReliableTransport::on_message(ChannelId from, MessagePtr msg) {
   CIM_CHECK(from == in_);
-  auto* frame = dynamic_cast<TransportFrame*>(msg.get());
-  CIM_CHECK_MSG(frame != nullptr, "transport received a non-transport frame");
+  CIM_DCHECK_MSG(dynamic_cast<TransportFrame*>(msg.get()) != nullptr,
+                 "transport received a non-transport frame");
+  auto* frame = static_cast<TransportFrame*>(msg.get());
   if (down_) {
     // The owning host is crashed: the frame is lost at the NIC. The peer's
     // retransmission timer recovers it after restart.

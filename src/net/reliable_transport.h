@@ -26,10 +26,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 
 #include "common/rng.h"
+#include "common/vec_queue.h"
 #include "net/fabric.h"
 #include "obs/obs.h"
 
@@ -120,8 +120,8 @@ class ReliableTransport final : public Receiver {
 
   // Sender state.
   std::uint64_t send_next_ = 0;        // next fresh sequence number
-  std::deque<Unacked> unacked_;        // in-flight window, seq ascending
-  std::deque<MessagePtr> queue_;       // backpressured payloads, no seq yet
+  VecQueue<Unacked> unacked_;          // in-flight window, seq ascending
+  VecQueue<MessagePtr> queue_;         // backpressured payloads, no seq yet
   sim::Duration rto_;
   std::uint64_t retx_gen_ = 0;         // cancels stale timer events
   bool retx_armed_ = false;

@@ -7,33 +7,16 @@
 
 namespace cim::obs {
 
-void Int64Histogram::observe(std::int64_t v) {
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+void Int64Histogram::decimate() {
+  // Keep every 2nd retained sample and double the keep stride: memory is
+  // bounded at max_samples_ while the retained set stays an (approximately)
+  // uniform stride sample of the full observation stream.
+  std::size_t out = 0;
+  for (std::size_t in = 0; in < samples_.size(); in += 2) {
+    samples_[out++] = samples_[in];
   }
-  ++count_;
-  sum_ += v;
-
-  if (until_next_ > 0) {
-    --until_next_;
-    return;
-  }
-  if (samples_.size() >= max_samples_) {
-    // Keep every 2nd retained sample and double the keep stride: memory is
-    // bounded at max_samples_ while the retained set stays an (approximately)
-    // uniform stride sample of the full observation stream.
-    std::size_t out = 0;
-    for (std::size_t in = 0; in < samples_.size(); in += 2) {
-      samples_[out++] = samples_[in];
-    }
-    samples_.resize(out);
-    stride_ *= 2;
-  }
-  samples_.push_back(v);
-  until_next_ = stride_ - 1;
+  samples_.resize(out);
+  stride_ *= 2;
 }
 
 stats::DurationSummary Int64Histogram::summary() const {
@@ -88,6 +71,11 @@ ValueHistogram& MetricsRegistry::value_histogram(std::string_view name) {
     it = value_histograms_.emplace(std::string(name), ValueHistogram{}).first;
   }
   return it->second;
+}
+
+void MetricsRegistry::set_histogram_max_samples(std::size_t n) {
+  for (auto& [name, h] : histograms_) h.set_max_samples(n);
+  for (auto& [name, h] : value_histograms_) h.set_max_samples(n);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -56,7 +56,27 @@ class Gauge {
 /// Histogram over int64 samples (durations in ns, or unitless values).
 class Int64Histogram {
  public:
-  void observe(std::int64_t v);
+  /// Inline: called a few times per simulated event (delivery latency,
+  /// causal wait, queue depths); only decimation is out of line.
+  void observe(std::int64_t v) {
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = v < min_ ? v : min_;
+      max_ = v > max_ ? v : max_;
+    }
+    ++count_;
+    sum_ += v;
+
+    if (until_next_ > 0) {
+      --until_next_;
+      return;
+    }
+    if (samples_.size() >= max_samples_) decimate();
+    samples_.push_back(v);
+    until_next_ = stride_ - 1;
+  }
+
   std::uint64_t count() const { return count_; }
   std::int64_t sum() const { return sum_; }
 
@@ -68,6 +88,8 @@ class Int64Histogram {
   void set_max_samples(std::size_t n) { max_samples_ = n < 2 ? 2 : n; }
 
  private:
+  void decimate();
+
   std::uint64_t count_ = 0;
   std::int64_t sum_ = 0;
   std::int64_t min_ = 0;
@@ -118,6 +140,11 @@ class MetricsRegistry {
   ValueHistogram& value_histogram(std::string_view name);
 
   MetricsSnapshot snapshot() const;
+
+  /// Apply a retained-sample cap to every currently registered histogram
+  /// (see Int64Histogram::set_max_samples). Steady-state allocation tests
+  /// use this after warm-up so sample retention stops growing.
+  void set_histogram_max_samples(std::size_t n);
 
  private:
   // std::map: node-based, so instrument addresses never move.

@@ -11,8 +11,7 @@ AnbkhProcess::AnbkhProcess(const mcs::McsContext& ctx)
     : McsProcess(ctx), clock_(ctx.num_procs) {}
 
 Value AnbkhProcess::replica_value(VarId var) const {
-  auto it = store_.find(var);
-  return it == store_.end() ? kInitValue : it->second;
+  return store_.get(var);
 }
 
 void AnbkhProcess::handle_read(VarId var, mcs::ReadCallback cb) {
@@ -22,7 +21,7 @@ void AnbkhProcess::handle_read(VarId var, mcs::ReadCallback cb) {
 void AnbkhProcess::do_write(VarId var, Value value, WriteId wid,
                             mcs::WriteCallback cb) {
   clock_.tick(local_index());
-  store_[var] = value;
+  store_.set(var, value);
   note_update_issued(var, value, wid);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
@@ -42,9 +41,12 @@ void AnbkhProcess::do_write(VarId var, Value value, WriteId wid,
 }
 
 void AnbkhProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
-  auto* update = dynamic_cast<TimestampedUpdate*>(msg.get());
-  CIM_CHECK_MSG(update != nullptr, "unexpected message type in ANBKH");
-  CIM_CHECK(update->writer == sender_of(from));
+  // Intra-system channels only ever carry TimestampedUpdates; checked in
+  // Debug/sanitizer builds, a straight downcast in Release.
+  CIM_DCHECK_MSG(dynamic_cast<TimestampedUpdate*>(msg.get()) != nullptr,
+                 "unexpected message type in ANBKH");
+  auto* update = static_cast<TimestampedUpdate*>(msg.get());
+  CIM_DCHECK(update->writer == sender_of(from));
   update->received_at = simulator().now();
   pending_.push_back(std::move(*update));
   note_update_buffered(pending_.size());
@@ -61,21 +63,25 @@ void AnbkhProcess::apply_step() {
   // Find the first causally ready pending update.
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (!it->clock.ready_at(clock_, it->writer)) continue;
-    TimestampedUpdate update = std::move(*it);
+    // Unpack before erasing; capturing scalars (not the whole update with
+    // its clock) keeps the apply closure inside SmallFn's inline buffer.
+    const VarId var = it->var;
+    const Value value = it->value;
+    const WriteId wid = it->write_id;
+    const sim::Time received_at = it->received_at;
+    const std::uint16_t writer = it->writer;
+    const std::uint64_t writer_ticks = it->clock[writer];
     pending_.erase(it);
 
-    const VarId var = update.var;
-    const Value value = update.value;
     apply_with_upcalls(
-        var, value, update.write_id, /*own_write=*/false,
-        /*apply=*/[this, update = std::move(update)]() {
-          clock_.set(update.writer, update.clock[update.writer]);
-          store_[update.var] = update.value;
-          note_update_applied(update.var, update.value, update.write_id,
-                              update.received_at);
+        var, value, wid, /*own_write=*/false,
+        /*apply=*/[this, var, value, wid, received_at, writer,
+                   writer_ticks]() {
+          clock_.set(writer, writer_ticks);
+          store_.set(var, value);
+          note_update_applied(var, value, wid, received_at);
           if (observer() != nullptr) {
-            observer()->on_apply(id(), update.var, update.value,
-                                 simulator().now());
+            observer()->on_apply(id(), var, value, simulator().now());
           }
         },
         /*done=*/[this]() {

@@ -14,10 +14,10 @@
 // IS-protocol 1 (Fig. 1) on systems using this protocol.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "common/vector_clock.h"
+#include "common/var_store.h"
 #include "mcs/mcs_process.h"
 #include "protocols/update_msg.h"
 
@@ -46,9 +46,12 @@ class AnbkhProcess final : public mcs::McsProcess {
   void try_apply();
   void apply_step();
 
-  std::unordered_map<VarId, Value> store_;
+  VarStore store_;
   VectorClock clock_;
-  std::deque<TimestampedUpdate> pending_;
+  // vector, not deque: mid-erase shifts preserve arrival order (which the
+  // readiness scan depends on) and the retained capacity keeps the
+  // steady-state buffer allocation-free.
+  std::vector<TimestampedUpdate> pending_;
   bool applying_ = false;
 };
 

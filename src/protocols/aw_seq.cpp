@@ -10,8 +10,7 @@ namespace cim::proto {
 AwSeqProcess::AwSeqProcess(const mcs::McsContext& ctx) : McsProcess(ctx) {}
 
 Value AwSeqProcess::replica_value(VarId var) const {
-  auto it = store_.find(var);
-  return it == store_.end() ? kInitValue : it->second;
+  return store_.get(var);
 }
 
 void AwSeqProcess::handle_read(VarId var, mcs::ReadCallback cb) {
@@ -27,7 +26,7 @@ void AwSeqProcess::do_write(VarId var, Value value, WriteId wid,
   if (has_upcall_handler()) {
     // IS-process write: apply locally and acknowledge immediately (see the
     // header comment for why blocking would deadlock the upcall discipline).
-    store_[var] = value;
+    store_.set(var, value);
     if (observer() != nullptr) {
       observer()->on_apply(id(), var, value, simulator().now());
     }
@@ -112,7 +111,7 @@ void AwSeqProcess::apply_step() {
                  wid = del.write_id, received_at = del.received_at]() {
         // For a pre-applied own write this is a (convergence-restoring)
         // re-application at the update's global sequence position.
-        store_[var] = value;
+        store_.set(var, value);
         if (own) {
           note_update_applied(var, value, wid);
         } else {

@@ -27,10 +27,10 @@
 // the pure total order.
 #pragma once
 
-#include <deque>
 #include <map>
-#include <unordered_map>
 
+#include "common/vec_queue.h"
+#include "common/var_store.h"
 #include "mcs/mcs_process.h"
 
 namespace cim::proto {
@@ -90,11 +90,11 @@ class AwSeqProcess final : public mcs::McsProcess {
   void try_apply();
   void apply_step();
 
-  std::unordered_map<VarId, Value> store_;
+  VarStore store_;
   std::uint64_t next_seq_to_assign_ = 0;       // sequencer only
   std::uint64_t next_apply_seq_ = 0;           // next sequence number to apply
   std::map<std::uint64_t, TobDeliver> delivery_buffer_;
-  std::deque<mcs::WriteCallback> pending_write_acks_;  // FIFO, own writes
+  VecQueue<mcs::WriteCallback> pending_write_acks_;  // FIFO, own writes
   bool applying_ = false;
 };
 

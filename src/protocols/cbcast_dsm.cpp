@@ -15,8 +15,7 @@ CbcastDsmProcess::CbcastDsmProcess(const mcs::McsContext& ctx)
               }) {}
 
 Value CbcastDsmProcess::replica_value(VarId var) const {
-  auto it = store_.find(var);
-  return it == store_.end() ? kInitValue : it->second;
+  return store_.get(var);
 }
 
 void CbcastDsmProcess::handle_read(VarId var, mcs::ReadCallback cb) {
@@ -51,7 +50,7 @@ void CbcastDsmProcess::on_deliver(std::uint16_t sender,
   apply_with_upcalls(
       payload.var, payload.value, payload.wid, own,
       /*apply=*/[this, &payload]() {
-        store_[payload.var] = payload.value;
+        store_.set(payload.var, payload.value);
         note_update_applied(payload.var, payload.value, payload.wid);
         if (observer() != nullptr) {
           observer()->on_apply(id(), payload.var, payload.value,

@@ -17,8 +17,8 @@
 // having to build a message-passing hierarchy spanning the systems.
 #pragma once
 
-#include <unordered_map>
 
+#include "common/var_store.h"
 #include "mcs/mcs_process.h"
 #include "msgpass/cbcast.h"
 
@@ -48,7 +48,7 @@ class CbcastDsmProcess final : public mcs::McsProcess,
 
   void on_deliver(std::uint16_t sender, const mp::CbPayload& payload);
 
-  std::unordered_map<VarId, Value> store_;
+  VarStore store_;
   mp::CbcastMember member_;
 };
 

@@ -13,8 +13,7 @@ LazyBatchProcess::LazyBatchProcess(const mcs::McsContext& ctx,
     : McsProcess(ctx), config_(config), clock_(ctx.num_procs) {}
 
 Value LazyBatchProcess::replica_value(VarId var) const {
-  auto it = store_.find(var);
-  return it == store_.end() ? kInitValue : it->second;
+  return store_.get(var);
 }
 
 void LazyBatchProcess::handle_read(VarId var, mcs::ReadCallback cb) {
@@ -25,7 +24,7 @@ void LazyBatchProcess::do_write(VarId var, Value value, WriteId wid,
                                 mcs::WriteCallback cb) {
   // Local writes apply immediately (read-your-writes) and propagate.
   clock_.tick(local_index());
-  store_[var] = value;
+  store_.set(var, value);
   note_update_issued(var, value, wid);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
@@ -45,9 +44,10 @@ void LazyBatchProcess::do_write(VarId var, Value value, WriteId wid,
 }
 
 void LazyBatchProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
-  auto* update = dynamic_cast<TimestampedUpdate*>(msg.get());
-  CIM_CHECK_MSG(update != nullptr, "unexpected message type in lazy-batch");
-  CIM_CHECK(update->writer == sender_of(from));
+  CIM_DCHECK_MSG(dynamic_cast<TimestampedUpdate*>(msg.get()) != nullptr,
+                 "unexpected message type in lazy-batch");
+  auto* update = static_cast<TimestampedUpdate*>(msg.get());
+  CIM_DCHECK(update->writer == sender_of(from));
   update->received_at = simulator().now();
   pending_.push_back(std::move(*update));
   note_update_buffered(pending_.size());
@@ -63,12 +63,11 @@ void LazyBatchProcess::schedule_batch() {
   });
 }
 
-std::vector<TimestampedUpdate> LazyBatchProcess::collect_ready(
-    VectorClock& tentative) {
+void LazyBatchProcess::collect_ready(VectorClock& tentative,
+                                     std::vector<TimestampedUpdate>& batch) {
   // Repeatedly extract updates that are causally ready with respect to the
   // tentative clock; the result is the maximal applicable set, listed in
   // causal order.
-  std::vector<TimestampedUpdate> batch;
   bool progress = true;
   while (progress) {
     progress = false;
@@ -81,7 +80,6 @@ std::vector<TimestampedUpdate> LazyBatchProcess::collect_ready(
       break;
     }
   }
-  return batch;
 }
 
 void LazyBatchProcess::order_batch(std::vector<TimestampedUpdate>& batch) {
@@ -120,12 +118,15 @@ void LazyBatchProcess::order_batch(std::vector<TimestampedUpdate>& batch) {
 
 void LazyBatchProcess::run_batch() {
   VectorClock tentative = clock_;
-  std::vector<TimestampedUpdate> batch = collect_ready(tentative);
+  std::vector<TimestampedUpdate>& batch = batch_scratch_;
+  batch.clear();
+  collect_ready(tentative, batch);
   if (batch.empty()) return;
 
   // Values are unique per execution (paper assumption), so they identify
   // updates; remember the causal order to detect deviation.
-  std::vector<Value> causal_values;
+  std::vector<Value>& causal_values = causal_scratch_;
+  causal_values.clear();
   causal_values.reserve(batch.size());
   for (const TimestampedUpdate& u : batch) causal_values.push_back(u.value);
 
@@ -147,7 +148,7 @@ void LazyBatchProcess::run_batch() {
     apply_with_upcalls(
         u.var, u.value, u.write_id, /*own_write=*/false,
         /*apply=*/[this, &u]() {
-          store_[u.var] = u.value;
+          store_.set(u.var, u.value);
           note_update_applied(u.var, u.value, u.write_id, u.received_at);
           if (observer() != nullptr) {
             observer()->on_apply(id(), u.var, u.value, simulator().now());

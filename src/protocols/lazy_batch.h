@@ -23,11 +23,10 @@
 // causal order regardless of the configured scramble.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "common/vector_clock.h"
+#include "common/var_store.h"
 #include "mcs/mcs_process.h"
 #include "protocols/update_msg.h"
 #include "sim/time.h"
@@ -69,13 +68,18 @@ class LazyBatchProcess final : public mcs::McsProcess {
  private:
   void schedule_batch();
   void run_batch();
-  std::vector<TimestampedUpdate> collect_ready(VectorClock& tentative);
+  void collect_ready(VectorClock& tentative,
+                     std::vector<TimestampedUpdate>& batch);
   void order_batch(std::vector<TimestampedUpdate>& batch);
 
   LazyBatchConfig config_;
-  std::unordered_map<VarId, Value> store_;
+  VarStore store_;
   VectorClock clock_;
-  std::deque<TimestampedUpdate> pending_;
+  // vectors, not deques: order-preserving erase/append with retained
+  // capacity, so steady-state batching stops touching the allocator.
+  std::vector<TimestampedUpdate> pending_;
+  std::vector<TimestampedUpdate> batch_scratch_;
+  std::vector<Value> causal_scratch_;
   bool batch_scheduled_ = false;
   std::uint64_t scrambled_batches_ = 0;
 };

@@ -16,8 +16,7 @@ PartialRepProcess::PartialRepProcess(const mcs::McsContext& ctx,
 }
 
 Value PartialRepProcess::replica_value(VarId var) const {
-  auto it = store_.find(var);
-  return it == store_.end() ? kInitValue : it->second;
+  return store_.get(var);
 }
 
 void PartialRepProcess::handle_read(VarId var, mcs::ReadCallback cb) {
@@ -31,7 +30,7 @@ void PartialRepProcess::do_write(VarId var, Value value, WriteId wid,
   CIM_CHECK_MSG(holds(var), "process " << id() << " writes " << var
                                        << " outside its interest set");
   clock_.tick(local_index());
-  store_[var] = value;
+  store_.set(var, value);
   note_update_issued(var, value, wid);
   if (observer() != nullptr) {
     observer()->on_write_issued(id(), var, value, simulator().now());
@@ -54,9 +53,10 @@ void PartialRepProcess::do_write(VarId var, Value value, WriteId wid,
 }
 
 void PartialRepProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
-  auto* update = dynamic_cast<PartialUpdate*>(msg.get());
-  CIM_CHECK_MSG(update != nullptr, "unexpected message type in partial-rep");
-  CIM_CHECK(update->writer == sender_of(from));
+  CIM_DCHECK_MSG(dynamic_cast<PartialUpdate*>(msg.get()) != nullptr,
+                 "unexpected message type in partial-rep");
+  auto* update = static_cast<PartialUpdate*>(msg.get());
+  CIM_DCHECK(update->writer == sender_of(from));
   update->received_at = simulator().now();
   pending_.push_back(std::move(*update));
   note_update_buffered(pending_.size());
@@ -69,25 +69,32 @@ void PartialRepProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
 void PartialRepProcess::apply_step() {
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (!it->clock.ready_at(clock_, it->writer)) continue;
-    PartialUpdate update = std::move(*it);
+    // Unpack scalars before erasing (keeps the apply closure within
+    // SmallFn's inline buffer — see anbkh.cpp).
+    const bool has_value = it->has_value;
+    const VarId var = it->var;
+    const Value value = it->value;
+    const WriteId wid = it->write_id;
+    const sim::Time received_at = it->received_at;
+    const std::uint16_t writer = it->writer;
+    const std::uint64_t writer_ticks = it->clock[writer];
     pending_.erase(it);
 
-    if (!update.has_value) {
+    if (!has_value) {
       // Causal marker: advance knowledge, nothing to store or announce.
-      clock_.set(update.writer, update.clock[update.writer]);
+      clock_.set(writer, writer_ticks);
       simulator().post([this]() { apply_step(); });
       return;
     }
     apply_with_upcalls(
-        update.var, update.value, update.write_id, /*own_write=*/false,
-        /*apply=*/[this, update = std::move(update)]() {
-          clock_.set(update.writer, update.clock[update.writer]);
-          store_[update.var] = update.value;
-          note_update_applied(update.var, update.value, update.write_id,
-                              update.received_at);
+        var, value, wid, /*own_write=*/false,
+        /*apply=*/[this, var, value, wid, received_at, writer,
+                   writer_ticks]() {
+          clock_.set(writer, writer_ticks);
+          store_.set(var, value);
+          note_update_applied(var, value, wid, received_at);
           if (observer() != nullptr) {
-            observer()->on_apply(id(), update.var, update.value,
-                                 simulator().now());
+            observer()->on_apply(id(), var, value, simulator().now());
           }
         },
         /*done=*/[this]() {

@@ -20,11 +20,11 @@
 // convenience factory below enforces this automatically.
 #pragma once
 
-#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "common/vector_clock.h"
+#include "common/var_store.h"
 #include "mcs/mcs_process.h"
 #include "protocols/update_msg.h"
 
@@ -85,9 +85,9 @@ class PartialRepProcess final : public mcs::McsProcess {
 
   InterestFn interest_;
   std::uint16_t app_process_count_;
-  std::unordered_map<VarId, Value> store_;
+  VarStore store_;
   VectorClock clock_;
-  std::deque<PartialUpdate> pending_;
+  std::vector<PartialUpdate> pending_;  // order-preserving erase, see anbkh.h
   bool applying_ = false;
 };
 

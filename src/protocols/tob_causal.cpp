@@ -11,8 +11,7 @@ TobCausalProcess::TobCausalProcess(const mcs::McsContext& ctx)
     : McsProcess(ctx) {}
 
 Value TobCausalProcess::replica_value(VarId var) const {
-  auto it = store_.find(var);
-  return it == store_.end() ? kInitValue : it->second;
+  return store_.get(var);
 }
 
 void TobCausalProcess::handle_read(VarId var, mcs::ReadCallback cb) {
@@ -30,7 +29,7 @@ void TobCausalProcess::do_write(VarId var, Value value, WriteId wid,
     // reads always return the value being applied (condition (c)).
     publish(var, value, wid, /*pre_applied=*/false);
   } else {
-    store_[var] = value;
+    store_.set(var, value);
     if (observer() != nullptr) {
       observer()->on_apply(id(), var, value, simulator().now());
     }
@@ -122,7 +121,7 @@ void TobCausalProcess::apply_step() {
       del.var, del.value, del.write_id, own,
       /*apply=*/[this, own, var = del.var, value = del.value,
                  wid = del.write_id, received_at = del.received_at]() {
-        store_[var] = value;
+        store_.set(var, value);
         if (own) {
           note_update_applied(var, value, wid);
         } else {

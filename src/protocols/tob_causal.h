@@ -36,8 +36,8 @@
 #pragma once
 
 #include <map>
-#include <unordered_map>
 
+#include "common/var_store.h"
 #include "mcs/mcs_process.h"
 #include "protocols/aw_seq.h"  // TobPublish / TobDeliver wire format
 
@@ -69,7 +69,7 @@ class TobCausalProcess final : public mcs::McsProcess {
   void try_apply();
   void apply_step();
 
-  std::unordered_map<VarId, Value> store_;
+  VarStore store_;
   std::uint64_t next_seq_to_assign_ = 0;  // sequencer only
   std::uint64_t next_apply_seq_ = 0;
   std::map<std::uint64_t, TobDeliver> delivery_buffer_;

@@ -1,6 +1,6 @@
 #include "runtime/runtime.h"
 
-#include <future>
+#include <atomic>
 #include <utility>
 
 #include "common/check.h"
@@ -24,6 +24,7 @@ void Runtime::stop() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) return;
     stop_requested_ = true;
+    stop_flag_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
   engine_.join();
@@ -36,14 +37,17 @@ bool Runtime::running() const {
   return running_;
 }
 
-void Runtime::post(std::function<void()> fn) {
+void Runtime::post(sim::Simulator::Action fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CIM_CHECK_MSG(running_ && !stop_requested_,
                   "post() on a stopped runtime");
     injected_.push_back(std::move(fn));
+    has_injected_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  // Cheap when the engine is spinning rather than parked: notify_one on a
+  // waiter-less condition variable is an atomic check, no syscall.
+  cv_.notify_one();
 }
 
 void Runtime::engine_loop() {
@@ -56,9 +60,24 @@ void Runtime::engine_loop() {
         sim.post(std::move(injected_.front()));
         injected_.pop_front();
       }
+      has_injected_.store(false, std::memory_order_relaxed);
       if (sim.empty()) {
-        // Idle: wait for new work or a stop request. On stop, remaining
-        // simulator work (none, since empty) is done — exit.
+        // Idle: spin briefly off-lock before parking — a blocking client is
+        // usually about to post the next operation, and catching it in the
+        // spin skips a futex sleep/wake round trip. Yield so the poster gets
+        // the core on single-CPU hosts.
+        lock.unlock();
+        for (int i = 0; i < 4096; ++i) {
+          if (has_injected_.load(std::memory_order_acquire) ||
+              stop_flag_.load(std::memory_order_acquire)) {
+            break;
+          }
+          if ((i & 15) == 15) std::this_thread::yield();
+        }
+        lock.lock();
+        if (!injected_.empty()) continue;
+        // Nothing arrived during the spin: park until work or stop. On
+        // stop, remaining simulator work (none, since empty) is done — exit.
         if (stop_requested_) return;
         cv_.wait(lock, [this]() {
           return stop_requested_ || !injected_.empty();
@@ -73,22 +92,57 @@ void Runtime::engine_loop() {
   }
 }
 
+namespace {
+
+// One blocking call's rendezvous, on the caller's stack. Replaces
+// promise/future, whose shared state costs a heap allocation per operation.
+// The caller spins briefly (yielding, so a single-core host lets the engine
+// run) before parking on the condition variable.
+struct SyncCell {
+  std::atomic<bool> ready{false};
+  std::mutex m;
+  std::condition_variable cv;
+  Value value = kInitValue;
+
+  void signal() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      ready.store(true, std::memory_order_release);
+    }
+    cv.notify_one();
+  }
+
+  void wait() {
+    for (int i = 0; i < 1024; ++i) {
+      if (ready.load(std::memory_order_acquire)) return;
+      if ((i & 15) == 15) std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock,
+            [this]() { return ready.load(std::memory_order_acquire); });
+  }
+};
+
+}  // namespace
+
 Value BlockingClient::read(VarId var) {
-  std::promise<Value> promise;
-  std::future<Value> future = promise.get_future();
-  runtime_.post([this, var, &promise]() {
-    app_.read(var, [&promise](Value v) { promise.set_value(v); });
+  SyncCell cell;
+  runtime_.post([this, var, &cell]() {
+    app_.read(var, [&cell](Value v) {
+      cell.value = v;
+      cell.signal();
+    });
   });
-  return future.get();
+  cell.wait();
+  return cell.value;
 }
 
 void BlockingClient::write(VarId var, Value value) {
-  std::promise<void> promise;
-  std::future<void> future = promise.get_future();
-  runtime_.post([this, var, value, &promise]() {
-    app_.write(var, value, [&promise]() { promise.set_value(); });
+  SyncCell cell;
+  runtime_.post([this, var, value, &cell]() {
+    app_.write(var, value, [&cell]() { cell.signal(); });
   });
-  future.get();
+  cell.wait();
 }
 
 }  // namespace cim::rt

@@ -13,12 +13,13 @@
 // blocking API.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
-#include <deque>
-#include <functional>
 #include <mutex>
 #include <thread>
 
+#include "common/small_fn.h"
+#include "common/vec_queue.h"
 #include "interconnect/federation.h"
 
 namespace cim::rt {
@@ -39,7 +40,7 @@ class Runtime {
   void stop();
 
   /// Run `fn` on the engine thread (as a simulator event); thread-safe.
-  void post(std::function<void()> fn);
+  void post(sim::Simulator::Action fn);
 
   bool running() const;
 
@@ -49,7 +50,13 @@ class Runtime {
   isc::Federation& federation_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> injected_;
+  VecQueue<sim::Simulator::Action> injected_;
+  // Lock-free mirrors of the queue/stop state, so the idle engine can spin
+  // briefly before parking on the condition variable. While it spins, a
+  // post() is an atomic flag plus a queue push — no futex wake. Blocking
+  // clients post at operation rate, so this halves the syscalls per op.
+  std::atomic<bool> has_injected_{false};
+  std::atomic<bool> stop_flag_{false};
   bool stop_requested_ = false;
   bool running_ = false;
   std::thread engine_;

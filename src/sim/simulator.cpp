@@ -1,32 +1,11 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-
-#include "common/check.h"
-
 namespace cim::sim {
 
-void Simulator::at(Time t, Action action) {
-  CIM_CHECK_MSG(t >= now_, "scheduling into the past: " << t << " < " << now_);
-  heap_.push_back(Event{t, next_seq_++, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), fires_after);
-  if (heap_.size() > max_pending_) max_pending_ = heap_.size();
-}
-
-Simulator::Event Simulator::pop_next() {
-  std::pop_heap(heap_.begin(), heap_.end(), fires_after);
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  return ev;
-}
-
-bool Simulator::step() {
-  if (heap_.empty()) return false;
-  Event ev = pop_next();
-  now_ = ev.time;
-  ++fired_;
-  ev.action();
-  return true;
+void Simulator::reserve(std::size_t n) {
+  heap_.reserve(n);
+  slots_.reserve(n);
+  free_slots_.reserve(n);
 }
 
 std::uint64_t Simulator::run() {

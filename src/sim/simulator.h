@@ -4,19 +4,29 @@
 // default executor. Events scheduled for the same instant fire in scheduling
 // order (a monotone sequence number breaks ties), which makes every execution
 // a deterministic function of the configuration and the RNG seeds.
+//
+// Hot-path layout (the allocation-free invariant, docs/ARCHITECTURE.md):
+// Action is a cim::SmallFn — a 64-byte-inline, move-only callable — so a
+// scheduled closure lives inside the event slot instead of behind a
+// std::function heap allocation. The priority queue itself holds 24-byte
+// {time, seq, slot} PODs; the actions sit in a side table of recycled slots,
+// so heap sift-up/down moves trivially-copyable entries and a slot freed by
+// step() is reused by the next at() without touching the allocator.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/check.h"
+#include "common/small_fn.h"
 #include "sim/time.h"
 
 namespace cim::sim {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallFn<void()>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -26,7 +36,18 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedule `action` to run at absolute time `t` (must be >= now()).
-  void at(Time t, Action action);
+  /// Inline: this is the single hottest call in the repository — every
+  /// message delivery, timer and continuation passes through here.
+  void at(Time t, Action action) {
+    // Always-on: a past-dated event is reachable from protocol/config code
+    // and would silently corrupt the causal order.
+    CIM_CHECK_MSG(t >= now_,
+                  "scheduling into the past: " << t << " < " << now_);
+    const std::uint32_t slot = acquire_slot(std::move(action));
+    heap_.push_back(HeapEntry{t, next_seq_++, slot});
+    std::push_heap(heap_.begin(), heap_.end(), FiresAfter{});
+    if (heap_.size() > max_pending_) max_pending_ = heap_.size();
+  }
 
   /// Schedule `action` to run `d` after the current time.
   void after(Duration d, Action action) { at(now_ + d, std::move(action)); }
@@ -44,7 +65,21 @@ class Simulator {
   std::uint64_t run_until(Time deadline);
 
   /// Fire exactly one event if any is pending. Returns false if queue empty.
-  bool step();
+  bool step() {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), FiresAfter{});
+    const HeapEntry ev = heap_.back();
+    heap_.pop_back();
+    now_ = ev.time;
+    ++fired_;
+    // Move the action out and recycle the slot *before* running it: the
+    // action may schedule (and the recycled slot lets that schedule reuse
+    // our storage).
+    Action action = std::move(slots_[ev.slot]);
+    free_slots_.push_back(ev.slot);
+    action();
+    return true;
+  }
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
@@ -59,25 +94,46 @@ class Simulator {
   /// Total events fired since construction.
   std::uint64_t events_fired() const { return fired_; }
 
+  /// Pre-size the queue for `n` simultaneous events so a run with a known
+  /// bound never grows the heap mid-flight (alloc_test warm-up hook).
+  void reserve(std::size_t n);
+
  private:
-  struct Event {
+  // What the binary heap actually sorts: a trivially-copyable handle. The
+  // action lives in slots_[slot] until the event fires.
+  struct HeapEntry {
     Time time;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    Action action;
+    std::uint32_t slot;
   };
-  // Min-heap ordering: "a fires after b".
-  static bool fires_after(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
+  // Min-heap ordering: "a fires after b". A function object (not a function
+  // pointer) so std::push_heap/pop_heap inline the comparison.
+  struct FiresAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
 
-  Event pop_next();
+  std::uint32_t acquire_slot(Action&& action) {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(action);
+      return slot;
+    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(action));
+    return slot;
+  }
 
   Time now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   std::size_t max_pending_ = 0;
-  std::vector<Event> heap_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Action> slots_;        // event actions, indexed by HeapEntry::slot
+  std::vector<std::uint32_t> free_slots_;  // recycled slot indices
 };
 
 }  // namespace cim::sim

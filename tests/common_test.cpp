@@ -1,7 +1,11 @@
 // Unit tests: common utilities (ids, vector clocks, rng).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/ids.h"
 #include "common/rng.h"
@@ -109,6 +113,114 @@ TEST(VectorClock, ReadyAtAllowsOlderKnowledge) {
 TEST(VectorClock, ToStringFormat) {
   VectorClock vc{1, 0, 2};
   EXPECT_EQ(vc.to_string(), "[1,0,2]");
+}
+
+// --- Small-vector storage: the inline<->heap spill boundary at kInline. ---
+
+TEST(VectorClock, SpillBoundarySizes) {
+  // One below, at, and one above the inline capacity; 9 spills to the pool.
+  for (std::size_t n : {VectorClock::kInline - 1, VectorClock::kInline,
+                        VectorClock::kInline + 1, std::size_t{16}}) {
+    VectorClock vc(n);
+    ASSERT_EQ(vc.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(vc[i], 0u) << n;
+    for (std::size_t i = 0; i < n; ++i) vc.set(i, i * i + 1);
+    vc.tick(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i) EXPECT_EQ(vc[i], i * i + 1) << n;
+    EXPECT_EQ(vc[n - 1], (n - 1) * (n - 1) + 2) << n;
+  }
+}
+
+TEST(VectorClock, CopyAndMoveAcrossSpillBoundary) {
+  for (std::size_t n : {VectorClock::kInline - 1, VectorClock::kInline,
+                        VectorClock::kInline + 1}) {
+    VectorClock src(n);
+    for (std::size_t i = 0; i < n; ++i) src.set(i, 10 + i);
+
+    VectorClock copied(src);
+    EXPECT_EQ(copied, src) << n;
+    copied.tick(0);
+    EXPECT_EQ(src[0], 10u) << n;  // deep copy, no shared storage
+
+    VectorClock moved(std::move(copied));
+    ASSERT_EQ(moved.size(), n);
+    EXPECT_EQ(moved[0], 11u) << n;
+
+    // Assignment across representations: heap -> inline and inline -> heap.
+    VectorClock small{1, 2};
+    small = src;
+    EXPECT_EQ(small, src) << n;
+    VectorClock big(VectorClock::kInline + 4);
+    big = src;
+    EXPECT_EQ(big, src) << n;
+
+    // Move-assignment; the moved-from clock is empty but reusable. `moved`
+    // carries the tick on entry 0 from above.
+    VectorClock expected(src);
+    expected.set(0, 11);
+    VectorClock target;
+    target = std::move(moved);
+    EXPECT_EQ(target, expected) << n;
+    EXPECT_EQ(moved.size(), 0u) << n;
+    moved = src;
+    EXPECT_EQ(moved, src) << n;
+  }
+}
+
+// Plain dense reference implementations of the comparison algebra, to pin
+// the small-vector code against (spilled sizes included).
+std::vector<std::uint64_t> ref_merge(std::vector<std::uint64_t> a,
+                                     const std::vector<std::uint64_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = std::max(a[i], b[i]);
+  return a;
+}
+
+bool ref_leq(const std::vector<std::uint64_t>& a,
+             const std::vector<std::uint64_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool ref_ready_at(const std::vector<std::uint64_t>& w,
+                  const std::vector<std::uint64_t>& replica,
+                  std::size_t writer) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i == writer ? w[i] != replica[i] + 1 : w[i] > replica[i]) return false;
+  }
+  return true;
+}
+
+TEST(VectorClock, AlgebraMatchesDenseReference) {
+  Rng rng(2024);
+  for (std::size_t n : {std::size_t{2}, VectorClock::kInline - 1,
+                        VectorClock::kInline, VectorClock::kInline + 1,
+                        std::size_t{12}}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::uint64_t> ra(n), rb(n);
+      VectorClock a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ra[i] = rng.uniform(0, 3);
+        rb[i] = rng.uniform(0, 3);
+        a.set(i, ra[i]);
+        b.set(i, rb[i]);
+      }
+
+      EXPECT_EQ(a.leq(b), ref_leq(ra, rb));
+      EXPECT_EQ(a.lt(b), ref_leq(ra, rb) && ra != rb);
+      EXPECT_EQ(a.concurrent_with(b), !ref_leq(ra, rb) && !ref_leq(rb, ra));
+
+      const std::size_t writer = rng.uniform(0, n - 1);
+      EXPECT_EQ(a.ready_at(b, writer), ref_ready_at(ra, rb, writer));
+
+      VectorClock merged(a);
+      merged.merge(b);
+      const std::vector<std::uint64_t> ref = ref_merge(ra, rb);
+      ASSERT_EQ(merged.size(), n);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(merged[i], ref[i]);
+    }
+  }
 }
 
 TEST(Rng, DeterministicFromSeed) {

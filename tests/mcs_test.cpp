@@ -18,7 +18,7 @@ struct RecordingHandler final : UpcallHandler {
   AppProcess* app = nullptr;  // set to issue reads inside upcalls
   std::vector<std::string> events;
 
-  void pre_update(VarId var, std::function<void()> done) override {
+  void pre_update(VarId var, mcs::DoneFn done) override {
     if (app != nullptr) {
       app->read_now(var, [this, var, done = std::move(done)](Value v) {
         events.push_back("pre x" + std::to_string(var.value) + "=" +
@@ -32,7 +32,7 @@ struct RecordingHandler final : UpcallHandler {
   }
 
   void post_update(VarId var, Value value, WriteId,
-                   std::function<void()> done) override {
+                   mcs::DoneFn done) override {
     if (app != nullptr) {
       app->read_now(var, [this, var, done = std::move(done)](Value v) {
         events.push_back("post x" + std::to_string(var.value) + "=" +
@@ -133,10 +133,10 @@ struct DeferringHandler final : UpcallHandler {
   Value observed_after_write_call = -1;
   bool wrote = false;
 
-  void pre_update(VarId, std::function<void()> done) override { done(); }
+  void pre_update(VarId, mcs::DoneFn done) override { done(); }
 
   void post_update(VarId var, Value, WriteId,
-                   std::function<void()> done) override {
+                   mcs::DoneFn done) override {
     if (!wrote) {
       wrote = true;
       // Issue a write *during* the upcall: it must be deferred, so a read
