@@ -35,6 +35,29 @@ for lib in $(grep -rhoE "add_library\(cim_[a-z_]+" "$root"/src/*/CMakeLists.txt 
   fi
 done
 
+# docs/WIRE.md is the normative wire-format description: it must exist, and
+# every wire type label the codec knows (src/net/wire.cpp) must be described
+# in it, so the layout tables cannot silently fall behind the enum.
+wire_doc="$root/docs/WIRE.md"
+if [ ! -f "$wire_doc" ]; then
+  echo "check_docs: missing $wire_doc" >&2
+  status=1
+else
+  for label in control pair vc_update tob_publish tob_deliver partial_update \
+      cbcast transport_frame; do
+    if ! grep -q "$label" "$wire_doc"; then
+      echo "check_docs: wire type '${label}' is not documented in docs/WIRE.md" >&2
+      status=1
+    fi
+  done
+  for sym in kWireVersion kMaxBodyBytes kMaxClockEntries kMaxNestingDepth; do
+    if ! grep -q "$sym" "$wire_doc"; then
+      echo "check_docs: wire constant ${sym} is not documented in docs/WIRE.md" >&2
+      status=1
+    fi
+  done
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK"
 fi

@@ -1,12 +1,31 @@
 #include "interconnect/federation.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "net/link_transport.h"
 #include "net/reliable_transport.h"
 
 namespace cim::isc {
+
+namespace {
+
+// FederationConfig::link_wire = kDefault defers to the environment so the
+// whole test suite (and any example) can be flipped to bytes mode without
+// code changes: CIM_LINK_WIRE=bytes ctest ... (see tests/CMakeLists.txt's
+// bytes_mode suite).
+LinkWire resolve_link_wire(LinkWire requested) {
+  if (requested != LinkWire::kDefault) return requested;
+  const char* env = std::getenv("CIM_LINK_WIRE");
+  if (env != nullptr && std::strcmp(env, "bytes") == 0)
+    return LinkWire::kLoopbackBytes;
+  return LinkWire::kInMemory;
+}
+
+}  // namespace
 
 Federation::Federation(FederationConfig config)
     : obs_(config.obs), fabric_(sim_, config.seed) {
@@ -31,7 +50,8 @@ Federation::Federation(FederationConfig config)
   for (auto& s : systems_) raw.push_back(s.get());
   interconnector_ = std::make_unique<Interconnector>(
       fabric_, std::move(raw), std::move(config.links), config.isp_mode,
-      &obs_);
+      &obs_, resolve_link_wire(config.link_wire),
+      std::move(config.external_links));
   interconnector_->build();
   install_faults(config.faults);
 }
@@ -142,33 +162,52 @@ obs::MetricsSnapshot Federation::metrics_snapshot() {
   }
   m.gauge("trace.dropped")
       .set(static_cast<std::int64_t>(obs_.trace().dropped()));
-  // Per-endpoint ARQ state for reliable links (net.endpoint.<ep>.* — the
-  // endpoint id 2*link+side substitutes for <ep>; side 0 = A, 1 = B).
-  for (std::size_t l = 0; l < interconnector_->num_links(); ++l) {
-    const auto [a, b] = interconnector_->link_transports(l);
-    const net::ReliableTransport* sides[2] = {a, b};
-    for (int side = 0; side < 2; ++side) {
-      const net::ReliableTransport* ep = sides[side];
-      if (ep == nullptr) continue;
-      const std::string prefix =
-          "net.endpoint." + std::to_string(2 * l + std::size_t(side));
+  // Unified per-link endpoint state across all transports (net.link.<l>.
+  // <side>.* — the link index substitutes for <l>; side `a`/`b`, external
+  // links single-sided as `a` and numbered after the in-federation links).
+  // Every endpoint reports its backlog; ARQ-backed endpoints add the
+  // transport gauges (schema v1 called these net.endpoint.<2l+side>.*);
+  // serializing endpoints (bytes mode, TCP) add byte counts.
+  const auto emit_endpoint = [&m](const std::string& prefix,
+                                  const net::LinkTransport* ep) {
+    if (ep == nullptr) return;
+    m.gauge(prefix + ".backlog")
+        .set(static_cast<std::int64_t>(ep->backlog()));
+    if (const net::ReliableTransport* arq = ep->arq()) {
       m.gauge(prefix + ".retransmits")
-          .set(static_cast<std::int64_t>(ep->retransmits()));
+          .set(static_cast<std::int64_t>(arq->retransmits()));
       m.gauge(prefix + ".timeouts")
-          .set(static_cast<std::int64_t>(ep->timeouts()));
+          .set(static_cast<std::int64_t>(arq->timeouts()));
       m.gauge(prefix + ".dups_suppressed")
-          .set(static_cast<std::int64_t>(ep->dups_suppressed()));
+          .set(static_cast<std::int64_t>(arq->dups_suppressed()));
       m.gauge(prefix + ".acks_sent")
-          .set(static_cast<std::int64_t>(ep->acks_sent()));
+          .set(static_cast<std::int64_t>(arq->acks_sent()));
       m.gauge(prefix + ".down_drops")
-          .set(static_cast<std::int64_t>(ep->dropped_while_down()));
+          .set(static_cast<std::int64_t>(arq->dropped_while_down()));
       m.gauge(prefix + ".delivered")
-          .set(static_cast<std::int64_t>(ep->delivered()));
+          .set(static_cast<std::int64_t>(arq->delivered()));
       m.gauge(prefix + ".window_in_use")
-          .set(static_cast<std::int64_t>(ep->window_in_use()));
+          .set(static_cast<std::int64_t>(arq->window_in_use()));
       m.gauge(prefix + ".queued")
-          .set(static_cast<std::int64_t>(ep->queued()));
+          .set(static_cast<std::int64_t>(arq->queued()));
     }
+    if (ep->serializing()) {
+      m.gauge(prefix + ".bytes_out")
+          .set(static_cast<std::int64_t>(ep->wire_bytes_out()));
+      m.gauge(prefix + ".bytes_in")
+          .set(static_cast<std::int64_t>(ep->wire_bytes_in()));
+    }
+  };
+  for (std::size_t l = 0; l < interconnector_->num_links(); ++l) {
+    const auto [a, b] = interconnector_->link_endpoints(l);
+    const std::string prefix = "net.link." + std::to_string(l);
+    emit_endpoint(prefix + ".a", a);
+    emit_endpoint(prefix + ".b", b);
+  }
+  for (std::size_t e = 0; e < interconnector_->num_external_links(); ++e) {
+    const std::string prefix =
+        "net.link." + std::to_string(interconnector_->num_links() + e);
+    emit_endpoint(prefix + ".a", interconnector_->external_transport(e));
   }
   return m.snapshot();
 }

@@ -25,6 +25,17 @@ struct FederationConfig {
   std::vector<mcs::SystemConfig> systems;
   std::vector<LinkSpec> links;  // must form a forest (tree per component)
   IspMode isp_mode = IspMode::kSharedPerSystem;
+  /// How pairs cross the links (see isc::LinkWire): in-memory pointer
+  /// handoff (default) or a full wire-codec round trip per pair. kDefault
+  /// resolves through the CIM_LINK_WIRE environment variable ("bytes" →
+  /// kLoopbackBytes), which is how the test suite reruns every federation
+  /// test in bytes mode without touching each test.
+  LinkWire link_wire = LinkWire::kDefault;
+  /// Links whose far side lives in another OS process (tools/cim_bridge):
+  /// the local IS-process is created and activated by build(); the tool
+  /// attaches the socket transport via
+  /// interconnector().attach_external_link().
+  std::vector<ExternalLinkSpec> external_links;
   /// Observability options (docs/OBSERVABILITY.md). Metrics are always
   /// collected; set obs.trace.enabled to capture structured trace events.
   obs::ObsOptions obs;

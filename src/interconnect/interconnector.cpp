@@ -33,10 +33,17 @@ struct UnionFind {
 Interconnector::Interconnector(net::Fabric& fabric,
                                std::vector<mcs::System*> systems,
                                std::vector<LinkSpec> links, IspMode mode,
-                               obs::Observability* obs)
+                               obs::Observability* obs, LinkWire wire,
+                               std::vector<ExternalLinkSpec> external_links)
     : fabric_(fabric), systems_(std::move(systems)), links_(std::move(links)),
-      mode_(mode), obs_(obs) {
+      mode_(mode), obs_(obs),
+      wire_(wire == LinkWire::kDefault ? LinkWire::kInMemory : wire),
+      external_links_(std::move(external_links)) {
   for (mcs::System* s : systems_) CIM_CHECK(s != nullptr);
+  for (const ExternalLinkSpec& e : external_links_) {
+    CIM_CHECK_MSG(e.system < systems_.size(),
+                  "external link references an unknown system");
+  }
   validate_tree();
 }
 
@@ -106,6 +113,23 @@ void Interconnector::build() {
     set_choice(ib, link.choice_b);
     link_isps_.emplace_back(ia, ib);
   }
+  // External links reserve an IS-process slot exactly like a local link side
+  // would; the far side lives in another OS process, so no channels and no
+  // cycle-check edge. (A tree whose edges span OS processes is still a tree:
+  // each bridge process holds a subtree.)
+  for (const ExternalLinkSpec& ext : external_links_) {
+    std::size_t ie;
+    if (mode_ == IspMode::kSharedPerSystem) {
+      ie = reserve_shared(ext.system);
+    } else {
+      const ProcId id = systems_[ext.system]->add_isp_slot();
+      pending.push_back(PendingIsp{ext.system, id.index});
+      ie = pending.size() - 1;
+    }
+    set_choice(ie, ext.choice);
+    external_isp_index_.push_back(ie);
+  }
+  external_transports_.assign(external_links_.size(), nullptr);
 
   // 2. Freeze the systems.
   for (mcs::System* s : systems_) {
@@ -185,9 +209,31 @@ void Interconnector::build() {
       ta->wire(ch_ab, ch_ba, &isp_a);
       tb->wire(ch_ba, ch_ab, &isp_b);
     }
-    const std::size_t la = isp_a.add_link(ch_ab, ta);
+
+    // Link-transport endpoints: the fabric path, wrapped in the codec
+    // round-trip when the federation runs in bytes mode. The wrapper sits on
+    // the *send* side, so by the time a pair enters the channel (and the
+    // ARQ, which clones frames for retransmission) it has already survived
+    // encode → decode.
+    auto make_endpoint = [&](net::ChannelId out,
+                             net::ReliableTransport* arq) {
+      endpoint_storage_.push_back(
+          std::make_unique<net::FabricLinkTransport>(fabric_, out, arq));
+      net::LinkTransport* ep = endpoint_storage_.back().get();
+      if (wire_ == LinkWire::kLoopbackBytes) {
+        endpoint_storage_.push_back(
+            std::make_unique<net::LoopbackBytesTransport>(*ep, obs_));
+        ep = endpoint_storage_.back().get();
+      }
+      return ep;
+    };
+    net::LinkTransport* ep_a = make_endpoint(ch_ab, ta);
+    net::LinkTransport* ep_b = make_endpoint(ch_ba, tb);
+    link_endpoints_.emplace_back(ep_a, ep_b);
+
+    const std::size_t la = isp_a.add_link(ep_a);
     isp_a.register_in_channel(ch_ba, la);
-    const std::size_t lb = isp_b.add_link(ch_ba, tb);
+    const std::size_t lb = isp_b.add_link(ep_b);
     isp_b.register_in_channel(ch_ab, lb);
   }
 
@@ -227,6 +273,33 @@ std::pair<net::ChannelId, net::ChannelId> Interconnector::link_channels(
     std::size_t link_index) const {
   CIM_CHECK(built_ && link_index < link_channels_.size());
   return link_channels_[link_index];
+}
+
+std::pair<net::LinkTransport*, net::LinkTransport*>
+Interconnector::link_endpoints(std::size_t link_index) const {
+  CIM_CHECK(built_ && link_index < link_endpoints_.size());
+  return link_endpoints_[link_index];
+}
+
+IsProcess& Interconnector::external_isp(std::size_t ext_index) {
+  CIM_CHECK(built_ && ext_index < external_isp_index_.size());
+  return *isps_[external_isp_index_[ext_index]];
+}
+
+std::size_t Interconnector::attach_external_link(
+    std::size_t ext_index, net::LinkTransport* transport) {
+  CIM_CHECK(built_ && ext_index < external_isp_index_.size());
+  CIM_CHECK(transport != nullptr);
+  CIM_CHECK_MSG(external_transports_[ext_index] == nullptr,
+                "external link attached twice");
+  external_transports_[ext_index] = transport;
+  return external_isp(ext_index).add_link(transport);
+}
+
+net::LinkTransport* Interconnector::external_transport(
+    std::size_t ext_index) const {
+  CIM_CHECK(ext_index < external_transports_.size());
+  return external_transports_[ext_index];
 }
 
 }  // namespace cim::isc

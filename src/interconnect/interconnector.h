@@ -26,10 +26,32 @@
 #include "net/availability.h"
 #include "net/delay.h"
 #include "net/fabric.h"
+#include "net/link_transport.h"
 
 namespace cim::isc {
 
 enum class IspMode { kSharedPerSystem, kPerLink };
+
+/// How pairs cross the links (net/link_transport.h):
+///  * kInMemory      — pointer handoff on fabric channels (zero-copy, the
+///    allocation-free default; golden traces are recorded in this mode).
+///  * kLoopbackBytes — every pair is round-tripped through the wire codec
+///    (encode → decode) before it enters the channel, so the whole
+///    federation exercises the byte format while staying in one process.
+///  * kDefault       — resolved by the embedding layer; Federation maps it
+///    to kLoopbackBytes when CIM_LINK_WIRE=bytes is set, kInMemory
+///    otherwise. The Interconnector itself treats it as kInMemory.
+enum class LinkWire { kDefault, kInMemory, kLoopbackBytes };
+
+/// A link whose far side lives in another OS process (tools/cim_bridge): the
+/// interconnector reserves and activates the local IS-process, and the
+/// embedding tool attaches the transport with attach_external_link() once
+/// the socket is up. External links are numbered after the in-federation
+/// links in the unified net.link.<i>.* metrics.
+struct ExternalLinkSpec {
+  std::size_t system = 0;  // index into the systems vector
+  IsProtocolChoice choice = IsProtocolChoice::kAuto;
+};
 
 struct LinkSpec {
   std::size_t system_a = 0;  // index into the systems vector
@@ -62,7 +84,9 @@ class Interconnector {
   Interconnector(net::Fabric& fabric, std::vector<mcs::System*> systems,
                  std::vector<LinkSpec> links,
                  IspMode mode = IspMode::kSharedPerSystem,
-                 obs::Observability* obs = nullptr);
+                 obs::Observability* obs = nullptr,
+                 LinkWire wire = LinkWire::kDefault,
+                 std::vector<ExternalLinkSpec> external_links = {});
 
   /// Reserve IS slots, finalize all systems, create IS-processes and the
   /// inter-system channels, and activate the IS-protocols.
@@ -80,7 +104,7 @@ class Interconnector {
   /// All IS-processes created by build().
   const std::vector<std::unique_ptr<IsProcess>>& isps() const { return isps_; }
 
-  /// The transport endpoints of link `link_index` as (side A, side B), or
+  /// The ARQ endpoints of link `link_index` as (side A, side B), or
   /// (nullptr, nullptr) for a raw link.
   std::pair<net::ReliableTransport*, net::ReliableTransport*> link_transports(
       std::size_t link_index) const;
@@ -88,6 +112,32 @@ class Interconnector {
   /// The fabric channels of link `link_index` as (A→B, B→A).
   std::pair<net::ChannelId, net::ChannelId> link_channels(
       std::size_t link_index) const;
+
+  /// The link-transport endpoints of link `link_index` as (side A, side B):
+  /// the objects the IS-processes actually send through (the loopback
+  /// wrapper in bytes mode, the fabric transport otherwise).
+  std::pair<net::LinkTransport*, net::LinkTransport*> link_endpoints(
+      std::size_t link_index) const;
+
+  /// Resolved wire mode (never kDefault after construction).
+  LinkWire link_wire() const { return wire_; }
+
+  // ---- external links (tools/cim_bridge) -----------------------------------
+  std::size_t num_external_links() const { return external_links_.size(); }
+
+  /// The local IS-process of external link `ext_index` (valid after build()).
+  IsProcess& external_isp(std::size_t ext_index);
+
+  /// Attach the socket-backed transport of external link `ext_index` to its
+  /// IS-process; returns the IS-process's link index (pass it to
+  /// IsProcess::deliver_from_link for inbound pairs). The transport is
+  /// borrowed and must outlive the interconnector. One attach per link.
+  std::size_t attach_external_link(std::size_t ext_index,
+                                   net::LinkTransport* transport);
+
+  /// The attached transport of external link `ext_index` (null before
+  /// attach_external_link). Feeds the unified net.link.<i>.* metrics.
+  net::LinkTransport* external_transport(std::size_t ext_index) const;
 
  private:
   void validate_tree() const;
@@ -99,6 +149,8 @@ class Interconnector {
   std::vector<LinkSpec> links_;
   IspMode mode_;
   obs::Observability* obs_ = nullptr;
+  LinkWire wire_ = LinkWire::kInMemory;
+  std::vector<ExternalLinkSpec> external_links_;
   bool built_ = false;
 
   std::vector<std::unique_ptr<IsProcess>> isps_;
@@ -109,6 +161,13 @@ class Interconnector {
   // SIZE_MAX, and the underlying (ab, ba) channels.
   std::vector<std::pair<std::size_t, std::size_t>> link_transports_;
   std::vector<std::pair<net::ChannelId, net::ChannelId>> link_channels_;
+  // Link-transport endpoints: owned storage (fabric transports plus their
+  // loopback wrappers in bytes mode) and the per-link outermost pair.
+  std::vector<std::unique_ptr<net::LinkTransport>> endpoint_storage_;
+  std::vector<std::pair<net::LinkTransport*, net::LinkTransport*>>
+      link_endpoints_;
+  std::vector<std::size_t> external_isp_index_;      // index into isps_
+  std::vector<net::LinkTransport*> external_transports_;
 };
 
 }  // namespace cim::isc

@@ -23,9 +23,9 @@ IsProcess::IsProcess(mcs::AppProcess& app, net::Fabric& fabric,
   }
 }
 
-std::size_t IsProcess::add_link(net::ChannelId out,
-                                net::ReliableTransport* transport) {
-  out_links_.push_back(Link{out, transport});
+std::size_t IsProcess::add_link(net::LinkTransport* transport) {
+  CIM_CHECK(transport != nullptr);
+  out_links_.push_back(transport);
   return out_links_.size() - 1;
 }
 
@@ -61,12 +61,11 @@ void IsProcess::crash() {
   CIM_CHECK_MSG(!crashed_, "IS-process crashed twice without restart");
   crashed_ = true;
   ++crash_count_;
-  // Sever the ARQ endpoints: frames arriving while down are dropped at the
-  // transport and recovered by the peer's retransmission, never lost to the
-  // application. Raw (transport-less) links have no such shield.
-  for (Link& link : out_links_) {
-    if (link.transport != nullptr) link.transport->set_down(true);
-  }
+  // Sever the link endpoints: an ARQ-backed transport drops frames arriving
+  // while down and the peer's retransmission recovers them, never losing
+  // them to the application. Transports without recovery machinery (raw
+  // fabric channels) treat set_down as a no-op and simply lose pairs.
+  for (net::LinkTransport* link : out_links_) link->set_down(true);
   CIM_TRACE(trace_, fabric_.simulator().now(), obs::TraceCategory::kIsc,
             "isp_crash", {{"proc", id()}});
 }
@@ -74,9 +73,7 @@ void IsProcess::crash() {
 void IsProcess::restart() {
   CIM_CHECK_MSG(crashed_, "restart of an IS-process that is not crashed");
   crashed_ = false;
-  for (Link& link : out_links_) {
-    if (link.transport != nullptr) link.transport->set_down(false);
-  }
+  for (net::LinkTransport* link : out_links_) link->set_down(false);
   // Replay the upcalls parked during the outage, in arrival order. The
   // attached MCS-process's apply pipeline blocked on each upcall's `done`,
   // so at most one is parked and its replica state is exactly as it was at
@@ -149,17 +146,12 @@ void IsProcess::send_pair(std::size_t link, VarId var, Value value,
   msg->sent_at = now;
   msg->origin_time = origin_time;
   msg->write_id = wid;
-  const Link& out = out_links_[link];
-  if (out.transport != nullptr) {
-    out.transport->send(std::move(msg));
-  } else {
-    fabric_.send(out.out, std::move(msg));
-  }
+  net::LinkTransport& out = *out_links_[link];
+  out.send(std::move(msg));
   ++pairs_sent_;
   if (m_pairs_sent_ != nullptr) {
     m_pairs_sent_->inc();
-    h_link_backlog_->observe(
-        static_cast<std::int64_t>(fabric_.channel_backlog(out.out)));
+    h_link_backlog_->observe(static_cast<std::int64_t>(out.backlog()));
   }
   CIM_TRACE(trace_, now, obs::TraceCategory::kIsc, "pair_out",
             {{"proc", id()},
@@ -170,6 +162,17 @@ void IsProcess::send_pair(std::size_t link, VarId var, Value value,
 }
 
 void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
+  std::size_t source_link = SIZE_MAX;
+  for (const auto& [chan, link] : in_links_) {
+    if (chan == from.value) source_link = link;
+  }
+  CIM_CHECK_MSG(source_link != SIZE_MAX, "pair on unregistered link");
+  deliver_from_link(source_link, std::move(msg));
+}
+
+void IsProcess::deliver_from_link(std::size_t source_link,
+                                  net::MessagePtr msg) {
+  CIM_CHECK(source_link < out_links_.size());
   CIM_DCHECK_MSG(dynamic_cast<PairMsg*>(msg.get()) != nullptr,
                  "IS-process received a non-pair message");
   auto* pair = static_cast<PairMsg*>(msg.get());
@@ -200,12 +203,6 @@ void IsProcess::on_message(net::ChannelId from, net::MessagePtr msg) {
              {"wid", pair->write_id},
              {"hop_ns", now - pair->sent_at},
              {"prop_ns", now - pair->origin_time}});
-
-  std::size_t source_link = SIZE_MAX;
-  for (const auto& [chan, link] : in_links_) {
-    if (chan == from.value) source_link = link;
-  }
-  CIM_CHECK_MSG(source_link != SIZE_MAX, "pair on unregistered link");
 
   // Forward to every other link first (tree interconnection with a shared
   // IS-process: its own writes generate no upcalls, so forwarding must be

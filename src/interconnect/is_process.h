@@ -31,16 +31,19 @@
 // echoed: updates caused by this IS-process's own writes generate no
 // upcalls.
 //
-// Links either write pairs straight onto a fabric channel (the paper's
-// reliable-FIFO assumption taken at face value) or through a
-// net::ReliableTransport endpoint that synthesizes reliable FIFO over a
-// faulty link. Crash/recovery: crash() freezes the IS-process — the single
-// in-flight upcall (the MCS apply pipeline blocks on its completion, so
-// there is never more than one) is parked, and the link transports go down
-// so arriving pairs are lost to the ARQ's retransmission instead of to the
-// application. restart() replays the parked upcall against the attached
-// MCS-process (re-reading the variable) and brings the transports back up;
-// docs/FAULTS.md states the recovery invariants.
+// Links are net::LinkTransport endpoints (net/link_transport.h): the default
+// in-sim fabric path (optionally through a net::ReliableTransport endpoint
+// that synthesizes reliable FIFO over a faulty link), the byte-roundtripping
+// loopback, or a real socket (tools/cim_bridge). Pairs arriving over a
+// fabric channel enter through the net::Receiver hook, which maps the
+// channel to its link; transports without a fabric channel (TCP) call
+// deliver_from_link() directly. Crash/recovery: crash() freezes the
+// IS-process — the single in-flight upcall (the MCS apply pipeline blocks on
+// its completion, so there is never more than one) is parked, and the link
+// transports go down so arriving pairs are lost to the ARQ's retransmission
+// instead of to the application. restart() replays the parked upcall against
+// the attached MCS-process (re-reading the variable) and brings the
+// transports back up; docs/FAULTS.md states the recovery invariants.
 #pragma once
 
 #include <cstdint>
@@ -50,7 +53,7 @@
 #include "mcs/app_process.h"
 #include "mcs/upcall.h"
 #include "net/fabric.h"
-#include "net/reliable_transport.h"
+#include "net/link_transport.h"
 #include "obs/obs.h"
 
 namespace cim::isc {
@@ -68,14 +71,22 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   IsProcess(const IsProcess&) = delete;
   IsProcess& operator=(const IsProcess&) = delete;
 
-  /// Register an outbound channel to a peer IS-process; returns the local
-  /// link index. When `transport` is non-null, pairs are sent through it
-  /// (and it must be wired to `out`).
-  std::size_t add_link(net::ChannelId out,
-                       net::ReliableTransport* transport = nullptr);
+  /// Register an outbound transport endpoint to a peer IS-process; returns
+  /// the local link index. The transport is borrowed (the interconnector or
+  /// the embedding tool owns it) and must outlive this IS-process.
+  std::size_t add_link(net::LinkTransport* transport);
 
-  /// Declare that messages arriving on `in` belong to link `link_index`.
+  /// Declare that messages arriving on `in` belong to link `link_index`
+  /// (fabric-backed transports only; channel-less transports deliver through
+  /// deliver_from_link directly).
   void register_in_channel(net::ChannelId in, std::size_t link_index);
+
+  /// Hand a pair received on `source_link` to the IS-protocol: task
+  /// Propagate_in(y, u) — forward to every *other* link (split horizon),
+  /// then issue the local write. The net::Receiver hook resolves a fabric
+  /// channel to its link and lands here; transports without a fabric
+  /// channel (tools/cim_bridge's TCP link) call this directly.
+  void deliver_from_link(std::size_t source_link, net::MessagePtr msg);
 
   /// Attach to the MCS-process and select the IS-protocol variant.
   void activate(IsProtocolChoice choice);
@@ -106,10 +117,6 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   std::uint64_t pairs_received() const { return pairs_received_; }
 
  private:
-  struct Link {
-    net::ChannelId out;
-    net::ReliableTransport* transport = nullptr;  // null: raw fabric channel
-  };
   struct ParkedUpcall {
     bool is_pre = false;
     VarId var;
@@ -126,7 +133,7 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
 
   mcs::AppProcess& app_;
   net::Fabric& fabric_;
-  std::vector<Link> out_links_;
+  std::vector<net::LinkTransport*> out_links_;
   std::vector<std::pair<std::uint32_t, std::size_t>> in_links_;  // chan, link
   bool pre_reads_enabled_ = false;
   bool activated_ = false;

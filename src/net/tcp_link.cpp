@@ -1,0 +1,243 @@
+#include "net/tcp_link.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "net/reliable_transport.h"
+#include "net/wire.h"
+
+namespace cim::net {
+
+namespace {
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nodelay(int fd) {
+  // The bridge's pairs are small and latency-bound; Nagle would batch them.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as an error return, not
+    // SIGPIPE killing the bridge.
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // orderly EOF
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int tcp_listen_accept(std::uint16_t port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  CIM_CHECK_MSG(listener >= 0, "socket() failed: " << std::strerror(errno));
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listener);
+    CIM_CHECK_MSG(false, "bind(:" << port << ") failed: "
+                                  << std::strerror(err));
+  }
+  if (::listen(listener, 1) != 0) {
+    const int err = errno;
+    ::close(listener);
+    CIM_CHECK_MSG(false, "listen() failed: " << std::strerror(err));
+  }
+  const int fd = ::accept(listener, nullptr, nullptr);
+  const int err = errno;
+  ::close(listener);
+  CIM_CHECK_MSG(fd >= 0, "accept() failed: " << std::strerror(err));
+  set_nodelay(fd);
+  return fd;
+}
+
+int tcp_connect(const char* host, std::uint16_t port, int retries) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  CIM_CHECK_MSG(::getaddrinfo(host, port_str.c_str(), &hints, &res) == 0,
+                "cannot resolve " << host);
+
+  int fd = -1;
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    CIM_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+    if (::connect(fd, res->ai_addr, res->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+    // The peer may simply not be listening yet (the bridge launches both
+    // sides concurrently); back off and retry.
+    ::usleep(100 * 1000);
+  }
+  ::freeaddrinfo(res);
+  CIM_CHECK_MSG(fd >= 0, "cannot connect to " << host << ":" << port);
+  set_nodelay(fd);
+  return fd;
+}
+
+TcpLinkTransport::TcpLinkTransport(int fd, obs::Observability* obs)
+    : fd_(fd) {
+  CIM_CHECK(fd >= 0);
+  if (obs != nullptr) {
+    obs::MetricsRegistry& m = obs->metrics();
+    m_bytes_out_ = &m.counter("net.wire.bytes_out");
+    h_encode_ns_ = &m.histogram("net.wire.encode_ns");
+  }
+}
+
+TcpLinkTransport::~TcpLinkTransport() { close(); }
+
+void TcpLinkTransport::close() {
+  if (closed_) return;
+  closed_ = true;
+  ::shutdown(fd_, SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+}
+
+void TcpLinkTransport::send(MessagePtr msg) {
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  TransportFrame frame;
+  frame.seq = send_next_++;
+  frame.ack = recv_next_published_.load(std::memory_order_relaxed);
+  frame.payload = std::move(msg);
+
+  send_buf_.clear();
+  const std::int64_t t0 = wall_ns();
+  const std::size_t frame_len = wire::encode(frame, send_buf_);
+  const std::int64_t t1 = wall_ns();
+  if (m_bytes_out_ != nullptr) {
+    m_bytes_out_->inc(frame_len);
+    h_encode_ns_->observe(sim::Duration{t1 - t0});
+  }
+
+  if (!write_all(fd_, send_buf_.data(), send_buf_.size())) {
+    peer_closed_.store(true, std::memory_order_release);
+    return;
+  }
+  bytes_out_.fetch_add(frame_len, std::memory_order_relaxed);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool TcpLinkTransport::read_frame(std::vector<std::uint8_t>& buf) {
+  std::uint8_t len_le[4];
+  if (!read_all(fd_, len_le, 4)) return false;
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i)
+    body_len |= static_cast<std::uint32_t>(len_le[i]) << (8 * i);
+  if (body_len > wire::kMaxBodyBytes) {
+    error_.store("tcp link: oversized frame", std::memory_order_release);
+    return false;
+  }
+  buf.assign(len_le, len_le + 4);
+  buf.resize(std::size_t{4} + body_len);
+  if (!read_all(fd_, buf.data() + 4, body_len)) return false;
+  bytes_in_.fetch_add(buf.size(), std::memory_order_relaxed);
+  return true;
+}
+
+MessagePtr TcpLinkTransport::decode_frame(
+    const std::vector<std::uint8_t>& buf) {
+  wire::DecodeResult res = wire::decode(buf.data(), buf.size());
+  if (!res.ok()) {
+    error_.store(res.error, std::memory_order_release);
+    return nullptr;
+  }
+  auto* frame = dynamic_cast<TransportFrame*>(res.msg.get());
+  if (frame == nullptr) {
+    error_.store("tcp link: stream message is not a transport frame",
+                 std::memory_order_release);
+    return nullptr;
+  }
+  if (frame->payload == nullptr) return nullptr;  // pure ACK: nothing to do
+  // The ARQ receive discipline, minus recovery: TCP already guarantees
+  // order, so a gap is impossible; a duplicate seq is suppressed.
+  if (frame->seq < recv_next_) {
+    dups_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (frame->seq != recv_next_) {
+    error_.store("tcp link: sequence gap on an ordered stream",
+                 std::memory_order_release);
+    return nullptr;
+  }
+  ++recv_next_;
+  recv_next_published_.store(recv_next_, std::memory_order_relaxed);
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  return std::move(frame->payload);
+}
+
+MessagePtr TcpLinkTransport::recv_one() {
+  CIM_CHECK_MSG(!started_, "recv_one() after start()");
+  std::vector<std::uint8_t> buf;
+  while (true) {
+    if (!read_frame(buf)) {
+      peer_closed_.store(true, std::memory_order_release);
+      return nullptr;
+    }
+    if (MessagePtr payload = decode_frame(buf)) return payload;
+    if (error() != nullptr) return nullptr;
+  }
+}
+
+void TcpLinkTransport::start(DeliverFn deliver) {
+  CIM_CHECK_MSG(!started_, "start() called twice");
+  started_ = true;
+  deliver_ = std::move(deliver);
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+void TcpLinkTransport::reader_loop() {
+  std::vector<std::uint8_t> buf;
+  while (true) {
+    if (!read_frame(buf)) break;
+    if (MessagePtr payload = decode_frame(buf)) deliver_(std::move(payload));
+    if (error() != nullptr) break;
+  }
+  peer_closed_.store(true, std::memory_order_release);
+}
+
+}  // namespace cim::net

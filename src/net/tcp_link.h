@@ -1,0 +1,131 @@
+// TCP-backed link transport: the inter-IS channel as a real byte stream
+// between OS processes (tools/cim_bridge).
+//
+// Framing: every message goes on the stream as a wire-encoded TransportFrame
+// (docs/WIRE.md type 7) — seq-numbered data frame with a piggybacked
+// cumulative ACK, exactly the in-sim ARQ's frame format, so a capture of the
+// socket is decodable with the same codec and the receive side reuses the
+// ARQ's dedup discipline. Retransmission, ordering, and integrity come from
+// kernel TCP (the stream IS the reliable FIFO channel the paper assumes);
+// running the sim-timer ARQ on top would misfire, because rt::Runtime runs
+// virtual time as fast as possible — a 20ms virtual RTO elapses in
+// microseconds of real time, long before a real ACK can cross localhost.
+// The seq/ack numbers therefore carry no recovery duty here; they exist so
+// the frame format is shared and so accidental duplication (e.g. a future
+// reconnect-and-replay layer) is detected and suppressed rather than
+// corrupting causal order.
+//
+// Threading: send() may be called from any thread (writes serialize on an
+// internal mutex; the bridge calls it from the engine thread and, for
+// control messages, the main thread). A dedicated reader thread decodes
+// inbound frames and hands payloads to the DeliverFn — which therefore runs
+// on the reader thread; the bridge posts them into the rt::Runtime. Metrics:
+// send-side instruments are cached obs cells bumped under the send mutex;
+// receive-side counts are atomics the embedder folds into the registry once
+// the reader is joined (obs cells are not thread-safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/link_transport.h"
+#include "net/message.h"
+#include "obs/obs.h"
+
+namespace cim::net {
+
+/// Listen on `port` (all interfaces), accept one connection, close the
+/// listener. Returns the connected socket fd; throws InvariantViolation on
+/// socket errors.
+int tcp_listen_accept(std::uint16_t port);
+
+/// Connect to host:port, retrying (100ms apart) while the peer is not yet
+/// listening. Returns the connected fd; throws after `retries` failures.
+int tcp_connect(const char* host, std::uint16_t port, int retries = 100);
+
+class TcpLinkTransport final : public LinkTransport {
+ public:
+  /// Payload delivery, on the reader thread.
+  using DeliverFn = std::function<void(MessagePtr)>;
+
+  /// Takes ownership of the connected socket `fd`.
+  explicit TcpLinkTransport(int fd, obs::Observability* obs = nullptr);
+  ~TcpLinkTransport() override;
+  TcpLinkTransport(const TcpLinkTransport&) = delete;
+  TcpLinkTransport& operator=(const TcpLinkTransport&) = delete;
+
+  /// Synchronously read one frame and return its payload (handshake use,
+  /// before start()). Null when the peer closed the connection.
+  MessagePtr recv_one();
+
+  /// Start the reader thread; every inbound payload goes to `deliver`.
+  void start(DeliverFn deliver);
+
+  /// Shut the socket down and join the reader thread. Idempotent; called by
+  /// the destructor if needed.
+  void close();
+
+  // LinkTransport.
+  void send(MessagePtr msg) override;
+  const char* kind() const override { return "tcp"; }
+  bool serializing() const override { return true; }
+  std::uint64_t wire_bytes_out() const override {
+    return bytes_out_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wire_bytes_in() const override {
+    return bytes_in_.load(std::memory_order_relaxed);
+  }
+
+  // ---- introspection -------------------------------------------------------
+  /// Peer closed the stream (EOF) or the stream failed.
+  bool peer_closed() const {
+    return peer_closed_.load(std::memory_order_acquire);
+  }
+  /// Static description of a stream/decode failure, or null.
+  const char* error() const { return error_.load(std::memory_order_acquire); }
+  std::uint64_t frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t frames_received() const {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dups_suppressed() const {
+    return dups_suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool read_frame(std::vector<std::uint8_t>& buf);  // false on EOF/error
+  MessagePtr decode_frame(const std::vector<std::uint8_t>& buf);
+  void reader_loop();
+
+  int fd_;
+  DeliverFn deliver_;
+  std::thread reader_;
+  bool started_ = false;
+  bool closed_ = false;
+
+  std::mutex send_mutex_;
+  std::vector<std::uint8_t> send_buf_;  // reused, guarded by send_mutex_
+  std::uint64_t send_next_ = 0;         // next data seq, under send_mutex_
+  std::uint64_t recv_next_ = 0;         // reader thread only
+  std::atomic<std::uint64_t> recv_next_published_{0};  // acked to peer
+
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> dups_suppressed_{0};
+  std::atomic<bool> peer_closed_{false};
+  std::atomic<const char*> error_{nullptr};
+
+  // Cached send-side instrument cells, bumped under send_mutex_ (null
+  // without observability).
+  obs::Counter* m_bytes_out_ = nullptr;
+  obs::DurationHistogram* h_encode_ns_ = nullptr;
+};
+
+}  // namespace cim::net

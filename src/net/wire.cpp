@@ -1,0 +1,465 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/check.h"
+#include "common/vector_clock.h"
+#include "interconnect/pair_msg.h"
+#include "msgpass/cbcast.h"
+#include "net/reliable_transport.h"
+#include "protocols/aw_seq.h"
+#include "protocols/partial_rep.h"
+#include "protocols/update_msg.h"
+
+namespace cim::net::wire {
+namespace {
+
+using Buf = std::vector<std::uint8_t>;
+
+// ---- primitive writers -----------------------------------------------------
+
+void put_u8(Buf& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u64le(Buf& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_varint(Buf& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_zigzag(Buf& out, std::int64_t v) {
+  put_varint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                      static_cast<std::uint64_t>(v >> 63));
+}
+
+void put_time(Buf& out, sim::Time t) {
+  put_u64le(out, static_cast<std::uint64_t>(t.ns));
+}
+
+void put_clock(Buf& out, const VectorClock& c) {
+  put_varint(out, c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) put_varint(out, c[i]);
+}
+
+// ---- primitive reader ------------------------------------------------------
+
+// Bounds-checked cursor over the frame body. Every getter degrades to a
+// sticky fail bit on overrun, so decoders can read a whole payload straight
+// through and check fail() once at the end — no partial-object UB.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool fail() const { return fail_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  const std::uint8_t* cursor() const { return data_ + pos_; }
+  void advance(std::size_t n) {
+    if (n > remaining()) {
+      fail_ = true;
+      pos_ = size_;
+    } else {
+      pos_ += n;
+    }
+  }
+
+  std::uint8_t u8() {
+    if (remaining() < 1) {
+      fail_ = true;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  std::uint64_t u64le() {
+    if (remaining() < 8) {
+      fail_ = true;
+      pos_ = size_;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) {
+        fail_ = true;
+        return 0;
+      }
+      const std::uint8_t byte = data_[pos_++];
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    fail_ = true;  // > 10 bytes: not a valid varint
+    return 0;
+  }
+
+  std::int64_t zigzag() {
+    const std::uint64_t raw = varint();
+    return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  }
+
+  sim::Time time() { return sim::Time{static_cast<std::int64_t>(u64le())}; }
+
+  bool clock(VectorClock& out) {
+    const std::uint64_t n = varint();
+    if (fail_ || n > kMaxClockEntries) {
+      fail_ = true;
+      return false;
+    }
+    VectorClock c(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      c.set(i, varint());
+      if (fail_) return false;
+    }
+    out = std::move(c);
+    return true;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+// ---- per-type payload encoders (layouts documented in docs/WIRE.md) --------
+
+void encode_pair(Buf& out, const isc::PairMsg& m) {
+  put_varint(out, m.var.value);
+  put_zigzag(out, m.value);
+  // Trace context.
+  put_time(out, m.sent_at);
+  put_time(out, m.origin_time);
+  put_u64le(out, m.write_id.value);
+}
+
+void encode_vc_update(Buf& out, const proto::TimestampedUpdate& m) {
+  put_varint(out, m.var.value);
+  put_zigzag(out, m.value);
+  put_clock(out, m.clock);
+  put_varint(out, m.writer);
+  // Trace context.
+  put_u64le(out, m.write_id.value);
+  put_time(out, m.received_at);
+}
+
+void encode_tob_publish(Buf& out, const proto::TobPublish& m) {
+  put_varint(out, m.var.value);
+  put_zigzag(out, m.value);
+  put_varint(out, m.origin);
+  put_u8(out, m.pre_applied ? 1 : 0);
+  // Trace context.
+  put_u64le(out, m.write_id.value);
+}
+
+void encode_tob_deliver(Buf& out, const proto::TobDeliver& m) {
+  put_varint(out, m.var.value);
+  put_zigzag(out, m.value);
+  put_varint(out, m.origin);
+  put_u8(out, m.pre_applied ? 1 : 0);
+  put_varint(out, m.seq);
+  // Trace context.
+  put_u64le(out, m.write_id.value);
+  put_time(out, m.received_at);
+}
+
+void encode_partial(Buf& out, const proto::PartialUpdate& m) {
+  put_u8(out, m.has_value ? 1 : 0);
+  put_varint(out, m.var.value);
+  if (m.has_value) put_zigzag(out, m.value);
+  put_clock(out, m.clock);
+  put_varint(out, m.writer);
+  // Trace context.
+  put_u64le(out, m.write_id.value);
+  put_time(out, m.received_at);
+}
+
+void encode_cbcast(Buf& out, const mp::CbcastMsg& m) {
+  put_varint(out, m.payload.var.value);
+  put_zigzag(out, m.payload.value);
+  put_clock(out, m.clock);
+  put_varint(out, m.sender);
+  // Trace context.
+  put_u64le(out, m.payload.wid.value);
+}
+
+void encode_control(Buf& out, const ControlMsg& m) {
+  put_u8(out, m.code);
+  put_varint(out, m.a);
+  put_varint(out, m.b);
+}
+
+bool encode_body(const Message& msg, Buf& out);
+
+void encode_transport_frame(Buf& out, const TransportFrame& m) {
+  put_varint(out, m.seq);
+  put_varint(out, m.ack);
+  put_u8(out, m.payload ? 1 : 0);
+  if (m.payload) {
+    const bool ok = [&] {
+      const std::size_t len_pos = out.size();
+      out.insert(out.end(), 4, 0);
+      const std::size_t body_pos = out.size();
+      if (!encode_body(*m.payload, out)) return false;
+      const std::size_t body_len = out.size() - body_pos;
+      for (int i = 0; i < 4; ++i)
+        out[len_pos + i] = static_cast<std::uint8_t>(body_len >> (8 * i));
+      return true;
+    }();
+    CIM_CHECK_MSG(ok, "wire: transport frame payload is not encodable");
+  }
+}
+
+// Writes [type][version][payload] for `msg`; false if the type is unknown.
+bool encode_body(const Message& msg, Buf& out) {
+  const char* tn = msg.type_name();
+  const auto tagged = [&](WireType t) {
+    put_u8(out, static_cast<std::uint8_t>(t));
+    put_u8(out, kWireVersion);
+  };
+  if (std::strcmp(tn, "is.pair") == 0) {
+    tagged(WireType::kPair);
+    encode_pair(out, static_cast<const isc::PairMsg&>(msg));
+  } else if (std::strcmp(tn, "vc.update") == 0) {
+    tagged(WireType::kVcUpdate);
+    encode_vc_update(out, static_cast<const proto::TimestampedUpdate&>(msg));
+  } else if (std::strcmp(tn, "tob.publish") == 0) {
+    tagged(WireType::kTobPublish);
+    encode_tob_publish(out, static_cast<const proto::TobPublish&>(msg));
+  } else if (std::strcmp(tn, "tob.deliver") == 0) {
+    tagged(WireType::kTobDeliver);
+    encode_tob_deliver(out, static_cast<const proto::TobDeliver&>(msg));
+  } else if (std::strcmp(tn, "partial.update") == 0 ||
+             std::strcmp(tn, "partial.marker") == 0) {
+    tagged(WireType::kPartialUpdate);
+    encode_partial(out, static_cast<const proto::PartialUpdate&>(msg));
+  } else if (std::strcmp(tn, "cbcast.msg") == 0) {
+    tagged(WireType::kCbcast);
+    encode_cbcast(out, static_cast<const mp::CbcastMsg&>(msg));
+  } else if (std::strcmp(tn, "tr.data") == 0 || std::strcmp(tn, "tr.ack") == 0) {
+    tagged(WireType::kTransportFrame);
+    encode_transport_frame(out, static_cast<const TransportFrame&>(msg));
+  } else if (std::strcmp(tn, "wire.ctrl") == 0) {
+    tagged(WireType::kControl);
+    encode_control(out, static_cast<const ControlMsg&>(msg));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ---- per-type payload decoders ---------------------------------------------
+
+DecodeResult fail_with(const char* error) {
+  DecodeResult r;
+  r.error = error;
+  return r;
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
+                          int depth);
+
+// Decodes the payload for `type` (version already validated as 1).
+// Returns null + error message on malformed payloads.
+MessagePtr decode_payload(WireType type, Reader& r, int depth,
+                          const char*& error) {
+  switch (type) {
+    case WireType::kPair: {
+      auto m = std::make_unique<isc::PairMsg>();
+      m->var = VarId{static_cast<std::uint32_t>(r.varint())};
+      m->value = r.zigzag();
+      m->sent_at = r.time();
+      m->origin_time = r.time();
+      m->write_id = WriteId{r.u64le()};
+      return m;
+    }
+    case WireType::kVcUpdate: {
+      auto m = std::make_unique<proto::TimestampedUpdate>();
+      m->var = VarId{static_cast<std::uint32_t>(r.varint())};
+      m->value = r.zigzag();
+      if (!r.clock(m->clock)) {
+        error = "wire: bad vector clock";
+        return nullptr;
+      }
+      m->writer = static_cast<std::uint16_t>(r.varint());
+      m->write_id = WriteId{r.u64le()};
+      m->received_at = r.time();
+      return m;
+    }
+    case WireType::kTobPublish: {
+      auto m = std::make_unique<proto::TobPublish>();
+      m->var = VarId{static_cast<std::uint32_t>(r.varint())};
+      m->value = r.zigzag();
+      m->origin = static_cast<std::uint16_t>(r.varint());
+      m->pre_applied = r.u8() != 0;
+      m->write_id = WriteId{r.u64le()};
+      return m;
+    }
+    case WireType::kTobDeliver: {
+      auto m = std::make_unique<proto::TobDeliver>();
+      m->var = VarId{static_cast<std::uint32_t>(r.varint())};
+      m->value = r.zigzag();
+      m->origin = static_cast<std::uint16_t>(r.varint());
+      m->pre_applied = r.u8() != 0;
+      m->seq = r.varint();
+      m->write_id = WriteId{r.u64le()};
+      m->received_at = r.time();
+      return m;
+    }
+    case WireType::kPartialUpdate: {
+      auto m = std::make_unique<proto::PartialUpdate>();
+      m->has_value = r.u8() != 0;
+      m->var = VarId{static_cast<std::uint32_t>(r.varint())};
+      if (m->has_value) m->value = r.zigzag();
+      if (!r.clock(m->clock)) {
+        error = "wire: bad vector clock";
+        return nullptr;
+      }
+      m->writer = static_cast<std::uint16_t>(r.varint());
+      m->write_id = WriteId{r.u64le()};
+      m->received_at = r.time();
+      return m;
+    }
+    case WireType::kCbcast: {
+      auto m = std::make_unique<mp::CbcastMsg>();
+      m->payload.var = VarId{static_cast<std::uint32_t>(r.varint())};
+      m->payload.value = r.zigzag();
+      if (!r.clock(m->clock)) {
+        error = "wire: bad vector clock";
+        return nullptr;
+      }
+      m->sender = static_cast<std::uint16_t>(r.varint());
+      m->payload.wid = WriteId{r.u64le()};
+      return m;
+    }
+    case WireType::kTransportFrame: {
+      auto m = std::make_unique<TransportFrame>();
+      m->seq = r.varint();
+      m->ack = r.varint();
+      const bool has_payload = r.u8() != 0;
+      if (r.fail()) {
+        error = "wire: truncated payload";
+        return nullptr;
+      }
+      if (has_payload) {
+        DecodeResult nested = decode_frame(r.cursor(), r.remaining(), depth + 1);
+        if (!nested.ok()) {
+          error = nested.error;
+          return nullptr;
+        }
+        m->payload = std::move(nested.msg);
+        r.advance(nested.consumed);
+      }
+      return m;
+    }
+    case WireType::kControl: {
+      auto m = std::make_unique<ControlMsg>();
+      m->code = r.u8();
+      m->a = r.varint();
+      m->b = r.varint();
+      return m;
+    }
+  }
+  error = "wire: unknown wire type";
+  return nullptr;
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
+                          int depth) {
+  if (depth > kMaxNestingDepth) return fail_with("wire: nesting too deep");
+  if (size < 4) return fail_with("wire: short frame header");
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i)
+    body_len |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  if (body_len > kMaxBodyBytes) return fail_with("wire: body too large");
+  if (body_len < 2) return fail_with("wire: body too small");
+  if (size - 4 < body_len) return fail_with("wire: truncated frame");
+
+  Reader r(data + 4, body_len);
+  const std::uint8_t raw_type = r.u8();
+  const std::uint8_t version = r.u8();
+  if (raw_type > static_cast<std::uint8_t>(WireType::kTransportFrame))
+    return fail_with("wire: unknown wire type");
+  if (version != kWireVersion) return fail_with("wire: unknown version");
+
+  const char* error = nullptr;
+  MessagePtr msg =
+      decode_payload(static_cast<WireType>(raw_type), r, depth, error);
+  if (!msg) return fail_with(error ? error : "wire: malformed payload");
+  if (r.fail()) return fail_with("wire: truncated payload");
+  if (r.remaining() != 0) return fail_with("wire: trailing bytes in frame");
+
+  DecodeResult result;
+  result.msg = std::move(msg);
+  result.consumed = std::size_t{4} + body_len;
+  return result;
+}
+
+}  // namespace
+
+const char* wire_type_label(WireType t) {
+  switch (t) {
+    case WireType::kControl:
+      return "control";
+    case WireType::kPair:
+      return "pair";
+    case WireType::kVcUpdate:
+      return "vc_update";
+    case WireType::kTobPublish:
+      return "tob_publish";
+    case WireType::kTobDeliver:
+      return "tob_deliver";
+    case WireType::kPartialUpdate:
+      return "partial_update";
+    case WireType::kCbcast:
+      return "cbcast";
+    case WireType::kTransportFrame:
+      return "transport_frame";
+  }
+  return "unknown";
+}
+
+bool encodable(const Message& msg) {
+  const char* tn = msg.type_name();
+  for (const char* known :
+       {"is.pair", "vc.update", "tob.publish", "tob.deliver", "partial.update",
+        "partial.marker", "cbcast.msg", "wire.ctrl"}) {
+    if (std::strcmp(tn, known) == 0) return true;
+  }
+  if (std::strcmp(tn, "tr.data") == 0)
+    return encodable(*static_cast<const TransportFrame&>(msg).payload);
+  if (std::strcmp(tn, "tr.ack") == 0) return true;
+  return false;
+}
+
+std::size_t encode(const Message& msg, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  out.insert(out.end(), 4, 0);
+  const std::size_t body_pos = out.size();
+  const bool ok = encode_body(msg, out);
+  CIM_CHECK_MSG(ok, "wire: message type '" << msg.type_name()
+                                           << "' has no wire encoding");
+  const std::size_t body_len = out.size() - body_pos;
+  CIM_CHECK_MSG(body_len <= kMaxBodyBytes, "wire: frame body too large");
+  for (int i = 0; i < 4; ++i)
+    out[start + i] = static_cast<std::uint8_t>(body_len >> (8 * i));
+  return out.size() - start;
+}
+
+DecodeResult decode(const std::uint8_t* data, std::size_t size) {
+  return decode_frame(data, size, 0);
+}
+
+}  // namespace cim::net::wire

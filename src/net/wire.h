@@ -1,0 +1,117 @@
+// Versioned binary wire format for every on-the-wire message type.
+//
+// The paper's interconnection theorem assumes only "a reliable FIFO channel"
+// between the two IS-processes — an opaque byte stream. This codec makes that
+// channel realizable: every message that can cross a link (inter-IS pairs,
+// the per-protocol update payloads, transport ARQ frames) has a canonical
+// little-endian, length-prefixed byte encoding, so a federation can run over
+// loopback byte buffers or real sockets instead of in-process pointer
+// handoffs. docs/WIRE.md is the normative layout description; the golden
+// vectors in tests/data/wire_golden_v1.bin pin the format bit-for-bit.
+//
+// Framing:  [u32 LE body_len][u8 wire_type][u8 version][payload ...]
+// where body_len counts everything after the length field (type + version +
+// payload). Integers use LEB128 varints, signed values zigzag varints,
+// identifiers/timestamps fixed u64 LE, and VectorClock a varint length
+// followed by varint entries (mirroring the small-vector in-memory layout).
+//
+// Versioning: each wire type carries its own version byte (currently 1
+// everywhere). A decoder must accept every version it knows and reject
+// unknown ones with a clean DecodeResult error — never UB. Adding fields
+// means bumping that type's version and keeping the old branch decodable so
+// captured byte streams stay readable.
+//
+// Instrumentation fields (write ids, send/origin timestamps) ARE encoded,
+// as a trailing "trace context" section per type: the paper's wire format is
+// just ⟨x, v⟩, but dropping the trace context at a serializing link would
+// silently degrade wid-stamped tracing and the propagation-latency metrics
+// the rest of the repo promises. docs/WIRE.md marks these fields explicitly.
+//
+// Errors: decode() never throws on malformed input — truncated, oversized,
+// or mutated buffers yield DecodeResult{.error != nullptr}. encode() of an
+// unsupported message type is a caller bug and CIM_CHECKs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+
+namespace cim::net::wire {
+
+/// Current encoder version, stamped into every frame's version byte.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Upper bound on a frame body (type + version + payload). Guards decoders
+/// against absurd length prefixes from corrupt or hostile inputs.
+inline constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 20;
+
+/// Upper bound on VectorClock entries accepted on decode (every in-repo
+/// configuration is far below this; the bound caps attacker-driven
+/// allocation).
+inline constexpr std::size_t kMaxClockEntries = 4096;
+
+/// Nested-frame depth accepted on decode (a TransportFrame carries one
+/// nested payload frame; deeper nesting is not produced by any encoder).
+inline constexpr int kMaxNestingDepth = 4;
+
+/// Wire type tags, one per encodable message type. Values are the on-wire
+/// bytes and must never be renumbered — only appended to.
+enum class WireType : std::uint8_t {
+  kControl = 0,         // wire.ctrl     (bridge handshake / teardown)
+  kPair = 1,            // is.pair       (isc::PairMsg)
+  kVcUpdate = 2,        // vc.update     (proto::TimestampedUpdate)
+  kTobPublish = 3,      // tob.publish   (proto::TobPublish)
+  kTobDeliver = 4,      // tob.deliver   (proto::TobDeliver)
+  kPartialUpdate = 5,   // partial.*     (proto::PartialUpdate)
+  kCbcast = 6,          // cbcast.msg    (mp::CbcastMsg)
+  kTransportFrame = 7,  // tr.data/tr.ack (net::TransportFrame)
+};
+
+/// Stable label for a wire type (bench rows, error messages).
+const char* wire_type_label(WireType t);
+
+/// Out-of-band control message used by tools/cim_bridge for its handshake
+/// and two-phase teardown. Defined here (not in the bridge) so the codec,
+/// the golden vectors, and the fuzz tests cover it like any other type.
+struct ControlMsg final : Message {
+  enum Code : std::uint8_t { kHello = 1, kDone = 2, kBye = 3 };
+  std::uint8_t code = kHello;
+  std::uint64_t a = 0;  // hello: local system id;  done: pairs sent
+  std::uint64_t b = 0;  // hello: wire version;     done: ops completed
+
+  const char* type_name() const override { return "wire.ctrl"; }
+  std::size_t wire_size() const override { return 1 + 8 + 8; }
+  MessagePtr clone() const override {
+    return std::make_unique<ControlMsg>(*this);
+  }
+};
+
+/// Result of decode(): either a message plus the bytes consumed, or a
+/// static-string error. Never both.
+struct DecodeResult {
+  MessagePtr msg;
+  std::size_t consumed = 0;
+  const char* error = nullptr;
+
+  bool ok() const { return error == nullptr; }
+};
+
+/// True iff `msg` is one of the wire types above (i.e. encode() accepts it).
+bool encodable(const Message& msg);
+
+/// Append one complete frame encoding `msg` to `out`; returns the number of
+/// bytes appended. CIM_CHECKs that the message is encodable. The buffer is
+/// appended to (not cleared) so callers can batch frames or reuse scratch
+/// storage across calls without reallocation in steady state.
+std::size_t encode(const Message& msg, std::vector<std::uint8_t>& out);
+
+/// Decode one frame from the front of [data, data+size). On success,
+/// `consumed` is the full frame length (length prefix included) so callers
+/// can iterate a concatenated stream. On failure `msg` is null, `consumed`
+/// is 0, and `error` points to a static description; the input is never
+/// read out of bounds.
+DecodeResult decode(const std::uint8_t* data, std::size_t size);
+
+}  // namespace cim::net::wire

@@ -31,7 +31,11 @@
 
 namespace cim::obs {
 
-inline constexpr int kMetricsSchemaVersion = 1;
+// v2: per-link transport gauges renamed net.endpoint.<2l+side>.* →
+// net.link.<l>.<side>.* and unified across transports (backlog on every
+// link; byte counts on serializing links); net.wire.* codec instruments
+// added. See docs/OBSERVABILITY.md § Schema versioning.
+inline constexpr int kMetricsSchemaVersion = 2;
 
 class Counter {
  public:

@@ -22,7 +22,7 @@ std::vector<Step> uniform_script(const UniformConfig& config, Rng& rng,
 std::vector<std::unique_ptr<ScriptRunner>> install_uniform(
     isc::Federation& federation, const UniformConfig& config) {
   Rng rng(config.seed);
-  UniqueValueSource values;
+  UniqueValueSource values(config.value_base);
   std::vector<std::unique_ptr<ScriptRunner>> runners;
   for (std::size_t s = 0; s < federation.num_systems(); ++s) {
     mcs::System& system = federation.system(s);

@@ -15,13 +15,18 @@
 
 namespace cim::wl {
 
-/// Monotone source of globally unique non-initial values.
+/// Monotone source of globally unique non-initial values. `base` offsets the
+/// sequence (values start at base+1) so independent generators — e.g. the
+/// two OS processes of a tools/cim_bridge run — can draw from disjoint
+/// ranges and keep the at-most-once assumption across the merged history.
 class UniqueValueSource {
  public:
+  explicit UniqueValueSource(Value base = 0) : last_(base) {}
+
   Value next() { return ++last_; }
 
  private:
-  Value last_ = 0;  // values start at 1; 0 is kInitValue
+  Value last_;  // 0 is kInitValue, never produced
 };
 
 struct UniformConfig {
@@ -34,6 +39,9 @@ struct UniformConfig {
   sim::Duration think_min = sim::milliseconds(0);
   sim::Duration think_max = sim::milliseconds(4);
   std::uint64_t seed = 7;
+  /// Offset for the UniqueValueSource (see above); keep 0 unless several
+  /// independently seeded workloads feed one merged history.
+  Value value_base = 0;
 };
 
 /// Generate one random script.

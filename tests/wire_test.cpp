@@ -1,0 +1,459 @@
+// Wire codec tests (src/net/wire.h, docs/WIRE.md).
+//
+//  * Golden vectors: tests/data/wire_golden_v1.bin pins the v1 byte format
+//    bit-for-bit — a codec change that alters any byte fails here and must
+//    come with a version bump, not a silent re-encode. Regenerate (after a
+//    deliberate, versioned format change only) with
+//      CIM_WRITE_GOLDEN=1 ./build/tests/cim_tests --gtest_filter='Wire*'
+//  * Round trips: randomized messages of every type survive
+//    encode -> decode -> re-encode byte-identically (the encoding is
+//    canonical, so byte equality is field equality).
+//  * Adversarial inputs: mutated and truncated frames decode to a clean
+//    DecodeError — never a crash, never out-of-bounds reads (the sanitize CI
+//    job runs this same suite under ASan/UBSan).
+//  * Transparency: a federation run over byte-roundtripping links produces
+//    the identical history as the default pointer-handoff run.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.h"
+#include "checker/trace_io.h"
+#include "common/rng.h"
+#include "interconnect/federation.h"
+#include "interconnect/pair_msg.h"
+#include "msgpass/cbcast.h"
+#include "net/reliable_transport.h"
+#include "net/wire.h"
+#include "protocols/anbkh.h"
+#include "protocols/aw_seq.h"
+#include "protocols/partial_rep.h"
+#include "protocols/update_msg.h"
+#include "workload/generator.h"
+
+namespace cim {
+namespace {
+
+namespace wire = net::wire;
+
+std::string golden_path() {
+  return std::string(CIM_SOURCE_DIR) + "/tests/data/wire_golden_v1.bin";
+}
+
+sim::Time at(std::int64_t ns) { return sim::Time{ns}; }
+
+WriteId wid_of(std::uint16_t system, std::uint16_t proc, std::uint32_t seq) {
+  return WriteId::make(ProcId{SystemId{system}, proc}, seq);
+}
+
+// The canonical golden message list: at least one instance of every wire
+// type, plus the structural variants (marker vs full partial update, data
+// frame vs standalone ACK, each control code). Append only — reordering or
+// editing existing entries invalidates the golden file.
+std::vector<net::MessagePtr> golden_messages() {
+  std::vector<net::MessagePtr> out;
+
+  auto hello = std::make_unique<wire::ControlMsg>();
+  hello->code = wire::ControlMsg::kHello;
+  hello->a = 1;
+  hello->b = wire::kWireVersion;
+  out.push_back(std::move(hello));
+
+  auto done = std::make_unique<wire::ControlMsg>();
+  done->code = wire::ControlMsg::kDone;
+  done->a = 12345;
+  done->b = 800;
+  out.push_back(std::move(done));
+
+  auto bye = std::make_unique<wire::ControlMsg>();
+  bye->code = wire::ControlMsg::kBye;
+  out.push_back(std::move(bye));
+
+  auto pair = std::make_unique<isc::PairMsg>();
+  pair->var = VarId{7};
+  pair->value = Value{42};
+  pair->sent_at = at(1'000'000);
+  pair->origin_time = at(500'000);
+  pair->write_id = wid_of(1, 3, 9);
+  out.push_back(std::move(pair));
+
+  auto neg = std::make_unique<isc::PairMsg>();
+  neg->var = VarId{0};
+  neg->value = Value{-17};  // zigzag path
+  neg->sent_at = at(0);
+  neg->origin_time = at(0);
+  neg->write_id = WriteId{};
+  out.push_back(std::move(neg));
+
+  auto vc = std::make_unique<proto::TimestampedUpdate>();
+  vc->var = VarId{3};
+  vc->value = Value{1001};
+  vc->clock = VectorClock{{3, 0, 250}};
+  vc->writer = 2;
+  vc->write_id = wid_of(0, 2, 4);
+  vc->received_at = at(2'250'000);
+  out.push_back(std::move(vc));
+
+  auto pub = std::make_unique<proto::TobPublish>();
+  pub->var = VarId{5};
+  pub->value = Value{77};
+  pub->origin = 4;
+  pub->pre_applied = true;
+  pub->write_id = wid_of(2, 4, 1);
+  out.push_back(std::move(pub));
+
+  auto del = std::make_unique<proto::TobDeliver>();
+  del->var = VarId{5};
+  del->value = Value{77};
+  del->origin = 4;
+  del->pre_applied = false;
+  del->seq = 31;
+  del->write_id = wid_of(2, 4, 1);
+  del->received_at = at(3'000'000);
+  out.push_back(std::move(del));
+
+  auto partial = std::make_unique<proto::PartialUpdate>();
+  partial->var = VarId{2};
+  partial->value = Value{9000};
+  partial->has_value = true;
+  partial->clock = VectorClock{{1, 9}};
+  partial->writer = 1;
+  partial->write_id = wid_of(0, 1, 7);
+  partial->received_at = at(4'000'000);
+  out.push_back(std::move(partial));
+
+  auto marker = std::make_unique<proto::PartialUpdate>();
+  marker->var = VarId{2};
+  marker->has_value = false;  // causal marker: no value on the wire
+  marker->clock = VectorClock{{1, 10}};
+  marker->writer = 1;
+  marker->write_id = wid_of(0, 1, 8);
+  marker->received_at = at(4'100'000);
+  out.push_back(std::move(marker));
+
+  auto cb = std::make_unique<mp::CbcastMsg>();
+  cb->payload.var = VarId{6};
+  cb->payload.value = Value{-5};
+  cb->payload.wid = wid_of(3, 0, 2);
+  cb->clock = VectorClock{{0, 0, 0, 12}};
+  cb->sender = 3;
+  out.push_back(std::move(cb));
+
+  auto data = std::make_unique<net::TransportFrame>();
+  data->seq = 17;
+  data->ack = 15;
+  auto inner = std::make_unique<isc::PairMsg>();
+  inner->var = VarId{1};
+  inner->value = Value{64};
+  inner->sent_at = at(5'000'000);
+  inner->origin_time = at(4'900'000);
+  inner->write_id = wid_of(0, 8, 3);
+  data->payload = std::move(inner);
+  out.push_back(std::move(data));
+
+  auto ack = std::make_unique<net::TransportFrame>();
+  ack->seq = 0;
+  ack->ack = 18;  // standalone cumulative ACK, no payload
+  out.push_back(std::move(ack));
+
+  return out;
+}
+
+std::vector<std::uint8_t> encode_all(
+    const std::vector<net::MessagePtr>& msgs) {
+  std::vector<std::uint8_t> buf;
+  for (const net::MessagePtr& m : msgs) wire::encode(*m, buf);
+  return buf;
+}
+
+TEST(WireGolden, VectorsAreBitIdentical) {
+  const std::vector<std::uint8_t> encoded = encode_all(golden_messages());
+
+  if (std::getenv("CIM_WRITE_GOLDEN") != nullptr) {
+    std::ofstream os(golden_path(), std::ios::binary);
+    ASSERT_TRUE(os) << "cannot write " << golden_path();
+    os.write(reinterpret_cast<const char*>(encoded.data()),
+             static_cast<std::streamsize>(encoded.size()));
+    GTEST_SKIP() << "golden vectors regenerated (" << encoded.size()
+                 << " bytes); review the diff and drop CIM_WRITE_GOLDEN";
+  }
+
+  std::ifstream is(golden_path(), std::ios::binary);
+  ASSERT_TRUE(is) << "missing " << golden_path()
+                  << " (regenerate with CIM_WRITE_GOLDEN=1)";
+  std::vector<std::uint8_t> golden(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+
+  ASSERT_EQ(encoded.size(), golden.size())
+      << "wire format size drifted from the golden vectors";
+  EXPECT_EQ(encoded, golden)
+      << "wire format bytes drifted from the golden vectors; a format "
+         "change needs a version bump and new goldens";
+}
+
+TEST(WireGolden, DecodeThenReencodeIsBitIdentical) {
+  std::ifstream is(golden_path(), std::ios::binary);
+  ASSERT_TRUE(is) << "missing " << golden_path();
+  std::vector<std::uint8_t> golden(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  ASSERT_FALSE(golden.empty());
+
+  std::vector<std::uint8_t> reencoded;
+  std::size_t offset = 0;
+  std::size_t frames = 0;
+  while (offset < golden.size()) {
+    wire::DecodeResult res =
+        wire::decode(golden.data() + offset, golden.size() - offset);
+    ASSERT_TRUE(res.ok()) << "frame " << frames << ": " << res.error;
+    wire::encode(*res.msg, reencoded);
+    offset += res.consumed;
+    ++frames;
+  }
+  EXPECT_EQ(frames, golden_messages().size());
+  EXPECT_EQ(reencoded, golden);
+}
+
+// ---- randomized round trips -----------------------------------------------
+
+VectorClock random_clock(Rng& rng) {
+  // Sizes straddle the inline/spill boundary (VectorClock::kInline == 8).
+  const std::size_t n = rng.uniform(0, 12);
+  VectorClock clock(n);
+  for (std::size_t i = 0; i < n; ++i) clock.set(i, rng.next() >> 32);
+  return clock;
+}
+
+Value random_value(Rng& rng) {
+  // Signed, full-range magnitudes to exercise every zigzag length.
+  const auto raw = static_cast<std::int64_t>(rng.next());
+  return raw >> rng.uniform(0, 63);
+}
+
+WriteId random_wid(Rng& rng) { return WriteId{rng.next()}; }
+
+sim::Time random_time(Rng& rng) {
+  return sim::Time{static_cast<std::int64_t>(rng.next() >> 1)};
+}
+
+net::MessagePtr random_message(Rng& rng, int type, bool allow_nested) {
+  switch (type) {
+    case 0: {
+      auto m = std::make_unique<wire::ControlMsg>();
+      m->code = static_cast<wire::ControlMsg::Code>(rng.uniform(1, 3));
+      m->a = rng.next();
+      m->b = rng.next();
+      return m;
+    }
+    case 1: {
+      auto m = std::make_unique<isc::PairMsg>();
+      m->var = VarId{static_cast<std::uint32_t>(rng.next())};
+      m->value = random_value(rng);
+      m->sent_at = random_time(rng);
+      m->origin_time = random_time(rng);
+      m->write_id = random_wid(rng);
+      return m;
+    }
+    case 2: {
+      auto m = std::make_unique<proto::TimestampedUpdate>();
+      m->var = VarId{static_cast<std::uint32_t>(rng.next())};
+      m->value = random_value(rng);
+      m->clock = random_clock(rng);
+      m->writer = static_cast<std::uint16_t>(rng.next());
+      m->write_id = random_wid(rng);
+      m->received_at = random_time(rng);
+      return m;
+    }
+    case 3: {
+      auto m = std::make_unique<proto::TobPublish>();
+      m->var = VarId{static_cast<std::uint32_t>(rng.next())};
+      m->value = random_value(rng);
+      m->origin = static_cast<std::uint16_t>(rng.next());
+      m->pre_applied = rng.chance(0.5);
+      m->write_id = random_wid(rng);
+      return m;
+    }
+    case 4: {
+      auto m = std::make_unique<proto::TobDeliver>();
+      m->var = VarId{static_cast<std::uint32_t>(rng.next())};
+      m->value = random_value(rng);
+      m->origin = static_cast<std::uint16_t>(rng.next());
+      m->pre_applied = rng.chance(0.5);
+      m->seq = rng.next();
+      m->write_id = random_wid(rng);
+      m->received_at = random_time(rng);
+      return m;
+    }
+    case 5: {
+      auto m = std::make_unique<proto::PartialUpdate>();
+      m->var = VarId{static_cast<std::uint32_t>(rng.next())};
+      m->has_value = rng.chance(0.5);
+      if (m->has_value) m->value = random_value(rng);
+      m->clock = random_clock(rng);
+      m->writer = static_cast<std::uint16_t>(rng.next());
+      m->write_id = random_wid(rng);
+      m->received_at = random_time(rng);
+      return m;
+    }
+    case 6: {
+      auto m = std::make_unique<mp::CbcastMsg>();
+      m->payload.var = VarId{static_cast<std::uint32_t>(rng.next())};
+      m->payload.value = random_value(rng);
+      m->payload.wid = random_wid(rng);
+      m->clock = random_clock(rng);
+      m->sender = static_cast<std::uint16_t>(rng.next());
+      return m;
+    }
+    default: {
+      auto m = std::make_unique<net::TransportFrame>();
+      m->seq = rng.next();
+      m->ack = rng.next();
+      if (allow_nested && rng.chance(0.7)) {
+        m->payload =
+            random_message(rng, static_cast<int>(rng.uniform(0, 6)), false);
+      }
+      return m;
+    }
+  }
+}
+
+TEST(WireFuzz, TenThousandRoundTripsPerType) {
+  constexpr int kPerType = 10'000;
+  Rng rng(0xC0DEC);
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint8_t> rebuf;
+  for (int type = 0; type <= 7; ++type) {
+    for (int i = 0; i < kPerType; ++i) {
+      const net::MessagePtr msg = random_message(rng, type, true);
+      buf.clear();
+      const std::size_t n = wire::encode(*msg, buf);
+      ASSERT_EQ(n, buf.size());
+
+      const wire::DecodeResult res = wire::decode(buf.data(), buf.size());
+      ASSERT_TRUE(res.ok()) << wire::wire_type_label(
+                                   static_cast<wire::WireType>(type))
+                            << " #" << i << ": " << res.error;
+      ASSERT_EQ(res.consumed, buf.size());
+      EXPECT_STREQ(res.msg->type_name(), msg->type_name());
+
+      // Canonical encoding: byte equality of the re-encode is field
+      // equality of the round-tripped message.
+      rebuf.clear();
+      wire::encode(*res.msg, rebuf);
+      ASSERT_EQ(rebuf, buf)
+          << wire::wire_type_label(static_cast<wire::WireType>(type))
+          << " #" << i << " did not survive the round trip";
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedAndTruncatedBuffersFailCleanly) {
+  constexpr int kCases = 10'000;
+  Rng rng(0xBADF00D);
+  std::vector<std::uint8_t> buf;
+  int clean_errors = 0;
+  for (int i = 0; i < kCases; ++i) {
+    const net::MessagePtr msg =
+        random_message(rng, static_cast<int>(rng.uniform(0, 7)), true);
+    buf.clear();
+    wire::encode(*msg, buf);
+
+    switch (rng.uniform(0, 2)) {
+      case 0:  // truncate anywhere (possibly to zero)
+        buf.resize(rng.uniform(0, buf.size() - 1));
+        break;
+      case 1: {  // flip bits somewhere
+        const std::size_t pos = rng.uniform(0, buf.size() - 1);
+        buf[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+        break;
+      }
+      default: {  // scribble over the length prefix
+        for (std::size_t b = 0; b < 4 && b < buf.size(); ++b) {
+          buf[b] = static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      }
+    }
+
+    // Mutated input must either decode (a mutation can land in a don't-care
+    // position or produce a different valid frame) or fail with a clean
+    // static error — never crash, never read out of bounds (ASan enforces
+    // the latter in the sanitize job).
+    const wire::DecodeResult res = wire::decode(buf.data(), buf.size());
+    if (!res.ok()) {
+      ++clean_errors;
+      EXPECT_EQ(res.msg, nullptr);
+      EXPECT_EQ(res.consumed, 0u);
+      ASSERT_NE(res.error, nullptr);
+    } else {
+      ASSERT_NE(res.msg, nullptr);
+      ASSERT_GE(res.consumed, 6u);
+    }
+  }
+  // Random damage overwhelmingly produces invalid frames; if it somehow
+  // did not, the mutator is broken.
+  EXPECT_GT(clean_errors, kCases / 2);
+}
+
+TEST(WireDecode, RejectsUnknownTypeAndVersion) {
+  std::vector<std::uint8_t> buf;
+  auto msg = std::make_unique<wire::ControlMsg>();
+  wire::encode(*msg, buf);
+
+  std::vector<std::uint8_t> bad_type = buf;
+  bad_type[4] = 0xEE;  // type byte
+  EXPECT_FALSE(wire::decode(bad_type.data(), bad_type.size()).ok());
+
+  std::vector<std::uint8_t> bad_version = buf;
+  bad_version[5] = 0x7F;  // version byte
+  const wire::DecodeResult res =
+      wire::decode(bad_version.data(), bad_version.size());
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(std::string(res.error).find("version"), std::string::npos);
+}
+
+// ---- transparency: bytes-mode federation == in-memory federation ----------
+
+chk::History run_federation(isc::LinkWire wire_mode) {
+  isc::FederationConfig cfg;
+  for (std::uint16_t s = 0; s < 2; ++s) {
+    mcs::SystemConfig sys;
+    sys.id = SystemId{s};
+    sys.num_app_processes = 3;
+    sys.protocol = proto::anbkh_protocol();
+    sys.seed = 7 + s;
+    cfg.systems.push_back(std::move(sys));
+  }
+  isc::LinkSpec link;
+  link.system_a = 0;
+  link.system_b = 1;
+  cfg.links.push_back(std::move(link));
+  cfg.link_wire = wire_mode;
+  isc::Federation fed(std::move(cfg));
+
+  wl::UniformConfig wc;
+  wc.ops_per_process = 30;
+  wc.seed = 23;
+  auto runners = wl::install_uniform(fed, wc);
+  fed.run();
+  return fed.federation_history();
+}
+
+TEST(WireLoopback, ByteRoundTrippedFederationHistoryIsIdentical) {
+  const chk::History in_memory = run_federation(isc::LinkWire::kInMemory);
+  const chk::History bytes = run_federation(isc::LinkWire::kLoopbackBytes);
+
+  std::ostringstream a, b;
+  chk::write_trace(in_memory, a);
+  chk::write_trace(bytes, b);
+  EXPECT_EQ(a.str(), b.str())
+      << "the loopback byte round trip changed the execution";
+  EXPECT_TRUE(chk::CausalChecker{}.check(bytes).ok());
+}
+
+}  // namespace
+}  // namespace cim

@@ -1,0 +1,313 @@
+// cim_bridge: one causal memory system per OS process, interconnected over
+// a real TCP socket — the paper's IS-protocol with the inter-IS link as an
+// actual byte stream instead of a simulated channel.
+//
+// Run two of these against each other (scripts/bridge_smoke.sh does):
+//
+//   cim_bridge --side a --port 9000 --history a.hist --metrics a.json &
+//   cim_bridge --side b --port 9000 --history b.hist --metrics b.json
+//
+// Side a (SystemId 0) listens, side b (SystemId 1) connects. Each process
+// builds a single-system Federation with one external link, drives a uniform
+// workload through the threaded rt::Runtime, and exchanges pairs with the
+// peer through a net::TcpLinkTransport (docs/WIRE.md frames on the stream).
+// The two histories use disjoint value ranges (UniformConfig::value_base),
+// so `cat a.hist b.hist` is a checkable merged history: every value still
+// identifies a unique write, and examples/trace_checker can verify the
+// merged computation is causal.
+//
+// Termination handshake (ControlMsg, wire type 0):
+//   hello  — exchanged before the runtime starts; carries the system id and
+//            wire version, so mismatched builds fail fast instead of
+//            corrupting each other.
+//   done   — sent once the local workload has finished AND the simulator is
+//            quiescent (pairs_sent is final); carries that final count.
+//   bye    — sent once the peer's done arrived and all of its pairs have
+//            been received and fully applied. When both byes have crossed,
+//            both sides are drained and it is safe to stop.
+//
+// Threading: the TCP reader thread posts every inbound pair into the
+// rt::Runtime (deliver_from_link must run on the engine thread); control
+// messages only touch atomics. The main thread samples engine-owned state
+// (runner progress, simulator queue, pair counters) by posting a probe and
+// waiting on a promise — it never touches federation state directly.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checker/trace_io.h"
+#include "interconnect/federation.h"
+#include "net/tcp_link.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "protocols/anbkh.h"
+#include "runtime/runtime.h"
+#include "workload/generator.h"
+
+using namespace cim;
+
+namespace {
+
+struct Options {
+  char side = 0;  // 'a' listens, 'b' connects
+  std::uint16_t port = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t procs = 4;
+  std::size_t ops = 25;
+  std::uint64_t seed = 7;
+  std::string history_path;
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+int usage() {
+  std::cerr << "usage: cim_bridge --side a|b --port N [--host H] [--procs N]"
+               " [--ops N] [--seed N]\n"
+               "                  [--history FILE] [--metrics FILE]"
+               " [--trace FILE]\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--side") == 0 && (v = next())) {
+      opt.side = v[0];
+    } else if (std::strcmp(arg, "--port") == 0 && (v = next())) {
+      opt.port = static_cast<std::uint16_t>(std::stoul(v));
+    } else if (std::strcmp(arg, "--host") == 0 && (v = next())) {
+      opt.host = v;
+    } else if (std::strcmp(arg, "--procs") == 0 && (v = next())) {
+      opt.procs = static_cast<std::uint16_t>(std::stoul(v));
+    } else if (std::strcmp(arg, "--ops") == 0 && (v = next())) {
+      opt.ops = std::stoul(v);
+    } else if (std::strcmp(arg, "--seed") == 0 && (v = next())) {
+      opt.seed = std::stoull(v);
+    } else if (std::strcmp(arg, "--history") == 0 && (v = next())) {
+      opt.history_path = v;
+    } else if (std::strcmp(arg, "--metrics") == 0 && (v = next())) {
+      opt.metrics_path = v;
+    } else if (std::strcmp(arg, "--trace") == 0 && (v = next())) {
+      opt.trace_path = v;
+    } else {
+      return false;
+    }
+  }
+  return (opt.side == 'a' || opt.side == 'b') && opt.port != 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+  const std::uint16_t side_index = opt.side == 'a' ? 0 : 1;
+  const char* tag = opt.side == 'a' ? "[a]" : "[b]";
+
+  // ---- connect first: no point building a federation without a peer.
+  const int fd = opt.side == 'a'
+                     ? net::tcp_listen_accept(opt.port)
+                     : net::tcp_connect(opt.host.c_str(), opt.port);
+
+  // ---- one system, one external link whose far side is the peer process.
+  isc::FederationConfig cfg;
+  cfg.obs.trace.enabled = !opt.trace_path.empty();
+  cfg.monitor.enabled = true;
+  mcs::SystemConfig sys;
+  sys.id = SystemId{side_index};
+  sys.num_app_processes = opt.procs;
+  sys.protocol = proto::anbkh_protocol();
+  sys.seed = opt.seed + side_index;
+  cfg.systems.push_back(std::move(sys));
+  cfg.external_links.push_back(isc::ExternalLinkSpec{});
+  isc::Federation fed(std::move(cfg));
+
+  net::TcpLinkTransport tcp(fd, &fed.observability());
+
+  // ---- hello handshake, synchronous, before any pair can flow.
+  {
+    auto hello = std::make_unique<net::wire::ControlMsg>();
+    hello->code = net::wire::ControlMsg::kHello;
+    hello->a = side_index;
+    hello->b = net::wire::kWireVersion;
+    tcp.send(std::move(hello));
+    net::MessagePtr reply = tcp.recv_one();
+    auto* peer = dynamic_cast<net::wire::ControlMsg*>(reply.get());
+    if (peer == nullptr || peer->code != net::wire::ControlMsg::kHello) {
+      std::cerr << tag << " handshake failed: "
+                << (tcp.error() != nullptr ? tcp.error() : "peer closed")
+                << "\n";
+      return 1;
+    }
+    if (peer->b != net::wire::kWireVersion || peer->a == side_index) {
+      std::cerr << tag << " handshake mismatch: peer system " << peer->a
+                << ", wire v" << peer->b << " (local v"
+                << unsigned{net::wire::kWireVersion} << ")\n";
+      return 1;
+    }
+  }
+
+  const std::size_t link = fed.interconnector().attach_external_link(0, &tcp);
+  isc::IsProcess& isp = fed.interconnector().external_isp(0);
+
+  // Disjoint value ranges and seeds per side keep the merged history's
+  // values globally unique (the checker's value-identifies-write premise).
+  wl::UniformConfig wc;
+  wc.ops_per_process = opt.ops;
+  wc.seed = opt.seed * 2 + side_index;
+  wc.value_base = Value{side_index} * 1'000'000;
+  auto runners = wl::install_uniform(fed, wc);
+
+  rt::Runtime rt(fed);
+
+  std::atomic<bool> peer_done{false};
+  std::atomic<bool> peer_bye{false};
+  std::atomic<std::uint64_t> peer_pairs{0};
+  tcp.start([&](net::MessagePtr msg) {
+    // Reader thread. Control messages only touch atomics; pairs go to the
+    // engine thread, where deliver_from_link may run protocol code.
+    if (std::strcmp(msg->type_name(), "wire.ctrl") == 0) {
+      auto& ctrl = static_cast<net::wire::ControlMsg&>(*msg);
+      if (ctrl.code == net::wire::ControlMsg::kDone) {
+        peer_pairs.store(ctrl.a, std::memory_order_relaxed);
+        peer_done.store(true, std::memory_order_release);
+      } else if (ctrl.code == net::wire::ControlMsg::kBye) {
+        peer_bye.store(true, std::memory_order_release);
+      }
+      return;
+    }
+    net::Message* raw = msg.release();
+    isc::IsProcess* isp_ptr = &isp;
+    rt.post([isp_ptr, link, raw] {
+      isp_ptr->deliver_from_link(link, net::MessagePtr(raw));
+    });
+  });
+  rt.start();
+
+  // Run `fn` on the engine thread and wait for it — the only way the main
+  // thread reads engine-owned state.
+  auto on_engine = [&rt](auto&& fn) {
+    std::promise<void> done;
+    auto* fn_ptr = &fn;
+    auto* done_ptr = &done;
+    rt.post([fn_ptr, done_ptr] {
+      (*fn_ptr)();
+      done_ptr->set_value();
+    });
+    done.get_future().wait();
+  };
+  auto engine_idle = [&](auto&& extra) {
+    bool idle = false;
+    on_engine([&] { idle = fed.simulator().empty() && extra(); });
+    if (!idle) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return idle;
+  };
+  auto check_stream = [&] {
+    if (tcp.error() != nullptr) {
+      std::cerr << tag << " stream error: " << tcp.error() << "\n";
+      std::exit(1);
+    }
+    if (tcp.peer_closed() && !peer_bye.load(std::memory_order_acquire)) {
+      std::cerr << tag << " peer vanished before bye\n";
+      std::exit(1);
+    }
+  };
+
+  // ---- phase 1: local workload drained, pairs_sent final → send done.
+  while (!engine_idle([&] {
+    for (const auto& r : runners)
+      if (!r->done()) return false;
+    return true;
+  })) {
+    check_stream();
+  }
+  std::uint64_t pairs_sent = 0;
+  std::uint64_t ops_done = 0;
+  on_engine([&] {
+    pairs_sent = isp.pairs_sent();
+    for (const auto& r : runners) ops_done += r->steps_completed();
+  });
+  {
+    auto done_msg = std::make_unique<net::wire::ControlMsg>();
+    done_msg->code = net::wire::ControlMsg::kDone;
+    done_msg->a = pairs_sent;
+    done_msg->b = ops_done;
+    tcp.send(std::move(done_msg));
+  }
+
+  // ---- phase 2: peer done, all of its pairs received and applied → bye.
+  while (!peer_done.load(std::memory_order_acquire)) {
+    check_stream();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::uint64_t expected = peer_pairs.load(std::memory_order_relaxed);
+  while (!engine_idle([&] { return isp.pairs_received() == expected; })) {
+    check_stream();
+  }
+  {
+    auto bye = std::make_unique<net::wire::ControlMsg>();
+    bye->code = net::wire::ControlMsg::kBye;
+    tcp.send(std::move(bye));
+  }
+  while (!peer_bye.load(std::memory_order_acquire)) {
+    if (tcp.error() != nullptr || tcp.peer_closed()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (!peer_bye.load(std::memory_order_acquire)) {
+    check_stream();  // reports the error and exits
+  }
+
+  rt.stop();
+  tcp.close();
+  // Receive-side byte counts live in transport atomics while the reader
+  // runs (obs cells are not thread-safe); fold them in now that it joined.
+  fed.observability().metrics().counter("net.wire.bytes_in")
+      .inc(tcp.wire_bytes_in());
+
+  const std::uint64_t received = isp.pairs_received();
+  const std::uint64_t violations =
+      fed.monitor() != nullptr ? fed.monitor()->violation_count() : 0;
+
+  if (!opt.history_path.empty()) {
+    std::ofstream os(opt.history_path);
+    if (!os) {
+      std::cerr << tag << " cannot write " << opt.history_path << "\n";
+      return 1;
+    }
+    chk::write_trace(fed.federation_history(), os);
+  }
+  if (!opt.trace_path.empty()) {
+    std::ofstream os(opt.trace_path);
+    if (!os) {
+      std::cerr << tag << " cannot write " << opt.trace_path << "\n";
+      return 1;
+    }
+    fed.observability().trace().write_jsonl(os);
+  }
+  if (!opt.metrics_path.empty()) {
+    std::ofstream os(opt.metrics_path);
+    if (!os) {
+      std::cerr << tag << " cannot write " << opt.metrics_path << "\n";
+      return 1;
+    }
+    obs::write_json(os, fed.metrics_snapshot());
+  }
+
+  std::cout << tag << " system " << side_index << ": " << ops_done
+            << " ops, pairs sent " << pairs_sent << ", received " << received
+            << "/" << expected << ", wire bytes out "
+            << tcp.wire_bytes_out() << " in " << tcp.wire_bytes_in()
+            << ", monitor violations " << violations << "\n";
+  return violations > 0 ? 1 : 0;
+}
