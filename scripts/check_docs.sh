@@ -58,6 +58,31 @@ else
   done
 fi
 
+# docs/BRIDGE.md is the normative mesh description: it must exist, name
+# every join-reject reason the handshake can send (src/mesh/mesh_node.cpp),
+# and document the mesh counters and the spec keywords, so the protocol
+# description cannot silently fall behind the implementation.
+bridge_doc="$root/docs/BRIDGE.md"
+if [ ! -f "$bridge_doc" ]; then
+  echo "check_docs: missing $bridge_doc" >&2
+  status=1
+else
+  for reason in "wire version mismatch" "topology hash mismatch" \
+      "not a neighbor" "duplicate join"; do
+    if ! grep -q "$reason" "$bridge_doc"; then
+      echo "check_docs: reject reason '${reason}' is not documented in docs/BRIDGE.md" >&2
+      status=1
+    fi
+  done
+  for word in "nodes" "edge" "base_port" "done" "bye" "net.mesh" \
+      "topology hash" "writev"; do
+    if ! grep -q "$word" "$bridge_doc"; then
+      echo "check_docs: '${word}' is not documented in docs/BRIDGE.md" >&2
+      status=1
+    fi
+  done
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "check_docs: OK"
 fi

@@ -26,7 +26,8 @@ import os
 import sys
 
 HIGHER_BETTER = ("_per_sec", "_per_second")
-LOWER_BETTER = {"wall_s", "real_time_ns", "cpu_time_ns", "bytes_per_msg"}
+LOWER_BETTER = {"wall_s", "real_time_ns", "cpu_time_ns", "bytes_per_msg",
+                "syscalls_per_msg"}
 # Build-identity meta fields: differing values make the comparison
 # apples-to-oranges, so they warn loudly.
 IDENTITY_META = ("compiler", "compiler_version", "build_type", "sanitize")

@@ -11,7 +11,7 @@
 #   --out DIR     where the merged BENCH_*.json land (default: bench/out)
 #   --runs N      runs per bench; medians absorb host noise (default: 3)
 #   --quick       one run per bench (CI smoke mode)
-#   bench ...     subset to run (default: tree_scale throughput wire)
+#   bench ...     subset to run (default: tree_scale throughput wire bridge)
 #
 # Two bench flavors are handled:
 #   * cim-style binaries emit BENCH_<name>.json themselves (bench_report.h);
@@ -38,7 +38,7 @@ while [[ $# -gt 0 ]]; do
     *) BENCHES+=("$1"); shift ;;
   esac
 done
-[[ ${#BENCHES[@]} -gt 0 ]] || BENCHES=(tree_scale throughput wire)
+[[ ${#BENCHES[@]} -gt 0 ]] || BENCHES=(tree_scale throughput wire bridge)
 
 # Benches whose binaries speak google-benchmark instead of bench_report.h.
 is_google() { [[ "$1" == throughput ]]; }

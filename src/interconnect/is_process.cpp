@@ -26,6 +26,8 @@ IsProcess::IsProcess(mcs::AppProcess& app, net::Fabric& fabric,
 std::size_t IsProcess::add_link(net::LinkTransport* transport) {
   CIM_CHECK(transport != nullptr);
   out_links_.push_back(transport);
+  pairs_sent_on_.push_back(0);
+  pairs_received_on_.push_back(0);
   return out_links_.size() - 1;
 }
 
@@ -149,6 +151,7 @@ void IsProcess::send_pair(std::size_t link, VarId var, Value value,
   net::LinkTransport& out = *out_links_[link];
   out.send(std::move(msg));
   ++pairs_sent_;
+  ++pairs_sent_on_[link];
   if (m_pairs_sent_ != nullptr) {
     m_pairs_sent_->inc();
     h_link_backlog_->observe(static_cast<std::int64_t>(out.backlog()));
@@ -190,6 +193,7 @@ void IsProcess::deliver_from_link(std::size_t source_link,
     return;
   }
   ++pairs_received_;
+  ++pairs_received_on_[source_link];
 
   if (m_pairs_received_ != nullptr) {
     m_pairs_received_->inc();

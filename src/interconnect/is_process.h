@@ -116,6 +116,17 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   std::uint64_t pairs_sent() const { return pairs_sent_; }
   std::uint64_t pairs_received() const { return pairs_received_; }
 
+  /// Per-link splits of the totals above, indexed by add_link() order. The
+  /// mesh bridge's done/bye convergecast (docs/BRIDGE.md "Termination")
+  /// compares pairs_received_on(L) against the peer's announced
+  /// pairs_sent_on to decide when a link has drained.
+  std::uint64_t pairs_sent_on(std::size_t link) const {
+    return pairs_sent_on_.at(link);
+  }
+  std::uint64_t pairs_received_on(std::size_t link) const {
+    return pairs_received_on_.at(link);
+  }
+
  private:
   struct ParkedUpcall {
     bool is_pre = false;
@@ -142,6 +153,8 @@ class IsProcess final : public mcs::UpcallHandler, public net::Receiver {
   std::vector<ParkedUpcall> parked_;
   std::uint64_t pairs_sent_ = 0;
   std::uint64_t pairs_received_ = 0;
+  std::vector<std::uint64_t> pairs_sent_on_;      // indexed by link
+  std::vector<std::uint64_t> pairs_received_on_;  // indexed by link
 
   // Cached instrument cells (null without observability).
   obs::TraceSink* trace_ = nullptr;

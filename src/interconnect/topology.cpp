@@ -1,0 +1,190 @@
+#include "interconnect/topology.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cim::isc {
+
+std::vector<std::size_t> Topology::neighbors(std::size_t node) const {
+  std::vector<std::size_t> out;
+  for (const TopologyEdge& e : edges) {
+    if (e.a == node) out.push_back(e.b);
+    if (e.b == node) out.push_back(e.a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Topology::degree(std::size_t node) const {
+  std::size_t d = 0;
+  for (const TopologyEdge& e : edges)
+    if (e.a == node || e.b == node) ++d;
+  return d;
+}
+
+std::size_t Topology::edge_index(std::size_t x, std::size_t y) const {
+  const TopologyEdge key{std::min(x, y), std::max(x, y)};
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    if (edges[i] == key) return i;
+  return npos;
+}
+
+std::uint64_t Topology::hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(nodes);
+  for (const TopologyEdge& e : edges) {
+    mix(e.a);
+    mix(e.b);
+  }
+  return h;
+}
+
+std::string Topology::format() const {
+  std::ostringstream out;
+  out << "nodes " << nodes << "\n";
+  for (const TopologyEdge& e : edges) out << "edge " << e.a << " " << e.b
+                                          << "\n";
+  return out.str();
+}
+
+Topology make_chain(std::size_t n) {
+  Topology t;
+  t.nodes = n;
+  for (std::size_t i = 0; i + 1 < n; ++i) t.edges.push_back({i, i + 1});
+  return t;
+}
+
+Topology make_star(std::size_t n) {
+  Topology t;
+  t.nodes = n;
+  for (std::size_t i = 1; i < n; ++i) t.edges.push_back({0, i});
+  return t;
+}
+
+Topology make_btree(std::size_t n) {
+  Topology t;
+  t.nodes = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (2 * i + 1 < n) t.edges.push_back({i, 2 * i + 1});
+    if (2 * i + 2 < n) t.edges.push_back({i, 2 * i + 2});
+  }
+  return t;
+}
+
+TopologyResult validate_topology(Topology topo) {
+  TopologyResult res;
+  if (topo.nodes == 0) {
+    res.error = "topology: needs at least one node";
+    return res;
+  }
+  for (TopologyEdge& e : topo.edges) {
+    if (e.a > e.b) std::swap(e.a, e.b);
+    if (e.a == e.b) {
+      res.error = "topology: self-loop on node " + std::to_string(e.a);
+      return res;
+    }
+    if (e.b >= topo.nodes) {
+      res.error = "topology: edge references node " + std::to_string(e.b) +
+                  " but only " + std::to_string(topo.nodes) + " nodes declared";
+      return res;
+    }
+  }
+  std::sort(topo.edges.begin(), topo.edges.end(),
+            [](const TopologyEdge& x, const TopologyEdge& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  for (std::size_t i = 1; i < topo.edges.size(); ++i) {
+    if (topo.edges[i] == topo.edges[i - 1]) {
+      res.error = "topology: duplicate edge " + std::to_string(topo.edges[i].a) +
+                  "-" + std::to_string(topo.edges[i].b);
+      return res;
+    }
+  }
+  if (topo.edges.size() + 1 != topo.nodes) {
+    res.error = "topology: a tree of " + std::to_string(topo.nodes) +
+                " nodes needs exactly " + std::to_string(topo.nodes - 1) +
+                " edges, got " + std::to_string(topo.edges.size());
+    return res;
+  }
+  // Connectivity: BFS from node 0. With n-1 edges, connected <=> tree
+  // (Corollary 1's precondition: the interconnection graph is a tree).
+  std::vector<bool> seen(topo.nodes, false);
+  std::vector<std::size_t> queue{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const std::size_t node = queue.back();
+    queue.pop_back();
+    for (std::size_t nb : topo.neighbors(node)) {
+      if (!seen[nb]) {
+        seen[nb] = true;
+        ++reached;
+        queue.push_back(nb);
+      }
+    }
+  }
+  if (reached != topo.nodes) {
+    res.error = "topology: not connected (" + std::to_string(reached) + " of " +
+                std::to_string(topo.nodes) + " nodes reachable from node 0)";
+    return res;
+  }
+  res.topo = std::move(topo);
+  return res;
+}
+
+TopologyResult parse_topology(const std::string& text) {
+  Topology topo;
+  bool saw_nodes = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash_pos = line.find('#');
+    if (hash_pos != std::string::npos) line.erase(hash_pos);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank / comment-only line
+    TopologyResult res;
+    if (keyword == "nodes") {
+      if (saw_nodes || !(fields >> topo.nodes)) {
+        res.error = "topology line " + std::to_string(line_no) +
+                    ": expected a single `nodes <n>` declaration";
+        return res;
+      }
+      saw_nodes = true;
+    } else if (keyword == "edge") {
+      TopologyEdge e;
+      if (!(fields >> e.a >> e.b)) {
+        res.error = "topology line " + std::to_string(line_no) +
+                    ": expected `edge <a> <b>`";
+        return res;
+      }
+      topo.edges.push_back(e);
+    } else {
+      res.error = "topology line " + std::to_string(line_no) +
+                  ": unknown keyword `" + keyword + "`";
+      return res;
+    }
+    std::string extra;
+    if (fields >> extra) {
+      res.error = "topology line " + std::to_string(line_no) +
+                  ": trailing tokens after `" + keyword + "`";
+      return res;
+    }
+  }
+  if (!saw_nodes) {
+    TopologyResult res;
+    res.error = "topology: missing `nodes <n>` declaration";
+    return res;
+  }
+  return validate_topology(std::move(topo));
+}
+
+}  // namespace cim::isc

@@ -1,0 +1,509 @@
+#include "mesh/mesh_node.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "protocols/anbkh.h"
+#include "runtime/runtime.h"
+
+namespace cim::mesh {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using net::wire::ControlMsg;
+
+// kJoinReject reason codes (ControlMsg.b; docs/BRIDGE.md "Join").
+enum RejectReason : std::uint64_t {
+  kRejectWireVersion = 1,
+  kRejectTopologyHash = 2,
+  kRejectNotANeighbor = 3,
+  kRejectDuplicateJoin = 4,
+};
+
+const char* reject_reason_name(std::uint64_t reason) {
+  switch (reason) {
+    case kRejectWireVersion: return "wire version mismatch";
+    case kRejectTopologyHash: return "topology hash mismatch";
+    case kRejectNotANeighbor: return "not a neighbor";
+    case kRejectDuplicateJoin: return "duplicate join";
+    default: return "unknown reason";
+  }
+}
+
+bool send_ctrl_fd(int fd, std::uint8_t code, std::uint64_t a,
+                  std::uint64_t b) {
+  ControlMsg msg;
+  msg.code = code;
+  msg.a = a;
+  msg.b = b;
+  std::vector<std::uint8_t> buf;
+  net::wire::encode(msg, buf);
+  const std::uint8_t* p = buf.data();
+  std::size_t left = buf.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Read one bare ControlMsg frame from a blocking fd, bounded by SO_RCVTIMEO.
+// Returns nullptr on success, a static error description otherwise.
+const char* recv_ctrl_fd(int fd, int timeout_ms, ControlMsg& out) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::uint8_t frame[4 + 64];
+  auto read_exact = [fd](std::uint8_t* dst, std::size_t len) -> const char* {
+    while (len > 0) {
+      const ssize_t n = ::read(fd, dst, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+          return "handshake timed out";
+        return "handshake read failed";
+      }
+      if (n == 0) return "peer closed during handshake";
+      dst += n;
+      len -= static_cast<std::size_t>(n);
+    }
+    return nullptr;
+  };
+  if (const char* err = read_exact(frame, 4)) return err;
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i)
+    body_len |= static_cast<std::uint32_t>(frame[i]) << (8 * i);
+  if (body_len > sizeof(frame) - 4)
+    return "handshake frame is not a control message";
+  if (const char* err = read_exact(frame + 4, body_len)) return err;
+
+  net::wire::DecodeResult res = net::wire::decode(frame, 4 + body_len);
+  if (!res.ok()) return res.error;
+  auto* ctrl = dynamic_cast<ControlMsg*>(res.msg.get());
+  if (ctrl == nullptr) return "handshake frame is not a control message";
+  out = *ctrl;
+  return nullptr;
+}
+
+}  // namespace
+
+MeshNode::MeshNode(MeshConfig config) : cfg_(std::move(config)) {}
+
+MeshNode::~MeshNode() {
+  // Contract with the transports: the loop thread must be joined before any
+  // registered handler dies (net/epoll_loop.h).
+  loop_.stop();
+  links_.clear();
+  for (int fd : fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+bool MeshNode::handshake_dial(int fd, std::size_t peer) {
+  const std::uint64_t hash = cfg_.topo.hash();
+  if (!send_ctrl_fd(fd, ControlMsg::kHello, cfg_.node_id,
+                    net::wire::kWireVersion) ||
+      !send_ctrl_fd(fd, ControlMsg::kJoin, cfg_.node_id, hash)) {
+    error_ = "node " + std::to_string(peer) + ": handshake write failed";
+    return false;
+  }
+  ControlMsg hello, join;
+  if (const char* err = recv_ctrl_fd(fd, cfg_.join_timeout_ms, hello)) {
+    error_ = "node " + std::to_string(peer) + ": " + err;
+    return false;
+  }
+  // A reject arrives alone — do not wait for a second frame the peer will
+  // never send (it has already closed).
+  if (hello.code == ControlMsg::kJoinReject) {
+    error_ = "node " + std::to_string(hello.a) +
+             " rejected the join: " + reject_reason_name(hello.b);
+    return false;
+  }
+  if (const char* err = recv_ctrl_fd(fd, cfg_.join_timeout_ms, join)) {
+    error_ = "node " + std::to_string(peer) + ": " + err;
+    return false;
+  }
+  if (join.code == ControlMsg::kJoinReject) {
+    error_ = "node " + std::to_string(join.a) +
+             " rejected the join: " + reject_reason_name(join.b);
+    return false;
+  }
+  if (hello.code != ControlMsg::kHello || join.code != ControlMsg::kJoin) {
+    error_ = "node " + std::to_string(peer) + ": unexpected handshake frames";
+    return false;
+  }
+  if (hello.b != net::wire::kWireVersion) {
+    error_ = "node " + std::to_string(peer) + ": wire version mismatch (peer v" +
+             std::to_string(hello.b) + ", local v" +
+             std::to_string(unsigned{net::wire::kWireVersion}) + ")";
+    return false;
+  }
+  if (hello.a != peer || join.a != peer) {
+    error_ = "dialed node " + std::to_string(peer) + " but node " +
+             std::to_string(hello.a) + " answered";
+    return false;
+  }
+  if (join.b != hash) {
+    send_ctrl_fd(fd, ControlMsg::kJoinReject, cfg_.node_id,
+                 kRejectTopologyHash);
+    error_ = "node " + std::to_string(peer) +
+             ": topology hash mismatch (diverging spec files?)";
+    return false;
+  }
+  return true;
+}
+
+std::size_t MeshNode::handshake_accept(int fd) {
+  ControlMsg hello, join;
+  // Shorter per-connection budget than the overall accept deadline: a peer
+  // that connected but went silent must not starve the real neighbors.
+  const int per_conn_ms = std::max(1, cfg_.join_timeout_ms / 4);
+  const char* err = recv_ctrl_fd(fd, per_conn_ms, hello);
+  if (err == nullptr) err = recv_ctrl_fd(fd, per_conn_ms, join);
+  if (err != nullptr || hello.code != ControlMsg::kHello ||
+      join.code != ControlMsg::kJoin) {
+    ::close(fd);  // died mid-handshake or spoke garbage: drop, keep accepting
+    return isc::Topology::npos;
+  }
+  std::uint64_t reject = 0;
+  std::size_t slot = isc::Topology::npos;
+  for (std::size_t e = 0; e < neighbors_.size(); ++e)
+    if (neighbors_[e] == hello.a && neighbors_[e] > cfg_.node_id) slot = e;
+  if (hello.b != net::wire::kWireVersion) {
+    reject = kRejectWireVersion;
+  } else if (slot == isc::Topology::npos) {
+    reject = kRejectNotANeighbor;
+  } else if (fds_[slot] >= 0) {
+    reject = kRejectDuplicateJoin;
+  } else if (join.b != cfg_.topo.hash()) {
+    reject = kRejectTopologyHash;
+  }
+  if (reject != 0) {
+    send_ctrl_fd(fd, ControlMsg::kJoinReject, cfg_.node_id, reject);
+    ::close(fd);
+    return isc::Topology::npos;
+  }
+  if (!send_ctrl_fd(fd, ControlMsg::kHello, cfg_.node_id,
+                    net::wire::kWireVersion) ||
+      !send_ctrl_fd(fd, ControlMsg::kJoin, cfg_.node_id, cfg_.topo.hash())) {
+    ::close(fd);
+    return isc::Topology::npos;
+  }
+  fds_[slot] = fd;
+  return slot;
+}
+
+bool MeshNode::join() {
+  isc::TopologyResult vr = isc::validate_topology(cfg_.topo);
+  if (!vr.ok()) {
+    error_ = vr.error;
+    return false;
+  }
+  cfg_.topo = std::move(vr.topo);
+  if (cfg_.node_id >= cfg_.topo.nodes) {
+    error_ = "node id " + std::to_string(cfg_.node_id) +
+             " outside the topology (" + std::to_string(cfg_.topo.nodes) +
+             " nodes)";
+    return false;
+  }
+  neighbors_ = cfg_.topo.neighbors(cfg_.node_id);
+  fds_.assign(neighbors_.size(), -1);
+
+  std::size_t higher = 0;
+  for (std::size_t nb : neighbors_)
+    if (nb > cfg_.node_id) ++higher;
+
+  // Listen before dialing: higher-id neighbors may dial us at any moment
+  // once their own lower dials are through. The backlog holds them all.
+  int listener = -1;
+  if (higher > 0)
+    listener = net::tcp_listen(
+        static_cast<std::uint16_t>(cfg_.base_port + cfg_.node_id),
+        static_cast<int>(higher));
+
+  // Dial every lower-id neighbor. Dial targets are strictly decreasing in
+  // id, so the wait-for graph is acyclic: mesh formation cannot deadlock.
+  for (std::size_t e = 0; e < neighbors_.size(); ++e) {
+    if (neighbors_[e] >= cfg_.node_id) continue;
+    int fd = -1;
+    try {
+      fd = net::tcp_connect(
+          cfg_.host.c_str(),
+          static_cast<std::uint16_t>(cfg_.base_port + neighbors_[e]),
+          cfg_.dial_retries);
+    } catch (const InvariantViolation& e2) {
+      error_ = e2.what();
+    }
+    if (fd < 0 || !handshake_dial(fd, neighbors_[e])) {
+      if (fd >= 0) ::close(fd);
+      if (listener >= 0) ::close(listener);
+      return false;
+    }
+    fds_[e] = fd;
+  }
+
+  // Accept every higher-id neighbor, whichever order they arrive in (the
+  // join hello tells us who each connection is). Impostors and duplicates
+  // are rejected and the wait continues; the deadline bounds a genuinely
+  // missing peer.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(cfg_.join_timeout_ms);
+  std::size_t joined = 0;
+  while (joined < higher) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    const int timeout = static_cast<int>(std::max<std::int64_t>(
+        0, left.count()));
+    const int fd = timeout > 0 ? net::tcp_accept(listener, timeout) : -1;
+    if (fd < 0) {
+      std::string missing;
+      for (std::size_t e = 0; e < neighbors_.size(); ++e) {
+        if (neighbors_[e] > cfg_.node_id && fds_[e] < 0)
+          missing += (missing.empty() ? "" : ", ") +
+                     std::to_string(neighbors_[e]);
+      }
+      error_ = "join timed out waiting for node(s) " + missing;
+      ::close(listener);
+      return false;
+    }
+    if (handshake_accept(fd) != isc::Topology::npos) ++joined;
+  }
+  if (listener >= 0) ::close(listener);
+  return true;
+}
+
+MeshResult MeshNode::run() {
+  MeshResult result;
+  const std::size_t n_links = neighbors_.size();
+  for (int fd : fds_) CIM_CHECK_MSG(fd >= 0 || n_links == 0, "run before join");
+
+  isc::FederationConfig cfg;
+  cfg.obs.trace.enabled = cfg_.trace;
+  cfg.monitor.enabled = true;
+  mcs::SystemConfig sys;
+  sys.id = SystemId{static_cast<std::uint16_t>(cfg_.node_id)};
+  sys.num_app_processes = cfg_.procs;
+  sys.protocol = proto::anbkh_protocol();
+  sys.seed = cfg_.seed + cfg_.node_id;
+  cfg.systems.push_back(std::move(sys));
+  for (std::size_t e = 0; e < n_links; ++e)
+    cfg.external_links.push_back(isc::ExternalLinkSpec{});
+  fed_ = std::make_unique<isc::Federation>(std::move(cfg));
+
+  loop_.start();
+  std::vector<std::size_t> link_idx(n_links);
+  for (std::size_t e = 0; e < n_links; ++e) {
+    links_.push_back(std::make_unique<net::TcpLinkTransport>(
+        fds_[e], loop_, nullptr, cfg_.link));
+    fds_[e] = -1;  // the transport owns it now
+    link_idx[e] = fed_->interconnector().attach_external_link(
+        e, links_.back().get());
+  }
+  // Every external link of this node shares the one IS-process, which is
+  // exactly what makes the tree work: a pair arriving on link L is applied
+  // locally and forwarded to every other link (split horizon).
+  isc::IsProcess* isp =
+      n_links > 0 ? &fed_->interconnector().external_isp(0) : nullptr;
+
+  wl::UniformConfig wc;
+  wc.ops_per_process = cfg_.ops;
+  wc.seed = cfg_.seed * 2 + cfg_.node_id;
+  wc.value_base = static_cast<Value>(cfg_.node_id) * 1'000'000;
+  auto runners = wl::install_uniform(*fed_, wc);
+
+  rt::Runtime rt(*fed_);
+
+  std::vector<std::atomic<bool>> peer_done(n_links);
+  std::vector<std::atomic<bool>> peer_bye(n_links);
+  std::vector<std::atomic<std::uint64_t>> peer_pairs(n_links);
+  for (std::size_t e = 0; e < n_links; ++e) {
+    peer_done[e] = false;
+    peer_bye[e] = false;
+    peer_pairs[e] = 0;
+  }
+
+  // The engine must accept posts before any transport can deliver: a fast
+  // peer may flood pairs the moment its own join completes.
+  rt.start();
+
+  for (std::size_t e = 0; e < n_links; ++e) {
+    isc::IsProcess* isp_ptr = isp;
+    const std::size_t link = link_idx[e];
+    links_[e]->start([&, isp_ptr, link, e](net::MessagePtr msg) {
+      // Loop thread. Control frames only touch atomics; pairs go to the
+      // engine thread, where deliver_from_link runs protocol code and may
+      // forward to sibling links.
+      if (std::strcmp(msg->type_name(), "wire.ctrl") == 0) {
+        auto& ctrl = static_cast<ControlMsg&>(*msg);
+        if (ctrl.code == ControlMsg::kDone) {
+          peer_pairs[e].store(ctrl.a, std::memory_order_relaxed);
+          peer_done[e].store(true, std::memory_order_release);
+        } else if (ctrl.code == ControlMsg::kBye) {
+          peer_bye[e].store(true, std::memory_order_release);
+        }
+        return;
+      }
+      net::Message* raw = msg.release();
+      rt.post([isp_ptr, link, raw] {
+        isp_ptr->deliver_from_link(link, net::MessagePtr(raw));
+      });
+    });
+  }
+
+  // Run `fn` on the engine thread and wait — the only way anything outside
+  // the engine reads engine-owned state (IS counters, runner progress).
+  auto on_engine = [&rt](auto&& fn) {
+    std::promise<void> done;
+    auto* fn_ptr = &fn;
+    auto* done_ptr = &done;
+    rt.post([fn_ptr, done_ptr] {
+      (*fn_ptr)();
+      done_ptr->set_value();
+    });
+    done.get_future().wait();
+  };
+
+  auto fail = [&](std::string why) {
+    error_ = std::move(why);
+    loop_.stop();  // before rt: a late delivery must not post to a dead rt
+    rt.stop();
+    for (auto& link : links_) link->close();
+  };
+
+  std::vector<bool> done_sent(n_links, false);
+  std::vector<bool> bye_sent(n_links, false);
+  auto send_ctrl = [&](std::size_t e, std::uint8_t code, std::uint64_t a,
+                       std::uint64_t b) {
+    auto msg = std::make_unique<ControlMsg>();
+    msg->code = code;
+    msg->a = a;
+    msg->b = b;
+    links_[e]->send(std::move(msg));
+  };
+
+  // The done/bye convergecast (header comment + docs/BRIDGE.md).
+  while (true) {
+    for (std::size_t e = 0; e < n_links; ++e) {
+      if (links_[e]->error() != nullptr) {
+        fail(std::string("link to node ") + std::to_string(neighbors_[e]) +
+             ": " + links_[e]->error());
+        return result;
+      }
+      if (links_[e]->peer_closed() &&
+          !peer_bye[e].load(std::memory_order_acquire)) {
+        fail("node " + std::to_string(neighbors_[e]) +
+             " vanished before bye");
+        return result;
+      }
+    }
+
+    bool local_done = true;
+    bool idle = false;
+    std::vector<std::uint64_t> recv_on(n_links), sent_on(n_links);
+    on_engine([&] {
+      for (const auto& r : runners)
+        if (!r->done()) local_done = false;
+      idle = fed_->simulator().empty();
+      for (std::size_t e = 0; e < n_links; ++e) {
+        recv_on[e] = isp->pairs_received_on(link_idx[e]);
+        sent_on[e] = isp->pairs_sent_on(link_idx[e]);
+      }
+    });
+
+    auto drained = [&](std::size_t e) {
+      return peer_done[e].load(std::memory_order_acquire) &&
+             recv_on[e] == peer_pairs[e].load(std::memory_order_relaxed);
+    };
+
+    if (local_done && idle) {
+      for (std::size_t l = 0; l < n_links; ++l) {
+        if (done_sent[l]) continue;
+        bool others_drained = true;
+        for (std::size_t m = 0; m < n_links; ++m)
+          if (m != l && !drained(m)) others_drained = false;
+        if (others_drained) {
+          // pairs_sent_on(l) is final: nothing local remains, and every
+          // other link is drained, so no more forwards onto l can appear.
+          send_ctrl(l, ControlMsg::kDone, sent_on[l], 0);
+          done_sent[l] = true;
+        }
+      }
+      for (std::size_t l = 0; l < n_links; ++l) {
+        if (!bye_sent[l] && drained(l)) {
+          send_ctrl(l, ControlMsg::kBye, 0, 0);
+          bye_sent[l] = true;
+        }
+      }
+    }
+
+    bool finished = local_done && idle;
+    for (std::size_t e = 0; e < n_links; ++e) {
+      if (!done_sent[e] || !bye_sent[e] ||
+          !peer_bye[e].load(std::memory_order_acquire)) {
+        finished = false;
+      }
+    }
+    if (finished) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Our final byes may still sit in the send queues; let the loop flush
+  // them before it stops, or the peers hang waiting.
+  for (std::size_t e = 0; e < n_links; ++e) {
+    while (links_[e]->backlog() > 0 && links_[e]->error() == nullptr)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  loop_.stop();
+  rt.stop();
+
+  // Fold transport/loop atomics into the registry now that every producer
+  // thread is joined (obs cells are not thread-safe).
+  obs::MetricsRegistry& m = fed_->observability().metrics();
+  std::uint64_t bytes_out = 0, bytes_in = 0, sys_read = 0, sys_writev = 0;
+  std::uint64_t coalesced = 0, stalls = 0;
+  for (const auto& link : links_) {
+    bytes_out += link->wire_bytes_out();
+    bytes_in += link->wire_bytes_in();
+    sys_read += link->syscalls_read();
+    sys_writev += link->syscalls_write();
+    coalesced += link->frames_coalesced();
+    stalls += link->queue_full_stalls();
+  }
+  m.counter("net.wire.bytes_out").inc(bytes_out);
+  m.counter("net.wire.bytes_in").inc(bytes_in);
+  m.counter("net.mesh.syscalls_read").inc(sys_read);
+  m.counter("net.mesh.syscalls_writev").inc(sys_writev);
+  m.counter("net.mesh.frames_coalesced").inc(coalesced);
+  m.counter("net.mesh.queue_full_stalls").inc(stalls);
+  m.counter("net.mesh.epoll_waits").inc(loop_.epoll_waits());
+  m.counter("net.mesh.wakeups").inc(loop_.wakeups());
+
+  for (const auto& r : runners) result.ops_done += r->steps_completed();
+  if (isp != nullptr) {
+    result.pairs_sent = isp->pairs_sent();
+    result.pairs_received = isp->pairs_received();
+  }
+  result.violations =
+      fed_->monitor() != nullptr ? fed_->monitor()->violation_count() : 0;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace cim::mesh

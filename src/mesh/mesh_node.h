@@ -1,0 +1,118 @@
+// MeshNode: one causal memory system of an n-process TCP federation
+// (docs/BRIDGE.md). tools/cim_bridge wraps exactly this class; it is a
+// library so tests can assemble meshes in-process (tests/bridge_mesh_test).
+//
+// Life of a node:
+//
+//   join()  — form the tree. The node listens on base_port + node_id, dials
+//             every lower-id neighbor, then accepts every higher-id one
+//             (deadlock-free by induction on node ids), exchanging
+//             hello/join ControlMsg frames on the raw blocking fd: hello
+//             carries the node id + wire version, join carries the node id +
+//             the canonical topology hash, so processes launched with
+//             diverging spec files or mismatched builds refuse each other
+//             (kJoinReject) instead of forming a broken mesh.
+//   run()   — drive the workload. Builds a single-system Federation with one
+//             external link per neighbor (they share the node's IS-process,
+//             which gives split-horizon forwarding across the tree), hands
+//             each socket to an epoll-driven TcpLinkTransport on one shared
+//             EpollLoop, runs the uniform workload through rt::Runtime, and
+//             executes the per-link done/bye convergecast until the whole
+//             tree is drained. Returns the node's final counts.
+//
+// Termination (docs/BRIDGE.md "Termination"): done on link L is sent once
+// the local workload finished, the engine is idle, and every *other* link M
+// is drained (peer's done(M) received and pairs_received_on(M) matches its
+// announced count) — only then is pairs_sent_on(L) final, because forwards
+// of pairs from M contribute to L. Leaves therefore fire immediately and
+// dones converge across the tree; bye(L) answers a drained done(L), and the
+// node stops when every link has seen both byes. Induction on the tree
+// structure (the same induction as the paper's Corollary 1) gives progress.
+//
+// Value ranges: node i writes values in [i * 1'000'000, ...), so the merged
+// per-process histories keep the checker's value-identifies-write premise
+// and `cat *.hist` is directly checkable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interconnect/federation.h"
+#include "interconnect/topology.h"
+#include "net/epoll_loop.h"
+#include "net/tcp_link.h"
+#include "workload/generator.h"
+
+namespace cim::mesh {
+
+struct MeshConfig {
+  std::size_t node_id = 0;
+  isc::Topology topo;
+  /// Node i listens on base_port + i; dialers derive peer ports the same way.
+  std::uint16_t base_port = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t procs = 4;
+  std::size_t ops = 25;
+  std::uint64_t seed = 7;
+  /// Overall budget for the accept side of join(); a missing or dead peer
+  /// surfaces as a clean error after this long.
+  int join_timeout_ms = 10'000;
+  /// Dial retries (100ms apart) while a lower-id peer is not yet listening.
+  int dial_retries = 100;
+  net::TcpLinkConfig link;
+  bool trace = false;
+};
+
+struct MeshResult {
+  bool ok = false;
+  std::uint64_t ops_done = 0;
+  std::uint64_t pairs_sent = 0;
+  std::uint64_t pairs_received = 0;
+  std::uint64_t violations = 0;
+};
+
+class MeshNode {
+ public:
+  explicit MeshNode(MeshConfig config);
+  ~MeshNode();
+  MeshNode(const MeshNode&) = delete;
+  MeshNode& operator=(const MeshNode&) = delete;
+
+  /// Form every incident link of the tree. False on failure (error() says
+  /// why): join timeout, handshake mismatch, peer death mid-handshake.
+  bool join();
+
+  /// Run the workload and the termination convergecast; blocks until the
+  /// mesh is drained or a link fails. Requires a successful join().
+  MeshResult run();
+
+  const std::string& error() const { return error_; }
+
+  /// Valid after run() started building it (use from run()'s caller only
+  /// after run() returned: history/metrics/trace dumps).
+  isc::Federation& federation() { return *fed_; }
+
+  std::size_t degree() const { return neighbors_.size(); }
+  /// Neighbor node id behind local link `e` (ascending neighbor order).
+  std::size_t neighbor(std::size_t e) const { return neighbors_[e]; }
+
+ private:
+  bool handshake_dial(int fd, std::size_t peer);
+  /// Accept loop helper: validates one inbound handshake; returns the
+  /// neighbor slot or npos (rejected / dead peer — keep accepting).
+  std::size_t handshake_accept(int fd);
+
+  MeshConfig cfg_;
+  std::vector<std::size_t> neighbors_;  // ascending node ids
+  std::vector<int> fds_;                // per neighbor slot, -1 until joined
+  std::string error_;
+
+  net::EpollLoop loop_;
+  std::unique_ptr<isc::Federation> fed_;
+  std::vector<std::unique_ptr<net::TcpLinkTransport>> links_;
+};
+
+}  // namespace cim::mesh

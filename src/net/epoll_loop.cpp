@@ -1,0 +1,140 @@
+#include "net/epoll_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cim::net {
+
+EpollLoop::EpollLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  CIM_CHECK_MSG(epoll_fd_ >= 0,
+                "epoll_create1 failed: " << std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  CIM_CHECK_MSG(wake_fd_ >= 0, "eventfd failed: " << std::strerror(errno));
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: drained explicitly each wakeup
+  ev.data.fd = wake_fd_;
+  CIM_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+}
+
+EpollLoop::~EpollLoop() {
+  stop();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EpollLoop::add(int fd, FdHandler* handler) {
+  CIM_CHECK(fd >= 0 && handler != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool inserted = handlers_.emplace(fd, handler).second;
+    CIM_CHECK_MSG(inserted, "fd registered twice with the epoll loop");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
+  ev.data.fd = fd;
+  CIM_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+                "epoll_ctl(ADD) failed: " << std::strerror(errno));
+}
+
+void EpollLoop::remove(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_.erase(fd);
+  }
+  // The fd may already be closed by the transport's error path; a failed DEL
+  // is then expected and harmless (the map erase above is what gates
+  // dispatch).
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EpollLoop::start() {
+  if (running_.exchange(true)) return;
+  stop_flag_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void EpollLoop::stop() {
+  if (!running_.load(std::memory_order_acquire) || stopped_) return;
+  stopped_ = true;
+  stop_flag_.store(true, std::memory_order_release);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void EpollLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EpollLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EpollLoop::drain_wake_fd() {
+  std::uint64_t buf;
+  while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EpollLoop::run_tasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks.swap(tasks_);
+  }
+  for (auto& fn : tasks) fn();
+}
+
+void EpollLoop::loop() {
+  loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
+  epoll_event events[64];
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      CIM_CHECK_MSG(false, "epoll_wait failed: " << std::strerror(errno));
+    }
+    epoll_waits_.fetch_add(1, std::memory_order_relaxed);
+    // Tasks first: a remove() posted from the loop thread itself must take
+    // effect before any event of the same batch dispatches to the handler.
+    run_tasks();
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        drain_wake_fd();
+        continue;
+      }
+      FdHandler* handler = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = handlers_.find(fd);
+        if (it != handlers_.end()) handler = it->second;
+      }
+      if (handler != nullptr) handler->on_ready(events[i].events);
+    }
+    // A wake() may have carried only a task (no fd event in this batch).
+    run_tasks();
+    if (stop_flag_.load(std::memory_order_acquire)) {
+      run_tasks();
+      break;
+    }
+  }
+  loop_thread_id_.store(std::thread::id{}, std::memory_order_release);
+}
+
+}  // namespace cim::net

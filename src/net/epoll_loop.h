@@ -1,0 +1,109 @@
+// Epoll reactor for the multi-link TCP mesh (tools/cim_bridge, docs/BRIDGE.md).
+//
+// One EpollLoop per OS process drives every socket of that process's mesh
+// node from a single dedicated thread: edge-triggered readiness
+// (EPOLLIN | EPOLLOUT | EPOLLET), an eventfd for cross-thread wakeups, and a
+// task queue so other threads can hand work to the loop thread. This
+// replaces the thread-per-socket blocking design the two-process bridge
+// used: with n-system federations a node can serve many links, and the loop
+// gives the transports a place to coalesce bursts of frames into single
+// writev syscalls (net/tcp_link.h).
+//
+// Contract (edge-triggered): a handler's on_ready() must drain the fd until
+// EAGAIN — the loop will not re-report a level, only a new edge.
+//
+// Threading and lifetime:
+//  * add() may be called from any thread before or after start().
+//  * remove() only unregisters the fd (no further dispatch will *start*);
+//    a dispatch already running on the loop thread may still be inside the
+//    handler when remove() returns. Handlers must therefore be destroyed
+//    only after stop() has joined the loop thread — the teardown order every
+//    embedder follows (stop the loop, then destroy transports).
+//  * post() hands a task to the loop thread; tasks run interleaved with
+//    event dispatch, in post order.
+//
+// Syscall accounting: the loop counts epoll_wait returns and eventfd
+// wakeups; transports count their read/writev calls. tools/cim_bridge folds
+// both into the net.mesh.* counters (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace cim::net {
+
+class EpollLoop {
+ public:
+  /// Readiness callback target. `events` is the epoll bit set (EPOLLIN,
+  /// EPOLLOUT, EPOLLERR, EPOLLHUP).
+  class FdHandler {
+   public:
+    virtual ~FdHandler() = default;
+    virtual void on_ready(std::uint32_t events) = 0;
+  };
+
+  EpollLoop();
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Register `fd` edge-triggered for read+write readiness. The handler is
+  /// borrowed and must stay valid until remove(fd) + stop() (see header).
+  void add(int fd, FdHandler* handler);
+
+  /// Unregister `fd`. Safe from any thread; see the lifetime contract above.
+  void remove(int fd);
+
+  /// Start the loop thread. Idempotent.
+  void start();
+
+  /// Wake the loop, drain pending tasks, and join the thread. Idempotent.
+  void stop();
+
+  /// Run `fn` on the loop thread (FIFO with other posted tasks).
+  void post(std::function<void()> fn);
+
+  /// Force one loop iteration (flush-arming from other threads). Cheaper
+  /// than post() when the waker only needs the loop to look at its queues.
+  void wake();
+
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_id_.load(
+        std::memory_order_acquire);
+  }
+
+  // ---- syscall accounting ----------------------------------------------------
+  std::uint64_t epoll_waits() const {
+    return epoll_waits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void drain_wake_fd();
+  void run_tasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  std::thread thread_;
+  std::atomic<std::thread::id> loop_thread_id_{};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_flag_{false};
+  bool stopped_ = false;
+
+  std::mutex mutex_;  // guards handlers_ and tasks_
+  std::unordered_map<int, FdHandler*> handlers_;
+  std::vector<std::function<void()>> tasks_;
+
+  std::atomic<std::uint64_t> epoll_waits_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+};
+
+}  // namespace cim::net

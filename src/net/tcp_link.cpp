@@ -1,10 +1,14 @@
 #include "net/tcp_link.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -20,6 +24,13 @@ namespace cim::net {
 
 namespace {
 
+// Frames batched into one writev call. Well below IOV_MAX everywhere; large
+// enough that an IS fan-out burst or a forwarding storm shares one syscall.
+constexpr std::size_t kMaxIov = 64;
+constexpr std::size_t kReadChunk = 64 * 1024;
+// Recycled frame buffers kept per transport (beyond this they are freed).
+constexpr std::size_t kMaxFreeBufs = 64;
+
 std::int64_t wall_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -27,9 +38,16 @@ std::int64_t wall_ns() {
 }
 
 void set_nodelay(int fd) {
-  // The bridge's pairs are small and latency-bound; Nagle would batch them.
+  // Mesh frames are small and latency-bound; Nagle would double-batch what
+  // the send queue already coalesces.
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CIM_CHECK_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "cannot set O_NONBLOCK: " << std::strerror(errno));
 }
 
 bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
@@ -47,23 +65,9 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
   return true;
 }
 
-bool read_all(int fd, std::uint8_t* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::recv(fd, data, size, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;  // orderly EOF
-    data += n;
-    size -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
-int tcp_listen_accept(std::uint16_t port) {
+int tcp_listen(std::uint16_t port, int backlog) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   CIM_CHECK_MSG(listener >= 0, "socket() failed: " << std::strerror(errno));
   int one = 1;
@@ -79,16 +83,34 @@ int tcp_listen_accept(std::uint16_t port) {
     CIM_CHECK_MSG(false, "bind(:" << port << ") failed: "
                                   << std::strerror(err));
   }
-  if (::listen(listener, 1) != 0) {
+  if (::listen(listener, backlog) != 0) {
     const int err = errno;
     ::close(listener);
     CIM_CHECK_MSG(false, "listen() failed: " << std::strerror(err));
   }
-  const int fd = ::accept(listener, nullptr, nullptr);
-  const int err = errno;
-  ::close(listener);
-  CIM_CHECK_MSG(fd >= 0, "accept() failed: " << std::strerror(err));
+  return listener;
+}
+
+int tcp_accept(int listener_fd, int timeout_ms) {
+  if (timeout_ms >= 0) {
+    pollfd pfd{listener_fd, POLLIN, 0};
+    int n;
+    do {
+      n = ::poll(&pfd, 1, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n == 0) return -1;  // timeout
+    CIM_CHECK_MSG(n > 0, "poll(listener) failed: " << std::strerror(errno));
+  }
+  const int fd = ::accept(listener_fd, nullptr, nullptr);
+  CIM_CHECK_MSG(fd >= 0, "accept() failed: " << std::strerror(errno));
   set_nodelay(fd);
+  return fd;
+}
+
+int tcp_listen_accept(std::uint16_t port) {
+  const int listener = tcp_listen(port, 1);
+  const int fd = tcp_accept(listener, -1);
+  ::close(listener);
   return fd;
 }
 
@@ -108,8 +130,8 @@ int tcp_connect(const char* host, std::uint16_t port, int retries) {
     if (::connect(fd, res->ai_addr, res->ai_addrlen) == 0) break;
     ::close(fd);
     fd = -1;
-    // The peer may simply not be listening yet (the bridge launches both
-    // sides concurrently); back off and retry.
+    // The peer may simply not be listening yet (the mesh launches every
+    // node concurrently); back off and retry.
     ::usleep(100 * 1000);
   }
   ::freeaddrinfo(res);
@@ -118,8 +140,10 @@ int tcp_connect(const char* host, std::uint16_t port, int retries) {
   return fd;
 }
 
-TcpLinkTransport::TcpLinkTransport(int fd, obs::Observability* obs)
-    : fd_(fd) {
+TcpLinkTransport::TcpLinkTransport(int fd, EpollLoop& loop,
+                                   obs::Observability* obs,
+                                   TcpLinkConfig config)
+    : fd_(fd), loop_(loop), config_(config) {
   CIM_CHECK(fd >= 0);
   if (obs != nullptr) {
     obs::MetricsRegistry& m = obs->metrics();
@@ -128,116 +152,257 @@ TcpLinkTransport::TcpLinkTransport(int fd, obs::Observability* obs)
   }
 }
 
-TcpLinkTransport::~TcpLinkTransport() { close(); }
+TcpLinkTransport::~TcpLinkTransport() {
+  close();
+  ::close(fd_);
+}
 
 void TcpLinkTransport::close() {
   if (closed_) return;
   closed_ = true;
+  if (started_.load(std::memory_order_acquire)) loop_.remove(fd_);
   ::shutdown(fd_, SHUT_RDWR);
-  if (reader_.joinable()) reader_.join();
-  ::close(fd_);
+  send_cv_.notify_all();  // a stalled sender must not wait on a dead stream
+}
+
+void TcpLinkTransport::start(DeliverFn deliver) {
+  CIM_CHECK_MSG(!started_.load(std::memory_order_acquire),
+                "start() called twice");
+  deliver_ = std::move(deliver);
+  {
+    // Serialize with a concurrent send(): the pre-start blocking write and
+    // the switch to nonblocking must not interleave.
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    set_nonblocking(fd_);
+    started_.store(true, std::memory_order_release);
+  }
+  loop_.add(fd_, this);
+}
+
+void TcpLinkTransport::fail(const char* error) {
+  error_.store(error, std::memory_order_release);
+  peer_closed_.store(true, std::memory_order_release);
+  send_cv_.notify_all();
+}
+
+std::size_t TcpLinkTransport::backlog() const {
+  std::lock_guard<std::mutex> lock(
+      const_cast<TcpLinkTransport*>(this)->send_mutex_);
+  return sendq_.size();
 }
 
 void TcpLinkTransport::send(MessagePtr msg) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  // Bounded queue: a sender on a foreign thread stalls until the loop
+  // drains below the bound; the loop thread itself (a forwarding deliver
+  // callback) flushes inline below and may overshoot the bound instead of
+  // deadlocking against its own flusher.
+  if (started_.load(std::memory_order_acquire) && !loop_.on_loop_thread() &&
+      (sendq_.size() >= config_.max_queued_frames ||
+       queued_bytes_ >= config_.max_queued_bytes)) {
+    queue_full_stalls_.fetch_add(1, std::memory_order_relaxed);
+    send_cv_.wait(lock, [this] {
+      return (sendq_.size() < config_.max_queued_frames &&
+              queued_bytes_ < config_.max_queued_bytes) ||
+             peer_closed_.load(std::memory_order_acquire);
+    });
+  }
+  if (peer_closed_.load(std::memory_order_acquire)) return;
+
   TransportFrame frame;
   frame.seq = send_next_++;
   frame.ack = recv_next_published_.load(std::memory_order_relaxed);
   frame.payload = std::move(msg);
 
-  send_buf_.clear();
+  Buffer buf;
+  if (!free_bufs_.empty()) {
+    buf = std::move(free_bufs_.back());
+    free_bufs_.pop_back();
+    buf.clear();
+  }
   const std::int64_t t0 = wall_ns();
-  const std::size_t frame_len = wire::encode(frame, send_buf_);
+  const std::size_t frame_len = wire::encode(frame, buf);
   const std::int64_t t1 = wall_ns();
   if (m_bytes_out_ != nullptr) {
     m_bytes_out_->inc(frame_len);
     h_encode_ns_->observe(sim::Duration{t1 - t0});
   }
 
-  if (!write_all(fd_, send_buf_.data(), send_buf_.size())) {
-    peer_closed_.store(true, std::memory_order_release);
+  if (!started_.load(std::memory_order_acquire)) {
+    // Handshake phase: the fd is still blocking and nothing else touches it.
+    if (!write_all(fd_, buf.data(), buf.size())) {
+      fail("tcp link: write failed");
+      return;
+    }
+    bytes_out_.fetch_add(frame_len, std::memory_order_relaxed);
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (free_bufs_.size() < kMaxFreeBufs) free_bufs_.push_back(std::move(buf));
     return;
   }
-  bytes_out_.fetch_add(frame_len, std::memory_order_relaxed);
-  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+
+  queued_bytes_ += buf.size();
+  sendq_.push_back(std::move(buf));
+  if (loop_.on_loop_thread()) {
+    flush_locked(lock);
+  } else if (!flush_armed_) {
+    // One task per burst: frames enqueued while it is pending share its
+    // writev batches — this is where the syscall coalescing comes from.
+    flush_armed_ = true;
+    loop_.post([this] {
+      std::unique_lock<std::mutex> relock(send_mutex_);
+      flush_locked(relock);
+    });
+  }
 }
 
-bool TcpLinkTransport::read_frame(std::vector<std::uint8_t>& buf) {
-  std::uint8_t len_le[4];
-  if (!read_all(fd_, len_le, 4)) return false;
-  std::uint32_t body_len = 0;
-  for (int i = 0; i < 4; ++i)
-    body_len |= static_cast<std::uint32_t>(len_le[i]) << (8 * i);
-  if (body_len > wire::kMaxBodyBytes) {
-    error_.store("tcp link: oversized frame", std::memory_order_release);
-    return false;
-  }
-  buf.assign(len_le, len_le + 4);
-  buf.resize(std::size_t{4} + body_len);
-  if (!read_all(fd_, buf.data() + 4, body_len)) return false;
-  bytes_in_.fetch_add(buf.size(), std::memory_order_relaxed);
-  return true;
-}
-
-MessagePtr TcpLinkTransport::decode_frame(
-    const std::vector<std::uint8_t>& buf) {
-  wire::DecodeResult res = wire::decode(buf.data(), buf.size());
-  if (!res.ok()) {
-    error_.store(res.error, std::memory_order_release);
-    return nullptr;
-  }
-  auto* frame = dynamic_cast<TransportFrame*>(res.msg.get());
-  if (frame == nullptr) {
-    error_.store("tcp link: stream message is not a transport frame",
-                 std::memory_order_release);
-    return nullptr;
-  }
-  if (frame->payload == nullptr) return nullptr;  // pure ACK: nothing to do
-  // The ARQ receive discipline, minus recovery: TCP already guarantees
-  // order, so a gap is impossible; a duplicate seq is suppressed.
-  if (frame->seq < recv_next_) {
-    dups_suppressed_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  if (frame->seq != recv_next_) {
-    error_.store("tcp link: sequence gap on an ordered stream",
-                 std::memory_order_release);
-    return nullptr;
-  }
-  ++recv_next_;
-  recv_next_published_.store(recv_next_, std::memory_order_relaxed);
-  frames_received_.fetch_add(1, std::memory_order_relaxed);
-  return std::move(frame->payload);
-}
-
-MessagePtr TcpLinkTransport::recv_one() {
-  CIM_CHECK_MSG(!started_, "recv_one() after start()");
-  std::vector<std::uint8_t> buf;
-  while (true) {
-    if (!read_frame(buf)) {
-      peer_closed_.store(true, std::memory_order_release);
-      return nullptr;
+void TcpLinkTransport::flush_locked(std::unique_lock<std::mutex>& lock) {
+  while (!sendq_.empty()) {
+    iovec iov[kMaxIov];
+    const std::size_t n_bufs = std::min(sendq_.size(), kMaxIov);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n_bufs; ++i) {
+      const Buffer& b = sendq_[i];
+      const std::size_t off = i == 0 ? send_off_ : 0;
+      iov[i].iov_base = const_cast<std::uint8_t*>(b.data()) + off;
+      iov[i].iov_len = b.size() - off;
+      total += iov[i].iov_len;
     }
-    if (MessagePtr payload = decode_frame(buf)) return payload;
-    if (error() != nullptr) return nullptr;
+    const ssize_t written =
+        ::writev(fd_, iov, static_cast<int>(n_bufs));
+    syscalls_write_.fetch_add(1, std::memory_order_relaxed);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: stay armed, the EPOLLOUT edge resumes us.
+        flush_armed_ = true;
+        return;
+      }
+      fail("tcp link: write failed");
+      return;
+    }
+    bytes_out_.fetch_add(static_cast<std::uint64_t>(written),
+                         std::memory_order_relaxed);
+    std::size_t left = static_cast<std::size_t>(written);
+    std::size_t completed = 0;
+    while (left > 0 && !sendq_.empty()) {
+      Buffer& front = sendq_.front();
+      const std::size_t remaining = front.size() - send_off_;
+      if (left < remaining) {
+        send_off_ += left;
+        left = 0;
+        break;
+      }
+      left -= remaining;
+      queued_bytes_ -= front.size();
+      send_off_ = 0;
+      ++completed;
+      if (free_bufs_.size() < kMaxFreeBufs)
+        free_bufs_.push_back(std::move(front));
+      sendq_.pop_front();
+    }
+    frames_sent_.fetch_add(completed, std::memory_order_relaxed);
+    if (completed >= 2)
+      frames_coalesced_.fetch_add(completed, std::memory_order_relaxed);
+    if (sendq_.size() < config_.max_queued_frames / 2 &&
+        queued_bytes_ < config_.max_queued_bytes / 2) {
+      send_cv_.notify_all();
+    }
+    if (static_cast<std::size_t>(written) < total) {
+      // Short write: the kernel buffer is full even though writev did not
+      // say EAGAIN outright; wait for the EPOLLOUT edge.
+      flush_armed_ = true;
+      return;
+    }
+  }
+  flush_armed_ = false;
+  send_cv_.notify_all();
+  (void)lock;
+}
+
+void TcpLinkTransport::on_ready(std::uint32_t events) {
+  if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) drain_input();
+  if ((events & EPOLLOUT) != 0) {
+    std::unique_lock<std::mutex> lock(send_mutex_);
+    flush_locked(lock);
   }
 }
 
-void TcpLinkTransport::start(DeliverFn deliver) {
-  CIM_CHECK_MSG(!started_, "start() called twice");
-  started_ = true;
-  deliver_ = std::move(deliver);
-  reader_ = std::thread([this] { reader_loop(); });
-}
-
-void TcpLinkTransport::reader_loop() {
-  std::vector<std::uint8_t> buf;
+void TcpLinkTransport::drain_input() {
+  // Loop thread only. Edge-triggered: read until EAGAIN (or EOF/error).
   while (true) {
-    if (!read_frame(buf)) break;
-    if (MessagePtr payload = decode_frame(buf)) deliver_(std::move(payload));
-    if (error() != nullptr) break;
+    const std::size_t old_size = inbuf_.size();
+    inbuf_.resize(old_size + kReadChunk);
+    const ssize_t n = ::read(fd_, inbuf_.data() + old_size, kReadChunk);
+    syscalls_read_.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      inbuf_.resize(old_size);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      fail("tcp link: read failed");
+      return;
+    }
+    if (n == 0) {
+      inbuf_.resize(old_size);
+      peer_closed_.store(true, std::memory_order_release);
+      send_cv_.notify_all();
+      return;
+    }
+    inbuf_.resize(old_size + static_cast<std::size_t>(n));
+    bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+    if (!parse_frames()) return;
   }
-  peer_closed_.store(true, std::memory_order_release);
+}
+
+bool TcpLinkTransport::parse_frames() {
+  while (inbuf_.size() - in_off_ >= 4) {
+    const std::uint8_t* p = inbuf_.data() + in_off_;
+    std::uint32_t body_len = 0;
+    for (int i = 0; i < 4; ++i)
+      body_len |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    if (body_len > wire::kMaxBodyBytes) {
+      fail("tcp link: oversized frame");
+      return false;
+    }
+    const std::size_t frame_len = std::size_t{4} + body_len;
+    if (inbuf_.size() - in_off_ < frame_len) break;
+
+    wire::DecodeResult res = wire::decode(p, frame_len);
+    if (!res.ok()) {
+      fail(res.error);
+      return false;
+    }
+    in_off_ += res.consumed;
+    auto* frame = dynamic_cast<TransportFrame*>(res.msg.get());
+    if (frame == nullptr) {
+      fail("tcp link: stream message is not a transport frame");
+      return false;
+    }
+    if (frame->payload == nullptr) continue;  // pure ACK: nothing to do
+    // The ARQ receive discipline, minus recovery: TCP already guarantees
+    // order, so a gap is impossible; a duplicate seq is suppressed.
+    if (frame->seq < recv_next_) {
+      dups_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (frame->seq != recv_next_) {
+      fail("tcp link: sequence gap on an ordered stream");
+      return false;
+    }
+    ++recv_next_;
+    recv_next_published_.store(recv_next_, std::memory_order_relaxed);
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    deliver_(std::move(frame->payload));
+  }
+  if (in_off_ == inbuf_.size()) {
+    inbuf_.clear();
+    in_off_ = 0;
+  } else if (in_off_ >= kReadChunk) {
+    inbuf_.erase(inbuf_.begin(),
+                 inbuf_.begin() + static_cast<std::ptrdiff_t>(in_off_));
+    in_off_ = 0;
+  }
+  return true;
 }
 
 }  // namespace cim::net

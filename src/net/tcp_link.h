@@ -1,5 +1,5 @@
 // TCP-backed link transport: the inter-IS channel as a real byte stream
-// between OS processes (tools/cim_bridge).
+// between OS processes (tools/cim_bridge, docs/BRIDGE.md).
 //
 // Framing: every message goes on the stream as a wire-encoded TransportFrame
 // (docs/WIRE.md type 7) — seq-numbered data frame with a piggybacked
@@ -7,36 +7,59 @@
 // socket is decodable with the same codec and the receive side reuses the
 // ARQ's dedup discipline. Retransmission, ordering, and integrity come from
 // kernel TCP (the stream IS the reliable FIFO channel the paper assumes);
-// running the sim-timer ARQ on top would misfire, because rt::Runtime runs
-// virtual time as fast as possible — a 20ms virtual RTO elapses in
-// microseconds of real time, long before a real ACK can cross localhost.
-// The seq/ack numbers therefore carry no recovery duty here; they exist so
-// the frame format is shared and so accidental duplication (e.g. a future
+// the seq/ack numbers carry no recovery duty here — they exist so the frame
+// format is shared and accidental duplication (e.g. a future
 // reconnect-and-replay layer) is detected and suppressed rather than
-// corrupting causal order.
+// corrupting causal order. The mesh join handshake exchanges *bare*
+// ControlMsg frames on the raw fd before this transport takes over the
+// stream (docs/BRIDGE.md); the TransportFrame seq space starts at 0 on both
+// sides once it does.
 //
-// Threading: send() may be called from any thread (writes serialize on an
-// internal mutex; the bridge calls it from the engine thread and, for
-// control messages, the main thread). A dedicated reader thread decodes
-// inbound frames and hands payloads to the DeliverFn — which therefore runs
-// on the reader thread; the bridge posts them into the rt::Runtime. Metrics:
+// I/O model (the PR-6 tentpole): nonblocking, driven by a shared
+// net::EpollLoop — edge-triggered readiness, one loop thread serving every
+// link of the mesh node. Sends enqueue encoded frames on a bounded per-peer
+// send queue; the loop thread drains the queue with writev scatter/gather,
+// so a burst of small frames (an IS-process fan-out, a forwarding storm)
+// shares one syscall. Backpressure: when the queue is full, a sender on a
+// foreign thread stalls (bounded waits, counted in queue_full_stalls) until
+// the loop drains below the low-water mark; the loop thread itself never
+// stalls (a forwarding deliver callback must not deadlock against its own
+// flusher) — it flushes inline and, if the kernel buffer is also full, lets
+// the queue grow past the bound temporarily.
+//
+// Threading: send() may be called from any thread. start() registers the fd
+// with the loop; from then on the DeliverFn runs on the loop thread — the
+// bridge posts pair payloads into the rt::Runtime. Before start() the fd is
+// still blocking and send() writes synchronously (handshake use). Metrics:
 // send-side instruments are cached obs cells bumped under the send mutex;
-// receive-side counts are atomics the embedder folds into the registry once
-// the reader is joined (obs cells are not thread-safe).
+// receive-side counts are atomics the embedder folds into the registry (obs
+// cells are not thread-safe), e.g. into the net.mesh.* counters.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "net/epoll_loop.h"
 #include "net/link_transport.h"
 #include "net/message.h"
 #include "obs/obs.h"
 
 namespace cim::net {
+
+/// Bind + listen on `port` (all interfaces) with the given backlog. Returns
+/// the listener fd; throws InvariantViolation on socket errors. A mesh node
+/// sizes the backlog to its higher-id neighbor count so concurrent dialers
+/// are queued, not refused (docs/BRIDGE.md "Join").
+int tcp_listen(std::uint16_t port, int backlog = 1);
+
+/// Accept one connection from `listener_fd`, waiting at most `timeout_ms`
+/// (<0: forever). Returns the connected fd, or -1 on timeout.
+int tcp_accept(int listener_fd, int timeout_ms = -1);
 
 /// Listen on `port` (all interfaces), accept one connection, close the
 /// listener. Returns the connected socket fd; throws InvariantViolation on
@@ -47,30 +70,37 @@ int tcp_listen_accept(std::uint16_t port);
 /// listening. Returns the connected fd; throws after `retries` failures.
 int tcp_connect(const char* host, std::uint16_t port, int retries = 100);
 
-class TcpLinkTransport final : public LinkTransport {
+/// Bounds of the per-peer send queue (docs/BRIDGE.md "Backpressure").
+struct TcpLinkConfig {
+  std::size_t max_queued_frames = 512;
+  std::size_t max_queued_bytes = std::size_t{1} << 20;
+};
+
+class TcpLinkTransport final : public LinkTransport,
+                               private EpollLoop::FdHandler {
  public:
-  /// Payload delivery, on the reader thread.
+  /// Payload delivery, on the loop thread.
   using DeliverFn = std::function<void(MessagePtr)>;
 
-  /// Takes ownership of the connected socket `fd`.
-  explicit TcpLinkTransport(int fd, obs::Observability* obs = nullptr);
+  /// Takes ownership of the connected socket `fd`. The loop is borrowed; the
+  /// transport must be destroyed only after `loop.stop()` (see epoll_loop.h).
+  TcpLinkTransport(int fd, EpollLoop& loop, obs::Observability* obs = nullptr,
+                   TcpLinkConfig config = {});
   ~TcpLinkTransport() override;
   TcpLinkTransport(const TcpLinkTransport&) = delete;
   TcpLinkTransport& operator=(const TcpLinkTransport&) = delete;
 
-  /// Synchronously read one frame and return its payload (handshake use,
-  /// before start()). Null when the peer closed the connection.
-  MessagePtr recv_one();
-
-  /// Start the reader thread; every inbound payload goes to `deliver`.
+  /// Switch the fd nonblocking, register it with the loop, and route every
+  /// inbound payload to `deliver`.
   void start(DeliverFn deliver);
 
-  /// Shut the socket down and join the reader thread. Idempotent; called by
-  /// the destructor if needed.
+  /// Unregister from the loop and shut the socket down. Idempotent; called
+  /// by the destructor if needed.
   void close();
 
   // LinkTransport.
   void send(MessagePtr msg) override;
+  std::size_t backlog() const override;
   const char* kind() const override { return "tcp"; }
   bool serializing() const override { return true; }
   std::uint64_t wire_bytes_out() const override {
@@ -97,21 +127,56 @@ class TcpLinkTransport final : public LinkTransport {
     return dups_suppressed_.load(std::memory_order_relaxed);
   }
 
+  // ---- net.mesh.* accounting (docs/OBSERVABILITY.md) -----------------------
+  /// read() syscalls issued by the receive path.
+  std::uint64_t syscalls_read() const {
+    return syscalls_read_.load(std::memory_order_relaxed);
+  }
+  /// writev()/send() syscalls issued by the send path.
+  std::uint64_t syscalls_write() const {
+    return syscalls_write_.load(std::memory_order_relaxed);
+  }
+  /// Frames that left the queue in a writev batch of two or more.
+  std::uint64_t frames_coalesced() const {
+    return frames_coalesced_.load(std::memory_order_relaxed);
+  }
+  /// Times a sender stalled against the bounded send queue.
+  std::uint64_t queue_full_stalls() const {
+    return queue_full_stalls_.load(std::memory_order_relaxed);
+  }
+
  private:
-  bool read_frame(std::vector<std::uint8_t>& buf);  // false on EOF/error
-  MessagePtr decode_frame(const std::vector<std::uint8_t>& buf);
-  void reader_loop();
+  using Buffer = std::vector<std::uint8_t>;
+
+  // EpollLoop::FdHandler.
+  void on_ready(std::uint32_t events) override;
+
+  void flush_locked(std::unique_lock<std::mutex>& lock);
+  void drain_input();
+  bool parse_frames();  // false on a decode/protocol error
+  void fail(const char* error);
 
   int fd_;
+  EpollLoop& loop_;
+  TcpLinkConfig config_;
   DeliverFn deliver_;
-  std::thread reader_;
-  bool started_ = false;
+  std::atomic<bool> started_{false};
   bool closed_ = false;
 
+  // ---- send side (guarded by send_mutex_) ----------------------------------
   std::mutex send_mutex_;
-  std::vector<std::uint8_t> send_buf_;  // reused, guarded by send_mutex_
-  std::uint64_t send_next_ = 0;         // next data seq, under send_mutex_
-  std::uint64_t recv_next_ = 0;         // reader thread only
+  std::condition_variable send_cv_;   // stalled senders wait here
+  std::deque<Buffer> sendq_;          // encoded frames, FIFO
+  std::vector<Buffer> free_bufs_;     // recycled frame buffers
+  std::size_t send_off_ = 0;          // bytes of sendq_.front() already written
+  std::size_t queued_bytes_ = 0;
+  bool flush_armed_ = false;          // a flush task/edge will run
+  std::uint64_t send_next_ = 0;       // next data seq
+
+  // ---- receive side (loop thread only) -------------------------------------
+  Buffer inbuf_;
+  std::size_t in_off_ = 0;   // parse offset into inbuf_
+  std::uint64_t recv_next_ = 0;
   std::atomic<std::uint64_t> recv_next_published_{0};  // acked to peer
 
   std::atomic<std::uint64_t> bytes_out_{0};
@@ -119,6 +184,10 @@ class TcpLinkTransport final : public LinkTransport {
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0};
   std::atomic<std::uint64_t> dups_suppressed_{0};
+  std::atomic<std::uint64_t> syscalls_read_{0};
+  std::atomic<std::uint64_t> syscalls_write_{0};
+  std::atomic<std::uint64_t> frames_coalesced_{0};
+  std::atomic<std::uint64_t> queue_full_stalls_{0};
   std::atomic<bool> peer_closed_{false};
   std::atomic<const char*> error_{nullptr};
 

@@ -76,7 +76,13 @@ const char* wire_type_label(WireType t);
 /// and two-phase teardown. Defined here (not in the bridge) so the codec,
 /// the golden vectors, and the fuzz tests cover it like any other type.
 struct ControlMsg final : Message {
-  enum Code : std::uint8_t { kHello = 1, kDone = 2, kBye = 3 };
+  enum Code : std::uint8_t {
+    kHello = 1,
+    kDone = 2,
+    kBye = 3,
+    kJoin = 4,        // mesh join (docs/BRIDGE.md): a=node id, b=topology hash
+    kJoinReject = 5,  // join refused: a=rejecting node id, b=reason code
+  };
   std::uint8_t code = kHello;
   std::uint64_t a = 0;  // hello: local system id;  done: pairs sent
   std::uint64_t b = 0;  // hello: wire version;     done: ops completed

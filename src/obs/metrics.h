@@ -34,8 +34,10 @@ namespace cim::obs {
 // v2: per-link transport gauges renamed net.endpoint.<2l+side>.* →
 // net.link.<l>.<side>.* and unified across transports (backlog on every
 // link; byte counts on serializing links); net.wire.* codec instruments
-// added. See docs/OBSERVABILITY.md § Schema versioning.
-inline constexpr int kMetricsSchemaVersion = 2;
+// added. v3: net.mesh.* counters for the epoll mesh transport
+// (docs/BRIDGE.md); mesh snapshots fold net.wire.bytes_* post-run without
+// the *_ns histograms. See docs/OBSERVABILITY.md § Schema versioning.
+inline constexpr int kMetricsSchemaVersion = 3;
 
 class Counter {
  public:

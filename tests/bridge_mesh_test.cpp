@@ -1,0 +1,324 @@
+// Mesh formation and drain (src/mesh/mesh_node.h, docs/BRIDGE.md): topology
+// spec validation, the kJoin handshake's rejection paths (duplicate join,
+// impostor, diverging spec, peer death mid-handshake), a partial topology
+// timing out cleanly, and a 5-system tree soak whose merged history passes
+// the causal checker — Corollary 1 exercised over real localhost sockets.
+//
+// Ports: every test derives its base port from getpid() plus a per-test
+// offset, because cim_tests and cim_tests_bytes_wire may run concurrently
+// under ctest -j.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checker/causal_checker.h"
+#include "checker/history.h"
+#include "interconnect/topology.h"
+#include "mesh/mesh_node.h"
+#include "net/tcp_link.h"
+#include "net/wire.h"
+
+namespace cim {
+namespace {
+
+using isc::Topology;
+using net::wire::ControlMsg;
+
+std::uint16_t test_port(std::uint16_t offset) {
+  return static_cast<std::uint16_t>(
+      20000 + (static_cast<std::uint32_t>(::getpid()) * 131) % 30000 + offset);
+}
+
+// ---- topology spec ---------------------------------------------------------
+
+TEST(Topology, ParsesAndNormalizesASpec) {
+  const auto res = isc::parse_topology(
+      "# a 4-node tree\n"
+      "nodes 4\n"
+      "edge 1 0   # reversed on purpose\n"
+      "edge 0 2\n"
+      "edge 3 1\n");
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.topo.nodes, 4u);
+  ASSERT_EQ(res.topo.edges.size(), 3u);
+  EXPECT_EQ(res.topo.edges[0].a, 0u);  // normalized a < b, sorted
+  EXPECT_EQ(res.topo.edges[0].b, 1u);
+  EXPECT_EQ(res.topo.neighbors(1), (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(res.topo.degree(0), 2u);
+  EXPECT_EQ(res.topo.edge_index(3, 1), 2u);
+  EXPECT_EQ(res.topo.edge_index(2, 3), Topology::npos);
+}
+
+TEST(Topology, HashIsIndependentOfSpecOrder) {
+  const auto a = isc::parse_topology("nodes 3\nedge 0 1\nedge 1 2\n");
+  const auto b = isc::parse_topology("nodes 3\nedge 2 1\nedge 1 0\n");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.topo.hash(), b.topo.hash());
+  const auto c = isc::parse_topology("nodes 3\nedge 0 1\nedge 0 2\n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.topo.hash(), c.topo.hash());  // chain vs star
+}
+
+TEST(Topology, RejectsEverythingThatIsNotATree) {
+  EXPECT_FALSE(isc::parse_topology("nodes 0\n").ok());
+  EXPECT_FALSE(isc::parse_topology("nodes 2\nedge 0 0\nedge 0 1\n").ok());
+  EXPECT_FALSE(isc::parse_topology("nodes 2\nedge 0 2\n").ok());  // range
+  EXPECT_FALSE(
+      isc::parse_topology("nodes 3\nedge 0 1\nedge 1 0\n").ok());  // dup
+  EXPECT_FALSE(isc::parse_topology("nodes 3\nedge 0 1\n").ok());  // too few
+  EXPECT_FALSE(isc::parse_topology(
+                   "nodes 4\nedge 0 1\nedge 1 2\nedge 2 0\n")
+                   .ok());  // cycle -> node 3 unreachable
+  EXPECT_FALSE(isc::parse_topology("nodes 2\nbogus 1\n").ok());
+  EXPECT_FALSE(isc::parse_topology("edge 0 1\n").ok());  // missing nodes
+  EXPECT_FALSE(isc::parse_topology("nodes 2\nedge 0 1 9\n").ok());  // extra
+}
+
+TEST(Topology, GeneratorsProduceValidTrees) {
+  for (std::size_t n : {1u, 2u, 5u, 8u}) {
+    for (auto* make : {isc::make_chain, isc::make_star, isc::make_btree}) {
+      const auto res = isc::validate_topology(make(n));
+      EXPECT_TRUE(res.ok()) << res.error;
+      EXPECT_EQ(res.topo.edges.size(), n - 1);
+    }
+  }
+  EXPECT_EQ(isc::make_btree(7).degree(1), 3u);  // root-facing + two children
+  // format() round-trips through parse().
+  const Topology t = isc::make_btree(6);
+  const auto back = isc::parse_topology(t.format());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.topo.hash(), t.hash());
+}
+
+// ---- raw handshake helpers for the rejection tests -------------------------
+
+void send_ctrl(int fd, std::uint8_t code, std::uint64_t a, std::uint64_t b) {
+  ControlMsg msg;
+  msg.code = code;
+  msg.a = a;
+  msg.b = b;
+  std::vector<std::uint8_t> buf;
+  net::wire::encode(msg, buf);
+  ASSERT_EQ(::send(fd, buf.data(), buf.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(buf.size()));
+}
+
+ControlMsg recv_ctrl(int fd) {
+  std::uint8_t frame[64];
+  EXPECT_EQ(::read(fd, frame, 4), 4);
+  std::uint32_t body = 0;
+  for (int i = 0; i < 4; ++i)
+    body |= static_cast<std::uint32_t>(frame[i]) << (8 * i);
+  EXPECT_LE(body, sizeof(frame) - 4);
+  std::size_t got = 0;
+  while (got < body) {
+    const ssize_t n = ::read(fd, frame + 4 + got, body - got);
+    if (n <= 0) {
+      ADD_FAILURE() << "peer closed mid-frame";
+      return {};
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  auto res = net::wire::decode(frame, 4 + body);
+  EXPECT_TRUE(res.ok()) << res.error;
+  auto* ctrl = dynamic_cast<ControlMsg*>(res.msg.get());
+  EXPECT_NE(ctrl, nullptr);
+  return *ctrl;
+}
+
+// Complete a valid dialer-side handshake claiming `node_id`.
+void handshake_as(int fd, std::uint64_t node_id, std::uint64_t hash) {
+  send_ctrl(fd, ControlMsg::kHello, node_id, net::wire::kWireVersion);
+  send_ctrl(fd, ControlMsg::kJoin, node_id, hash);
+  const ControlMsg hello = recv_ctrl(fd);
+  EXPECT_EQ(hello.code, ControlMsg::kHello);
+  const ControlMsg join = recv_ctrl(fd);
+  EXPECT_EQ(join.code, ControlMsg::kJoin);
+}
+
+// ---- join protocol edge cases ----------------------------------------------
+
+TEST(MeshJoin, DuplicateJoinIsRejected) {
+  const std::uint16_t base = test_port(0);
+  mesh::MeshConfig cfg;
+  cfg.node_id = 0;
+  cfg.topo = isc::make_star(3);  // node 0 awaits joins from 1 and 2
+  cfg.base_port = base;
+  cfg.join_timeout_ms = 10'000;
+  mesh::MeshNode node(std::move(cfg));
+  std::thread joiner([&] { EXPECT_TRUE(node.join()) << node.error(); });
+
+  const std::uint64_t hash = isc::make_star(3).hash();
+  const int first = net::tcp_connect("127.0.0.1", base, 100);
+  handshake_as(first, 1, hash);
+
+  const int dup = net::tcp_connect("127.0.0.1", base, 100);
+  send_ctrl(dup, ControlMsg::kHello, 1, net::wire::kWireVersion);
+  send_ctrl(dup, ControlMsg::kJoin, 1, hash);
+  const ControlMsg rej = recv_ctrl(dup);
+  EXPECT_EQ(rej.code, ControlMsg::kJoinReject);
+  EXPECT_EQ(rej.a, 0u);  // rejecting node
+  ::close(dup);
+
+  const int second = net::tcp_connect("127.0.0.1", base, 100);
+  handshake_as(second, 2, hash);
+  joiner.join();
+  EXPECT_EQ(node.degree(), 2u);
+  ::close(first);
+  ::close(second);
+}
+
+TEST(MeshJoin, ImpostorAndDivergingSpecAreRejected) {
+  const std::uint16_t base = test_port(10);
+  mesh::MeshConfig cfg;
+  cfg.node_id = 0;
+  cfg.topo = isc::make_chain(2);
+  cfg.base_port = base;
+  cfg.join_timeout_ms = 10'000;
+  mesh::MeshNode node(std::move(cfg));
+  std::thread joiner([&] { EXPECT_TRUE(node.join()) << node.error(); });
+
+  const std::uint64_t hash = isc::make_chain(2).hash();
+  // Not a neighbor: node 7 does not exist in a 2-chain.
+  const int impostor = net::tcp_connect("127.0.0.1", base, 100);
+  send_ctrl(impostor, ControlMsg::kHello, 7, net::wire::kWireVersion);
+  send_ctrl(impostor, ControlMsg::kJoin, 7, hash);
+  EXPECT_EQ(recv_ctrl(impostor).code, ControlMsg::kJoinReject);
+  ::close(impostor);
+
+  // Right node id, wrong topology hash (diverging spec files).
+  const int diverged = net::tcp_connect("127.0.0.1", base, 100);
+  send_ctrl(diverged, ControlMsg::kHello, 1, net::wire::kWireVersion);
+  send_ctrl(diverged, ControlMsg::kJoin, 1, hash ^ 1);
+  EXPECT_EQ(recv_ctrl(diverged).code, ControlMsg::kJoinReject);
+  ::close(diverged);
+
+  const int real = net::tcp_connect("127.0.0.1", base, 100);
+  handshake_as(real, 1, hash);
+  joiner.join();
+  ::close(real);
+}
+
+TEST(MeshJoin, PeerDyingMidHandshakeDoesNotPoisonTheJoin) {
+  const std::uint16_t base = test_port(20);
+  mesh::MeshConfig cfg;
+  cfg.node_id = 0;
+  cfg.topo = isc::make_chain(2);
+  cfg.base_port = base;
+  cfg.join_timeout_ms = 8'000;
+  mesh::MeshNode node(std::move(cfg));
+  std::thread joiner([&] { EXPECT_TRUE(node.join()) << node.error(); });
+
+  // Connect, say half a handshake, die.
+  const int dying = net::tcp_connect("127.0.0.1", base, 100);
+  send_ctrl(dying, ControlMsg::kHello, 1, net::wire::kWireVersion);
+  ::close(dying);
+
+  const int real = net::tcp_connect("127.0.0.1", base, 100);
+  handshake_as(real, 1, isc::make_chain(2).hash());
+  joiner.join();
+  ::close(real);
+}
+
+TEST(MeshJoin, PartialTopologyTimesOutCleanly) {
+  const std::uint16_t base = test_port(30);
+  mesh::MeshConfig cfg;
+  cfg.node_id = 0;
+  cfg.topo = isc::make_star(3);
+  cfg.base_port = base;
+  cfg.join_timeout_ms = 400;  // nobody will ever dial: the leaves are missing
+  mesh::MeshNode node(std::move(cfg));
+  EXPECT_FALSE(node.join());
+  EXPECT_NE(node.error().find("timed out"), std::string::npos) << node.error();
+  EXPECT_NE(node.error().find("1"), std::string::npos);  // names the missing
+  EXPECT_NE(node.error().find("2"), std::string::npos);
+}
+
+TEST(MeshJoin, DialerLearnsWhyItWasRejected) {
+  const std::uint16_t base = test_port(40);
+  // A 3-chain's node 1 dials node 0 — but node 0 was launched with a star,
+  // so the topology hashes diverge and node 0 rejects.
+  mesh::MeshConfig cfg0;
+  cfg0.node_id = 0;
+  cfg0.topo = isc::make_star(3);
+  cfg0.base_port = base;
+  cfg0.join_timeout_ms = 1'000;
+  mesh::MeshNode node0(std::move(cfg0));
+  std::thread joiner([&] { EXPECT_FALSE(node0.join()); });
+
+  mesh::MeshConfig cfg1;
+  cfg1.node_id = 1;
+  cfg1.topo = isc::make_chain(3);
+  cfg1.base_port = base;
+  cfg1.join_timeout_ms = 1'000;
+  mesh::MeshNode node1(std::move(cfg1));
+  EXPECT_FALSE(node1.join());
+  EXPECT_NE(node1.error().find("topology hash mismatch"), std::string::npos)
+      << node1.error();
+  joiner.join();
+}
+
+// ---- the 5-system tree soak ------------------------------------------------
+
+TEST(MeshSoak, FiveSystemTreeMergedHistoryIsCausal) {
+  //        0
+  //       / \
+  //      1   2
+  //     / \
+  //    3   4
+  const auto spec = isc::parse_topology(
+      "nodes 5\nedge 0 1\nedge 0 2\nedge 1 3\nedge 1 4\n");
+  ASSERT_TRUE(spec.ok()) << spec.error;
+  const std::uint16_t base = test_port(50);
+
+  std::vector<std::unique_ptr<mesh::MeshNode>> nodes;
+  for (std::size_t i = 0; i < 5; ++i) {
+    mesh::MeshConfig cfg;
+    cfg.node_id = i;
+    cfg.topo = spec.topo;
+    cfg.base_port = base;
+    cfg.procs = 3;
+    cfg.ops = 12;
+    cfg.seed = 11;
+    cfg.join_timeout_ms = 20'000;
+    nodes.push_back(std::make_unique<mesh::MeshNode>(std::move(cfg)));
+  }
+
+  std::vector<mesh::MeshResult> results(5);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 5; ++i) {
+    threads.emplace_back([&, i] {
+      if (nodes[i]->join()) results[i] = nodes[i]->run();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<chk::Op> merged;
+  std::uint64_t total_sent = 0, total_received = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(results[i].ok) << "node " << i << ": " << nodes[i]->error();
+    EXPECT_EQ(results[i].ops_done, 3u * 12u);
+    EXPECT_EQ(results[i].violations, 0u);
+    total_sent += results[i].pairs_sent;
+    total_received += results[i].pairs_received;
+    const chk::History h = nodes[i]->federation().federation_history();
+    merged.insert(merged.end(), h.ops().begin(), h.ops().end());
+  }
+  // Every pair sent anywhere was received somewhere: the tree drained.
+  EXPECT_EQ(total_sent, total_received);
+
+  const chk::History history{std::move(merged)};
+  EXPECT_EQ(history.size(), 5u * 3u * 12u);
+  const auto verdict =
+      chk::CausalChecker{}.check(history, chk::Level::kCM);
+  EXPECT_TRUE(verdict.ok()) << verdict.detail;
+}
+
+}  // namespace
+}  // namespace cim

@@ -1,77 +1,74 @@
-// cim_bridge: one causal memory system per OS process, interconnected over
-// a real TCP socket — the paper's IS-protocol with the inter-IS link as an
-// actual byte stream instead of a simulated channel.
+// cim_bridge: one causal memory system per OS process, interconnected into
+// a tree mesh over real TCP sockets — the paper's Corollary 1 (any tree of
+// causal systems is causal) as a deployable federation (docs/BRIDGE.md).
 //
-// Run two of these against each other (scripts/bridge_smoke.sh does):
+// Mesh mode (scripts/mesh_smoke.sh): every process names its node id and
+// the shared topology — a spec file or a generated shape:
 //
-//   cim_bridge --side a --port 9000 --history a.hist --metrics a.json &
-//   cim_bridge --side b --port 9000 --history b.hist --metrics b.json
+//   cim_bridge --node 0 --shape btree --n 4 --base-port 9100 \
+//              --history n0.hist --metrics n0.json &
+//   cim_bridge --node 1 --shape btree --n 4 --base-port 9100 ... &
+//   ...
 //
-// Side a (SystemId 0) listens, side b (SystemId 1) connects. Each process
-// builds a single-system Federation with one external link, drives a uniform
-// workload through the threaded rt::Runtime, and exchanges pairs with the
-// peer through a net::TcpLinkTransport (docs/WIRE.md frames on the stream).
-// The two histories use disjoint value ranges (UniformConfig::value_base),
-// so `cat a.hist b.hist` is a checkable merged history: every value still
-// identifies a unique write, and examples/trace_checker can verify the
-// merged computation is causal.
+// Node i listens on base-port + i, dials its lower-id neighbors, accepts
+// the higher ones, and the kHello/kJoin handshake (wire version + topology
+// hash) makes mismatched launches fail fast. Each process drives a uniform
+// workload with a disjoint value range, so `cat *.hist` is a checkable
+// merged history: examples/trace_checker verifies the whole tree's
+// computation is causal.
 //
-// Termination handshake (ControlMsg, wire type 0):
-//   hello  — exchanged before the runtime starts; carries the system id and
-//            wire version, so mismatched builds fail fast instead of
-//            corrupting each other.
-//   done   — sent once the local workload has finished AND the simulator is
-//            quiescent (pairs_sent is final); carries that final count.
-//   bye    — sent once the peer's done arrived and all of its pairs have
-//            been received and fully applied. When both byes have crossed,
-//            both sides are drained and it is safe to stop.
+// Legacy two-process mode (scripts/bridge_smoke.sh) still works and is the
+// same thing in a 2-node chain: `--side a --port P` is node 0 with
+// base-port P, `--side b --port P` is node 1 dialing it.
 //
-// Threading: the TCP reader thread posts every inbound pair into the
-// rt::Runtime (deliver_from_link must run on the engine thread); control
-// messages only touch atomics. The main thread samples engine-owned state
-// (runner progress, simulator queue, pair counters) by posting a probe and
-// waiting on a promise — it never touches federation state directly.
-#include <atomic>
-#include <chrono>
+// Mechanics — epoll transport, join protocol, done/bye convergecast — live
+// in mesh::MeshNode (src/mesh/mesh_node.h); this tool only parses flags and
+// dumps history/metrics/trace files.
 #include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <future>
 #include <iostream>
+#include <sstream>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "checker/trace_io.h"
-#include "interconnect/federation.h"
-#include "net/tcp_link.h"
-#include "net/wire.h"
+#include "interconnect/topology.h"
+#include "mesh/mesh_node.h"
 #include "obs/metrics.h"
-#include "protocols/anbkh.h"
-#include "runtime/runtime.h"
-#include "workload/generator.h"
 
 using namespace cim;
 
 namespace {
 
 struct Options {
-  char side = 0;  // 'a' listens, 'b' connects
+  // Mesh mode.
+  std::size_t node = SIZE_MAX;
+  std::string topo_path;          // spec file…
+  std::string shape;              // …or generated: chain|star|btree
+  std::size_t n = 0;              // node count for --shape
+  std::uint16_t base_port = 0;
+  // Legacy two-process mode.
+  char side = 0;                  // 'a' = node 0, 'b' = node 1
   std::uint16_t port = 0;
+  // Common.
   std::string host = "127.0.0.1";
   std::uint16_t procs = 4;
   std::size_t ops = 25;
   std::uint64_t seed = 7;
+  int join_timeout_ms = 10'000;
   std::string history_path;
   std::string metrics_path;
   std::string trace_path;
 };
 
 int usage() {
-  std::cerr << "usage: cim_bridge --side a|b --port N [--host H] [--procs N]"
-               " [--ops N] [--seed N]\n"
-               "                  [--history FILE] [--metrics FILE]"
-               " [--trace FILE]\n";
+  std::cerr
+      << "usage: cim_bridge --node N (--topo FILE | --shape chain|star|btree"
+         " --n N) --base-port P\n"
+         "       cim_bridge --side a|b --port P            (legacy 2-process)\n"
+         "       [--host H] [--procs N] [--ops N] [--seed N]"
+         " [--join-timeout MS]\n"
+         "       [--history FILE] [--metrics FILE] [--trace FILE]\n";
   return 2;
 }
 
@@ -82,7 +79,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     const char* v = nullptr;
-    if (std::strcmp(arg, "--side") == 0 && (v = next())) {
+    if (std::strcmp(arg, "--node") == 0 && (v = next())) {
+      opt.node = std::stoul(v);
+    } else if (std::strcmp(arg, "--topo") == 0 && (v = next())) {
+      opt.topo_path = v;
+    } else if (std::strcmp(arg, "--shape") == 0 && (v = next())) {
+      opt.shape = v;
+    } else if (std::strcmp(arg, "--n") == 0 && (v = next())) {
+      opt.n = std::stoul(v);
+    } else if (std::strcmp(arg, "--base-port") == 0 && (v = next())) {
+      opt.base_port = static_cast<std::uint16_t>(std::stoul(v));
+    } else if (std::strcmp(arg, "--side") == 0 && (v = next())) {
       opt.side = v[0];
     } else if (std::strcmp(arg, "--port") == 0 && (v = next())) {
       opt.port = static_cast<std::uint16_t>(std::stoul(v));
@@ -94,6 +101,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.ops = std::stoul(v);
     } else if (std::strcmp(arg, "--seed") == 0 && (v = next())) {
       opt.seed = std::stoull(v);
+    } else if (std::strcmp(arg, "--join-timeout") == 0 && (v = next())) {
+      opt.join_timeout_ms = std::stoi(v);
     } else if (std::strcmp(arg, "--history") == 0 && (v = next())) {
       opt.history_path = v;
     } else if (std::strcmp(arg, "--metrics") == 0 && (v = next())) {
@@ -104,7 +113,44 @@ bool parse_args(int argc, char** argv, Options& opt) {
       return false;
     }
   }
-  return (opt.side == 'a' || opt.side == 'b') && opt.port != 0;
+  if (opt.side != 0) {
+    // Legacy mode maps onto a 2-node chain.
+    if ((opt.side != 'a' && opt.side != 'b') || opt.port == 0) return false;
+    opt.node = opt.side == 'a' ? 0 : 1;
+    opt.base_port = opt.port;
+    opt.shape = "chain";
+    opt.n = 2;
+    return true;
+  }
+  return opt.node != SIZE_MAX && opt.base_port != 0 &&
+         (!opt.topo_path.empty() || (!opt.shape.empty() && opt.n > 0));
+}
+
+isc::TopologyResult load_topology(const Options& opt) {
+  if (!opt.topo_path.empty()) {
+    std::ifstream is(opt.topo_path);
+    if (!is) {
+      isc::TopologyResult res;
+      res.error = "cannot read topology spec " + opt.topo_path;
+      return res;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    return isc::parse_topology(text.str());
+  }
+  isc::Topology topo;
+  if (opt.shape == "chain") {
+    topo = isc::make_chain(opt.n);
+  } else if (opt.shape == "star") {
+    topo = isc::make_star(opt.n);
+  } else if (opt.shape == "btree") {
+    topo = isc::make_btree(opt.n);
+  } else {
+    isc::TopologyResult res;
+    res.error = "unknown --shape " + opt.shape + " (chain|star|btree)";
+    return res;
+  }
+  return isc::validate_topology(std::move(topo));
 }
 
 }  // namespace
@@ -112,173 +158,37 @@ bool parse_args(int argc, char** argv, Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return usage();
-  const std::uint16_t side_index = opt.side == 'a' ? 0 : 1;
-  const char* tag = opt.side == 'a' ? "[a]" : "[b]";
+  const std::string tag = "[node" + std::to_string(opt.node) + "]";
 
-  // ---- connect first: no point building a federation without a peer.
-  const int fd = opt.side == 'a'
-                     ? net::tcp_listen_accept(opt.port)
-                     : net::tcp_connect(opt.host.c_str(), opt.port);
-
-  // ---- one system, one external link whose far side is the peer process.
-  isc::FederationConfig cfg;
-  cfg.obs.trace.enabled = !opt.trace_path.empty();
-  cfg.monitor.enabled = true;
-  mcs::SystemConfig sys;
-  sys.id = SystemId{side_index};
-  sys.num_app_processes = opt.procs;
-  sys.protocol = proto::anbkh_protocol();
-  sys.seed = opt.seed + side_index;
-  cfg.systems.push_back(std::move(sys));
-  cfg.external_links.push_back(isc::ExternalLinkSpec{});
-  isc::Federation fed(std::move(cfg));
-
-  net::TcpLinkTransport tcp(fd, &fed.observability());
-
-  // ---- hello handshake, synchronous, before any pair can flow.
-  {
-    auto hello = std::make_unique<net::wire::ControlMsg>();
-    hello->code = net::wire::ControlMsg::kHello;
-    hello->a = side_index;
-    hello->b = net::wire::kWireVersion;
-    tcp.send(std::move(hello));
-    net::MessagePtr reply = tcp.recv_one();
-    auto* peer = dynamic_cast<net::wire::ControlMsg*>(reply.get());
-    if (peer == nullptr || peer->code != net::wire::ControlMsg::kHello) {
-      std::cerr << tag << " handshake failed: "
-                << (tcp.error() != nullptr ? tcp.error() : "peer closed")
-                << "\n";
-      return 1;
-    }
-    if (peer->b != net::wire::kWireVersion || peer->a == side_index) {
-      std::cerr << tag << " handshake mismatch: peer system " << peer->a
-                << ", wire v" << peer->b << " (local v"
-                << unsigned{net::wire::kWireVersion} << ")\n";
-      return 1;
-    }
+  isc::TopologyResult topo = load_topology(opt);
+  if (!topo.ok()) {
+    std::cerr << tag << " " << topo.error << "\n";
+    return 2;
   }
 
-  const std::size_t link = fed.interconnector().attach_external_link(0, &tcp);
-  isc::IsProcess& isp = fed.interconnector().external_isp(0);
+  mesh::MeshConfig cfg;
+  cfg.node_id = opt.node;
+  cfg.topo = std::move(topo.topo);
+  cfg.base_port = opt.base_port;
+  cfg.host = opt.host;
+  cfg.procs = opt.procs;
+  cfg.ops = opt.ops;
+  cfg.seed = opt.seed;
+  cfg.join_timeout_ms = opt.join_timeout_ms;
+  cfg.trace = !opt.trace_path.empty();
 
-  // Disjoint value ranges and seeds per side keep the merged history's
-  // values globally unique (the checker's value-identifies-write premise).
-  wl::UniformConfig wc;
-  wc.ops_per_process = opt.ops;
-  wc.seed = opt.seed * 2 + side_index;
-  wc.value_base = Value{side_index} * 1'000'000;
-  auto runners = wl::install_uniform(fed, wc);
-
-  rt::Runtime rt(fed);
-
-  std::atomic<bool> peer_done{false};
-  std::atomic<bool> peer_bye{false};
-  std::atomic<std::uint64_t> peer_pairs{0};
-  tcp.start([&](net::MessagePtr msg) {
-    // Reader thread. Control messages only touch atomics; pairs go to the
-    // engine thread, where deliver_from_link may run protocol code.
-    if (std::strcmp(msg->type_name(), "wire.ctrl") == 0) {
-      auto& ctrl = static_cast<net::wire::ControlMsg&>(*msg);
-      if (ctrl.code == net::wire::ControlMsg::kDone) {
-        peer_pairs.store(ctrl.a, std::memory_order_relaxed);
-        peer_done.store(true, std::memory_order_release);
-      } else if (ctrl.code == net::wire::ControlMsg::kBye) {
-        peer_bye.store(true, std::memory_order_release);
-      }
-      return;
-    }
-    net::Message* raw = msg.release();
-    isc::IsProcess* isp_ptr = &isp;
-    rt.post([isp_ptr, link, raw] {
-      isp_ptr->deliver_from_link(link, net::MessagePtr(raw));
-    });
-  });
-  rt.start();
-
-  // Run `fn` on the engine thread and wait for it — the only way the main
-  // thread reads engine-owned state.
-  auto on_engine = [&rt](auto&& fn) {
-    std::promise<void> done;
-    auto* fn_ptr = &fn;
-    auto* done_ptr = &done;
-    rt.post([fn_ptr, done_ptr] {
-      (*fn_ptr)();
-      done_ptr->set_value();
-    });
-    done.get_future().wait();
-  };
-  auto engine_idle = [&](auto&& extra) {
-    bool idle = false;
-    on_engine([&] { idle = fed.simulator().empty() && extra(); });
-    if (!idle) std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    return idle;
-  };
-  auto check_stream = [&] {
-    if (tcp.error() != nullptr) {
-      std::cerr << tag << " stream error: " << tcp.error() << "\n";
-      std::exit(1);
-    }
-    if (tcp.peer_closed() && !peer_bye.load(std::memory_order_acquire)) {
-      std::cerr << tag << " peer vanished before bye\n";
-      std::exit(1);
-    }
-  };
-
-  // ---- phase 1: local workload drained, pairs_sent final → send done.
-  while (!engine_idle([&] {
-    for (const auto& r : runners)
-      if (!r->done()) return false;
-    return true;
-  })) {
-    check_stream();
+  mesh::MeshNode node(std::move(cfg));
+  if (!node.join()) {
+    std::cerr << tag << " join failed: " << node.error() << "\n";
+    return 1;
   }
-  std::uint64_t pairs_sent = 0;
-  std::uint64_t ops_done = 0;
-  on_engine([&] {
-    pairs_sent = isp.pairs_sent();
-    for (const auto& r : runners) ops_done += r->steps_completed();
-  });
-  {
-    auto done_msg = std::make_unique<net::wire::ControlMsg>();
-    done_msg->code = net::wire::ControlMsg::kDone;
-    done_msg->a = pairs_sent;
-    done_msg->b = ops_done;
-    tcp.send(std::move(done_msg));
+  mesh::MeshResult res = node.run();
+  if (!res.ok) {
+    std::cerr << tag << " " << node.error() << "\n";
+    return 1;
   }
 
-  // ---- phase 2: peer done, all of its pairs received and applied → bye.
-  while (!peer_done.load(std::memory_order_acquire)) {
-    check_stream();
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-  const std::uint64_t expected = peer_pairs.load(std::memory_order_relaxed);
-  while (!engine_idle([&] { return isp.pairs_received() == expected; })) {
-    check_stream();
-  }
-  {
-    auto bye = std::make_unique<net::wire::ControlMsg>();
-    bye->code = net::wire::ControlMsg::kBye;
-    tcp.send(std::move(bye));
-  }
-  while (!peer_bye.load(std::memory_order_acquire)) {
-    if (tcp.error() != nullptr || tcp.peer_closed()) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-  if (!peer_bye.load(std::memory_order_acquire)) {
-    check_stream();  // reports the error and exits
-  }
-
-  rt.stop();
-  tcp.close();
-  // Receive-side byte counts live in transport atomics while the reader
-  // runs (obs cells are not thread-safe); fold them in now that it joined.
-  fed.observability().metrics().counter("net.wire.bytes_in")
-      .inc(tcp.wire_bytes_in());
-
-  const std::uint64_t received = isp.pairs_received();
-  const std::uint64_t violations =
-      fed.monitor() != nullptr ? fed.monitor()->violation_count() : 0;
-
+  isc::Federation& fed = node.federation();
   if (!opt.history_path.empty()) {
     std::ofstream os(opt.history_path);
     if (!os) {
@@ -304,10 +214,9 @@ int main(int argc, char** argv) {
     obs::write_json(os, fed.metrics_snapshot());
   }
 
-  std::cout << tag << " system " << side_index << ": " << ops_done
-            << " ops, pairs sent " << pairs_sent << ", received " << received
-            << "/" << expected << ", wire bytes out "
-            << tcp.wire_bytes_out() << " in " << tcp.wire_bytes_in()
-            << ", monitor violations " << violations << "\n";
-  return violations > 0 ? 1 : 0;
+  std::cout << tag << " system " << opt.node << ": " << res.ops_done
+            << " ops, pairs sent " << res.pairs_sent << ", received "
+            << res.pairs_received << ", links " << node.degree()
+            << ", monitor violations " << res.violations << "\n";
+  return res.violations > 0 ? 1 : 0;
 }
