@@ -7,9 +7,16 @@
 // per mesh shape: end-to-end delivered msgs/sec and syscalls/msg across the
 // whole mesh — the coalescing win is exactly the gap between syscalls_per_msg
 // and 2.0 (one read + one write per frame, what the blocking transport paid).
-// Blessed baseline: bench/baseline/BENCH_bridge.json.
+//
+// The fault_sweep row prices the crash-tolerance layer (docs/FAULTS.md): a
+// 2-node session mesh takes repeated injected socket kills; reported are the
+// median fault-to-rejoin latency (reconnect_ms, gated lower-is-better) and
+// the median catch-up delivery rate after each rejoin (informational: the
+// burst size tracks what queued during the outage, so compare_benches.py
+// exempts it from gating). Blessed baseline: bench/baseline/BENCH_bridge.json.
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -23,7 +30,9 @@
 #include "common/check.h"
 #include "interconnect/pair_msg.h"
 #include "interconnect/topology.h"
+#include "mesh/mesh_node.h"
 #include "net/epoll_loop.h"
+#include "net/fault_inject.h"
 #include "net/tcp_link.h"
 #include "stats/table.h"
 
@@ -138,6 +147,111 @@ ShapeResult run_shape(const isc::Topology& topo) {
   return res;
 }
 
+struct FaultSweepResult {
+  double reconnect_ms = 0;        // median fault-to-rejoin latency
+  double post_msgs_per_sec = 0;   // median catch-up rate after each rejoin
+  std::uint64_t resumes = 0;
+};
+
+// A 2-node LinkSession mesh over localhost TCP (the bridge_mesh fixture, as
+// a bench): node 1's transport is killed kCycles times via an injected write
+// failure; each kill must be detected by the heartbeat tick, backed off, and
+// rejoined with replay. The clock runs from the injection to the session
+// counting the resume.
+FaultSweepResult run_fault_sweep(std::uint16_t base_port) {
+  constexpr int kCycles = 5;
+  net::FaultHooks hooks;
+  std::vector<std::unique_ptr<mesh::MeshNode>> nodes;
+  for (std::size_t i = 0; i < 2; ++i) {
+    mesh::MeshConfig cfg;
+    cfg.node_id = i;
+    cfg.topo = isc::make_chain(2);
+    cfg.base_port = base_port;
+    cfg.procs = 4;
+    // Big enough that the stream is still in full flow through the fault
+    // cycles AND the post-recovery measurement window — the rate must price
+    // a live pipeline, not the tail of a drain.
+    cfg.ops = 6'000;
+    cfg.seed = 9;
+    cfg.join_timeout_ms = 20'000;
+    cfg.hb_interval_ms = 10;
+    cfg.liveness_timeout_ms = 100;
+    // The deterministic first-dial backoff dominates the reconnect latency,
+    // keeping the metric stable enough to gate (jitter is splitmix-seeded,
+    // identical across runs; only scheduling noise remains).
+    cfg.backoff_initial_ms = 20;
+    cfg.backoff_max_ms = 40;
+    cfg.reconnect_attempts = 400;
+    if (i == 1) cfg.faults = &hooks;
+    nodes.push_back(std::make_unique<mesh::MeshNode>(std::move(cfg)));
+  }
+  std::vector<std::thread> threads;
+  std::vector<mesh::MeshResult> results(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    threads.emplace_back([&, i] {
+      if (nodes[i]->join()) results[i] = nodes[i]->run();
+    });
+  }
+  while (!nodes[0]->sessions_ready() || !nodes[1]->sessions_ready())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  auto spin = [](auto pred, double budget_s) {
+    const double deadline = now_s() + budget_s;
+    while (!pred() && now_s() < deadline)
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return pred();
+  };
+
+  mesh::LinkSession& s1 = nodes[1]->session(0);
+  const auto delivered_total = [&] {
+    return nodes[0]->session(0).data_delivered() +
+           nodes[1]->session(0).data_delivered();
+  };
+  std::vector<double> latencies;
+  std::vector<double> rates;
+  for (int c = 0; c < kCycles; ++c) {
+    const std::uint64_t before = s1.resumes();
+    // A sticky write failure: the next heartbeat flush kills the socket.
+    // The clock starts when the session *observes* the death — that leaves
+    // backoff + redial + rejoin in the sample and keeps the heartbeat
+    // detection jitter (uniform over one tick) out of it.
+    hooks.fail_writes_after.store(0);
+    if (!spin([&] { return s1.down(); }, 2.0)) break;
+    const double t_down = now_s();
+    hooks.fail_writes_after.store(-1);
+    if (!spin([&] { return s1.resumes() > before; }, 2.0)) break;
+    latencies.push_back((now_s() - t_down) * 1e3);
+    // Post-recovery (catch-up) throughput, count-based and right after the
+    // rejoin while the stream is provably hot: time the next 2000
+    // deliveries — the replay burst plus the resuming pipeline.
+    const std::uint64_t mark = delivered_total();
+    const double t0 = now_s();
+    if (spin([&] { return delivered_total() - mark >= 2000; }, 2.0)) {
+      const double elapsed = now_s() - t0;
+      if (elapsed > 0)
+        rates.push_back(static_cast<double>(delivered_total() - mark) /
+                        elapsed);
+    }
+    spin([&] { return !s1.down(); }, 2.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  for (auto& t : threads) t.join();
+  CIM_CHECK(results[0].ok && results[1].ok);
+
+  FaultSweepResult res;
+  res.resumes = s1.resumes();
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    res.reconnect_ms = latencies[latencies.size() / 2];
+  }
+  if (!rates.empty()) {
+    std::sort(rates.begin(), rates.end());
+    res.post_msgs_per_sec = rates[rates.size() / 2];
+  }
+  return res;
+}
+
 }  // namespace
 
 int main() {
@@ -164,5 +278,15 @@ int main() {
     table.add_row(label, rate, sys, coal);
   }
   table.print();
+
+  const FaultSweepResult fs = run_fault_sweep(9915);
+  report.row("fault_sweep")
+      .field("reconnect_ms", fs.reconnect_ms)
+      .field("post_recovery_msgs_per_sec", fs.post_msgs_per_sec)
+      .field("resumes", static_cast<double>(fs.resumes));
+  std::printf("fault_sweep: reconnect %.1f ms (median of %llu resumes), "
+              "post-recovery %.0f msgs/s\n",
+              fs.reconnect_ms, static_cast<unsigned long long>(fs.resumes),
+              fs.post_msgs_per_sec);
   return 0;
 }

@@ -68,16 +68,34 @@ if [ ! -f "$bridge_doc" ]; then
   status=1
 else
   for reason in "wire version mismatch" "topology hash mismatch" \
-      "not a neighbor" "duplicate join"; do
+      "not a neighbor" "duplicate join" "stale session id"; do
     if ! grep -q "$reason" "$bridge_doc"; then
       echo "check_docs: reject reason '${reason}' is not documented in docs/BRIDGE.md" >&2
       status=1
     fi
   done
   for word in "nodes" "edge" "base_port" "done" "bye" "net.mesh" \
-      "topology hash" "writev"; do
-    if ! grep -q "$word" "$bridge_doc"; then
+      "topology hash" "writev" "heartbeat" "rejoin" "replay journal" \
+      "--resume" "backoff"; do
+    if ! grep -q -- "$word" "$bridge_doc"; then
       echo "check_docs: '${word}' is not documented in docs/BRIDGE.md" >&2
+      status=1
+    fi
+  done
+fi
+
+# docs/FAULTS.md owns the fault-injection model; the socket-level chaos
+# hooks (src/net/fault_inject.h) and the chaos smoke must be described
+# there, so a new hook cannot ship undocumented.
+faults_doc="$root/docs/FAULTS.md"
+if [ ! -f "$faults_doc" ]; then
+  echo "check_docs: missing $faults_doc" >&2
+  status=1
+else
+  for word in FaultHooks max_write_bytes fail_writes_after fail_reads_after \
+      stall_writes dispatch_delay_us mesh_chaos_smoke; do
+    if ! grep -q "$word" "$faults_doc"; then
+      echo "check_docs: '${word}' is not documented in docs/FAULTS.md" >&2
       status=1
     fi
   done

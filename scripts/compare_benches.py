@@ -9,7 +9,10 @@ Rows are matched by (bench, row name). Only fields with a known "direction"
 are judged:
 
     higher is better:  *_per_sec, *_per_second
-    lower is better:   wall_s, real_time_ns, cpu_time_ns
+    lower is better:   wall_s, real_time_ns, cpu_time_ns, reconnect_ms, ...
+
+A small INFORMATIONAL set overrides the suffix rules for metrics too noisy
+to gate (see the comment at the definition).
 
 A change worse than --threshold (default 10%) is a REGRESSION; with
 --warn-only it only warns unless the change is worse than --cliff (default
@@ -27,13 +30,20 @@ import sys
 
 HIGHER_BETTER = ("_per_sec", "_per_second")
 LOWER_BETTER = {"wall_s", "real_time_ns", "cpu_time_ns", "bytes_per_msg",
-                "syscalls_per_msg"}
+                "syscalls_per_msg", "reconnect_ms"}
+# Fields exempt from the suffix rules: reported for the record but never
+# judged. post_recovery_msgs_per_sec times the catch-up burst right after a
+# rejoin, whose size depends on how much queued during the outage — a
+# 100x run-to-run spread that no threshold can gate.
+INFORMATIONAL = {"post_recovery_msgs_per_sec"}
 # Build-identity meta fields: differing values make the comparison
 # apples-to-oranges, so they warn loudly.
 IDENTITY_META = ("compiler", "compiler_version", "build_type", "sanitize")
 
 
 def direction(field):
+    if field in INFORMATIONAL:
+        return 0
     if any(field.endswith(suf) for suf in HIGHER_BETTER):
         return +1
     if field in LOWER_BETTER:

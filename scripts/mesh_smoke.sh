@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # n cim_bridge processes — one causal memory system each — joined into a
 # tree mesh over localhost TCP through the epoll transport, then the merged
 # history is checked for causal consistency: the paper's Corollary 1 (any
@@ -8,8 +8,9 @@
 # usage: scripts/mesh_smoke.sh [BUILD_DIR] [BASE_PORT] [SHAPE] [N] [OUT_DIR]
 #
 # OUT_DIR keeps the per-node histories, metrics, and the checker output for
-# artifact upload on failure; default is a temp dir removed on success.
-set -eu
+# artifact upload on failure; default is a temp dir removed on success. CI
+# passes an explicit OUT_DIR and uploads it as an artifact when this fails.
+set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"

@@ -56,6 +56,7 @@ OpId Recorder::begin(ProcId proc, bool is_isp, OpKind kind, VarId var,
   op.proc_seq = next_seq_[proc]++;
   op.invoked = now;
   ops_.push_back(Pending{op, /*completed=*/false});
+  if (listener_ && kind == OpKind::kWrite) listener_(op);
   return op.id;
 }
 
@@ -67,6 +68,7 @@ void Recorder::end_read(OpId id, Value result, sim::Time now) {
   p.op.value = result;
   p.op.responded = now;
   p.completed = true;
+  if (listener_) listener_(p.op);
 }
 
 void Recorder::end_write(OpId id, sim::Time now) {

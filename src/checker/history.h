@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -88,6 +89,14 @@ class Recorder {
   OpId begin(ProcId proc, bool is_isp, OpKind kind, VarId var, Value value,
              sim::Time now);
 
+  /// Streaming hook for crash-durable history dumps (mesh::MeshNode): fired
+  /// for writes at begin() — a write's value is final at invocation, and it
+  /// must reach stable storage before the pair can leave the engine thread —
+  /// and for reads at end_read(), when the result exists. Runs on whatever
+  /// thread records the operation; per-process order equals program order.
+  using Listener = std::function<void(const Op&)>;
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
   void end_read(OpId id, Value result, sim::Time now);
   void end_write(OpId id, sim::Time now);
 
@@ -118,6 +127,7 @@ class Recorder {
   };
   std::vector<Pending> ops_;
   std::map<ProcId, std::uint64_t> next_seq_;
+  Listener listener_;
 };
 
 }  // namespace cim::chk

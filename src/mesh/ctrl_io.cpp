@@ -1,0 +1,87 @@
+#include "mesh/ctrl_io.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <vector>
+
+namespace cim::mesh {
+
+using net::wire::ControlMsg;
+
+const char* reject_reason_name(std::uint64_t reason) {
+  switch (reason) {
+    case kRejectWireVersion: return "wire version mismatch";
+    case kRejectTopologyHash: return "topology hash mismatch";
+    case kRejectNotANeighbor: return "not a neighbor";
+    case kRejectDuplicateJoin: return "duplicate join";
+    case kRejectStaleSession: return "stale session id";
+    default: return "unknown reason";
+  }
+}
+
+bool send_ctrl_fd(int fd, const ControlMsg& msg) {
+  std::vector<std::uint8_t> buf;
+  net::wire::encode(msg, buf);
+  const std::uint8_t* p = buf.data();
+  std::size_t left = buf.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_ctrl_fd(int fd, std::uint8_t code, std::uint64_t a, std::uint64_t b) {
+  ControlMsg msg;
+  msg.code = code;
+  msg.a = a;
+  msg.b = b;
+  return send_ctrl_fd(fd, msg);
+}
+
+const char* recv_ctrl_fd(int fd, int timeout_ms, ControlMsg& out) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::uint8_t frame[4 + 64];
+  auto read_exact = [fd](std::uint8_t* dst, std::size_t len) -> const char* {
+    while (len > 0) {
+      const ssize_t n = ::read(fd, dst, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+          return "handshake timed out";
+        return "handshake read failed";
+      }
+      if (n == 0) return "peer closed during handshake";
+      dst += n;
+      len -= static_cast<std::size_t>(n);
+    }
+    return nullptr;
+  };
+  if (const char* err = read_exact(frame, 4)) return err;
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i)
+    body_len |= static_cast<std::uint32_t>(frame[i]) << (8 * i);
+  if (body_len > sizeof(frame) - 4)
+    return "handshake frame is not a control message";
+  if (const char* err = read_exact(frame + 4, body_len)) return err;
+
+  net::wire::DecodeResult res = net::wire::decode(frame, 4 + body_len);
+  if (!res.ok()) return res.error;
+  auto* ctrl = dynamic_cast<ControlMsg*>(res.msg.get());
+  if (ctrl == nullptr) return "handshake frame is not a control message";
+  out = *ctrl;
+  return nullptr;
+}
+
+}  // namespace cim::mesh

@@ -1,0 +1,34 @@
+// Bare ControlMsg I/O on raw blocking fds, shared by the mesh join
+// handshake (mesh_node.cpp), the rejoin handshake (link_session.cpp), and
+// the chaos bench. These frames travel *before* a TcpLinkTransport owns the
+// stream, so they are written/read with plain blocking syscalls — one
+// wire-encoded control frame at a time (docs/BRIDGE.md "Join" and "Failure
+// behavior").
+#pragma once
+
+#include <cstdint>
+
+#include "net/wire.h"
+
+namespace cim::mesh {
+
+/// kJoinReject reason codes (ControlMsg.b; docs/BRIDGE.md "Join").
+enum RejectReason : std::uint64_t {
+  kRejectWireVersion = 1,
+  kRejectTopologyHash = 2,
+  kRejectNotANeighbor = 3,
+  kRejectDuplicateJoin = 4,
+  kRejectStaleSession = 5,  // rejoin presented an unknown/old session id
+};
+
+const char* reject_reason_name(std::uint64_t reason);
+
+/// Write one wire-encoded control frame to a blocking fd. False on error.
+bool send_ctrl_fd(int fd, const net::wire::ControlMsg& msg);
+bool send_ctrl_fd(int fd, std::uint8_t code, std::uint64_t a, std::uint64_t b);
+
+/// Read one bare ControlMsg frame from a blocking fd, bounded by SO_RCVTIMEO.
+/// Returns nullptr on success, a static error description otherwise.
+const char* recv_ctrl_fd(int fd, int timeout_ms, net::wire::ControlMsg& out);
+
+}  // namespace cim::mesh

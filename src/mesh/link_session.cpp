@@ -1,0 +1,537 @@
+#include "mesh/link_session.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "mesh/ctrl_io.h"
+
+namespace cim::mesh {
+
+namespace {
+
+using net::wire::ControlMsg;
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+LinkSession::LinkSession(SessionConfig cfg, net::EpollLoop& loop,
+                         SpillJournal* journal)
+    : cfg_(std::move(cfg)),
+      loop_(loop),
+      spill_(journal),
+      jitter_state_(cfg_.session_id ^ (cfg_.self_id << 32) ^ 0xC1A05EEDULL) {}
+
+LinkSession::~LinkSession() { stop(); }
+
+void LinkSession::restore(const SpillLinkState& s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CIM_CHECK_MSG(!deliver_, "restore() must precede start()");
+  acked_ = s.acked;
+  send_next_ = s.send_next;
+  data_sent_ = s.data_sent;
+  recv_expected_ = s.recv_expected;
+  data_delivered_ = s.data_delivered;
+  journal_.clear();
+  journal_bytes_ = 0;
+  std::uint64_t seq = s.send_next - s.frames.size();
+  for (const auto& f : s.frames) {
+    journal_bytes_ += f.size();
+    journal_.push_back(Entry{seq++, f});
+  }
+}
+
+void LinkSession::attach_locked(int fd) {
+  transport_ =
+      std::make_unique<net::TcpLinkTransport>(fd, loop_, nullptr, cfg_.link);
+  transport_->start_frames([this](std::unique_ptr<net::TransportFrame> f) {
+    on_frame(std::move(f));
+  });
+  socket_dead_ = false;
+}
+
+void LinkSession::start(int fd, DeliverFn deliver) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deliver_ = std::move(deliver);
+    if (fd >= 0) {
+      attach_locked(fd);
+      state_ = LinkState::kUp;
+    } else {
+      // Resumed node: no socket yet. The dialer re-dials below; the acceptor
+      // degrades until the peer's rejoin lands on the node's listener.
+      state_ = LinkState::kDegraded;
+      degraded_since_ns_ = steady_ns();
+      socket_dead_ = true;
+    }
+  }
+  arm_tick();
+  if (cfg_.dialer) reconnect_thread_ = std::thread([this] { reconnect_main(); });
+}
+
+void LinkSession::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+    // Closing the live transport marks its stream dead, which unblocks any
+    // thread sitting in a blocking send_bytes (replay against a stalled
+    // peer) — without this, join()ing such a thread could hang forever.
+    if (transport_ != nullptr) {
+      transport_->close();
+      graveyard_.push_back(std::move(transport_));
+      socket_dead_ = true;
+    }
+    journal_cv_.notify_all();
+    reconnect_cv_.notify_all();
+  }
+  if (reconnect_thread_.joinable()) reconnect_thread_.join();
+}
+
+void LinkSession::begin_shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = true;
+}
+
+bool LinkSession::drained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return journal_.empty();
+}
+
+void LinkSession::handle_ack_locked(std::uint64_t ack) {
+  if (ack <= acked_) return;
+  while (!journal_.empty() && journal_.front().seq < ack) {
+    journal_bytes_ -= journal_.front().bytes.size();
+    journal_.pop_front();
+  }
+  acked_ = ack;
+  if (spill_ != nullptr) spill_->record_acked(cfg_.link_index, acked_);
+  journal_cv_.notify_all();
+}
+
+void LinkSession::retire_locked() {
+  if (transport_ != nullptr) {
+    transport_->close();
+    graveyard_.push_back(std::move(transport_));
+  }
+  socket_dead_ = true;
+  if (state_ == LinkState::kUp) {
+    state_ = LinkState::kDegraded;
+    degraded_since_ns_ = steady_ns();
+  }
+  reconnect_cv_.notify_all();
+}
+
+void LinkSession::fail_locked(const char* why) {
+  if (state_ == LinkState::kFailed) return;
+  state_ = LinkState::kFailed;
+  error_ = why;
+  if (transport_ != nullptr) {
+    transport_->close();
+    graveyard_.push_back(std::move(transport_));
+  }
+  socket_dead_ = true;
+  journal_cv_.notify_all();
+  reconnect_cv_.notify_all();
+}
+
+void LinkSession::send(net::MessagePtr msg) {
+  std::vector<std::uint8_t> buf;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The journal bound IS the backpressure while the link is down: the
+    // sender (engine thread) blocks here until the peer's ACKs make room
+    // again — bounded buffering, not unbounded growth, not a dead node.
+    journal_cv_.wait(lock, [this] {
+      return (journal_.size() < cfg_.journal_max_frames &&
+              journal_bytes_ < cfg_.journal_max_bytes) ||
+             state_ == LinkState::kFailed || stopped_;
+    });
+    if (state_ == LinkState::kFailed || stopped_) return;
+
+    const bool is_ctrl = std::strcmp(msg->type_name(), "wire.ctrl") == 0;
+    std::uint8_t ctrl_code = 0;
+    if (is_ctrl) ctrl_code = static_cast<const ControlMsg&>(*msg).code;
+
+    net::TransportFrame frame;
+    frame.seq = send_next_++;
+    frame.ack = recv_expected_;
+    frame.payload = std::move(msg);
+    net::wire::encode(frame, buf);
+
+    if (!is_ctrl) ++data_sent_;
+    journal_bytes_ += buf.size();
+    journal_.push_back(Entry{frame.seq, buf});
+    if (spill_ != nullptr) {
+      spill_->record_sent(cfg_.link_index, data_sent_, buf.data(), buf.size());
+      if (is_ctrl && (ctrl_code == ControlMsg::kDone ||
+                      ctrl_code == ControlMsg::kBye))
+        spill_->record_ctrl_sent(cfg_.link_index, ctrl_code);
+    }
+  }
+  pump_wire();
+}
+
+void LinkSession::pump_wire() {
+  // Single holder: whoever gets here first drains everything pending, in seq
+  // order — a second sender arriving mid-drain finds nothing left to do.
+  // Holding wire_mutex_ (never mutex_) across the blocking send keeps the
+  // heartbeat tick and on_frame live while this thread is backpressured.
+  std::lock_guard<std::mutex> wire_lock(wire_mutex_);
+  while (true) {
+    std::vector<std::uint8_t> bytes;
+    net::TcpLinkTransport* t = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (socket_dead_ || transport_ == nullptr || journal_.empty()) return;
+      const std::uint64_t front = journal_.front().seq;
+      if (wire_next_ < front) wire_next_ = front;  // acked under our feet
+      if (wire_next_ > journal_.back().seq) return;
+      bytes = journal_[wire_next_ - front].bytes;
+      ++wire_next_;
+      t = transport_.get();
+    }
+    // A failed send just means the socket died mid-frame: the journal still
+    // holds everything unacked and the next rejoin rewinds wire_next_.
+    if (!t->send_bytes(bytes.data(), bytes.size(), true)) return;
+  }
+}
+
+void LinkSession::on_frame(std::unique_ptr<net::TransportFrame> frame) {
+  net::MessagePtr payload;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    handle_ack_locked(frame->ack);
+    if (!frame->payload) return;  // pure ACK / heartbeat
+    if (frame->seq < recv_expected_) {
+      // Replay overlap after a rejoin (or an in-flight frame racing one):
+      // already delivered, drop — this is the zero-dup guarantee.
+      ++dup_drops_;
+      return;
+    }
+    if (frame->seq > recv_expected_) {
+      fail_locked("session: sequence gap on an ordered stream");
+      return;
+    }
+    ++recv_expected_;
+    const bool is_ctrl =
+        std::strcmp(frame->payload->type_name(), "wire.ctrl") == 0;
+    if (!is_ctrl) ++data_delivered_;
+    if (spill_ != nullptr) {
+      // Record-then-deliver: once the cursor is on disk the frame is
+      // never accepted again, so a crash between the two leaves at most a
+      // recorded-but-unapplied write — invisible, which causal memory
+      // explicitly allows; a duplicate apply would not be.
+      spill_->record_delivered(cfg_.link_index, recv_expected_,
+                               data_delivered_);
+      if (is_ctrl) {
+        const auto& ctrl = static_cast<const ControlMsg&>(*frame->payload);
+        if (ctrl.code == ControlMsg::kDone || ctrl.code == ControlMsg::kBye)
+          spill_->record_ctrl_delivered(cfg_.link_index, ctrl.code, ctrl.a);
+      }
+    }
+    payload = std::move(frame->payload);
+  }
+  deliver_(std::move(payload));
+}
+
+void LinkSession::arm_tick() {
+  loop_.post_after(cfg_.hb_interval_ms, [this] { tick(); });
+}
+
+void LinkSession::tick() {
+  bool rearm = true;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    const std::int64_t now = steady_ns();
+    net::TcpLinkTransport* t = transport_.get();
+    if (t != nullptr) {
+      if (t->error() != nullptr || t->peer_closed()) {
+        if (shutdown_ && journal_.empty()) {
+          // Clean goodbye during the final drain: retire quietly, stay kUp.
+          transport_->close();
+          graveyard_.push_back(std::move(transport_));
+          socket_dead_ = true;
+        } else {
+          retire_locked();
+        }
+      } else {
+        const std::int64_t silence = now - t->last_rx_ns();
+        if (silence > std::int64_t{cfg_.liveness_timeout_ms} * 1'000'000) {
+          // Peer is silent (SIGSTOP, stall): degraded, not dead. Senders
+          // keep blocking on the journal bound; delivery resumes the moment
+          // bytes flow again.
+          ++hb_miss_;
+          if (state_ == LinkState::kUp) {
+            state_ = LinkState::kDegraded;
+            degraded_since_ns_ = now;
+          }
+        } else if (state_ == LinkState::kDegraded) {
+          state_ = LinkState::kUp;
+          ++resumes_;
+        }
+        if (t->backlog() < 16) {
+          // Heartbeat: a pure-ACK frame. Doubles as ack carriage during the
+          // mutual drain-wait at shutdown (each side's journal empties on
+          // the other's heartbeats alone).
+          net::TransportFrame hb;
+          hb.ack = recv_expected_;
+          std::vector<std::uint8_t> buf;
+          net::wire::encode(hb, buf);
+          t->send_bytes(buf.data(), buf.size(), false);
+        } else {
+          // Deep backlog: re-post a flush in case the armed flusher stalled
+          // without a pending EPOLLOUT edge (a cleared injected stall, a
+          // missed edge) — the tick doubles as the flusher's watchdog.
+          t->kick();
+        }
+      }
+    }
+    if (state_ == LinkState::kDegraded && cfg_.degraded_timeout_ms > 0 &&
+        now - degraded_since_ns_ >
+            std::int64_t{cfg_.degraded_timeout_ms} * 1'000'000) {
+      fail_locked("session: degraded past the failure budget");
+    }
+    if (state_ == LinkState::kFailed) rearm = false;
+  }
+  if (rearm) arm_tick();
+}
+
+int LinkSession::dial_and_rejoin(std::uint64_t delivered,
+                                 std::uint64_t& peer_delivered, bool& stale) {
+  // Time-bounded dial: a full or unserviced listener backlog must cost one
+  // handshake budget, not minutes of kernel SYN retries.
+  const int fd = net::tcp_connect_timeout(cfg_.host.c_str(), cfg_.peer_port,
+                                          cfg_.handshake_timeout_ms);
+  if (fd < 0) return -1;
+  ControlMsg rejoin;
+  rejoin.code = ControlMsg::kRejoin;
+  rejoin.a = cfg_.self_id;
+  rejoin.b = cfg_.session_id;
+  rejoin.c = delivered;
+  ControlMsg reply;
+  if (!send_ctrl_fd(fd, rejoin) ||
+      recv_ctrl_fd(fd, cfg_.handshake_timeout_ms, reply) != nullptr) {
+    ::close(fd);
+    return -1;
+  }
+  if (reply.code == ControlMsg::kJoinReject) {
+    if (reply.b == kRejectStaleSession) stale = true;
+    ::close(fd);
+    return -1;
+  }
+  if (reply.code != ControlMsg::kRejoin || reply.b != cfg_.session_id) {
+    ::close(fd);
+    return -1;
+  }
+  peer_delivered = reply.c;
+  return fd;
+}
+
+void LinkSession::reconnect_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopped_) {
+    reconnect_cv_.wait(lock, [this] {
+      return stopped_ ||
+             (socket_dead_ && state_ != LinkState::kFailed &&
+              (!shutdown_ || !journal_.empty()));
+    });
+    if (stopped_) break;
+    int attempt = 0;
+    while (!stopped_ && socket_dead_ && state_ != LinkState::kFailed) {
+      // Capped exponential backoff with deterministic jitter so two dialers
+      // sharing a host never re-dial in lockstep.
+      const int shift = std::min(attempt, 10);
+      std::int64_t delay = std::int64_t{cfg_.backoff_initial_ms} << shift;
+      delay = std::min<std::int64_t>(delay, cfg_.backoff_max_ms);
+      delay += static_cast<std::int64_t>(splitmix64(jitter_state_) %
+                                         (static_cast<std::uint64_t>(delay) / 2 + 1));
+      reconnect_cv_.wait_for(lock, std::chrono::milliseconds(delay), [this] {
+        return stopped_ || !socket_dead_;
+      });
+      if (stopped_ || !socket_dead_ || state_ == LinkState::kFailed) break;
+      const std::uint64_t delivered = recv_expected_;
+      lock.unlock();
+      std::uint64_t peer_delivered = 0;
+      bool stale = false;
+      const int fd = dial_and_rejoin(delivered, peer_delivered, stale);
+      if (fd >= 0) {
+        resume_with_socket(fd, peer_delivered);
+        lock.lock();
+        break;
+      }
+      lock.lock();
+      if (stale) {
+        // The peer runs a different session epoch (a whole-mesh restart
+        // under our feet): replaying into it would corrupt causal order.
+        fail_locked("rejoin rejected: stale session id");
+        break;
+      }
+      ++attempt;
+      if (cfg_.reconnect_attempts > 0 && attempt >= cfg_.reconnect_attempts) {
+        fail_locked("session: reconnect attempts exhausted");
+        break;
+      }
+    }
+  }
+}
+
+void LinkSession::resume_with_socket(int fd, std::uint64_t peer_delivered) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || state_ == LinkState::kFailed) {
+      ::close(fd);
+      return;
+    }
+    if (!socket_dead_) retire_locked();  // superseded incarnation
+    handle_ack_locked(peer_delivered);
+    attach_locked(fd);
+    // Rewind the wire cursor to the first unacked frame: the pump's next
+    // drain IS the replay, and because the pump is the only path to the
+    // wire, no concurrently-sent fresh frame can jump ahead of it.
+    wire_next_ = journal_.empty() ? send_next_ : journal_.front().seq;
+    state_ = LinkState::kUp;
+    ++resumes_;
+    journal_cv_.notify_all();
+    reconnect_cv_.notify_all();
+  }
+  // Duplicates (an ack racing the replay) die at the peer's receive cursor.
+  pump_wire();
+}
+
+std::size_t LinkSession::backlog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return journal_.size();
+}
+
+std::uint64_t LinkSession::wire_bytes_out() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = transport_ ? transport_->wire_bytes_out() : 0;
+  for (const auto& g : graveyard_) n += g->wire_bytes_out();
+  return n;
+}
+
+std::uint64_t LinkSession::wire_bytes_in() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = transport_ ? transport_->wire_bytes_in() : 0;
+  for (const auto& g : graveyard_) n += g->wire_bytes_in();
+  return n;
+}
+
+std::uint64_t LinkSession::syscalls_read() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = transport_ ? transport_->syscalls_read() : 0;
+  for (const auto& g : graveyard_) n += g->syscalls_read();
+  return n;
+}
+
+std::uint64_t LinkSession::syscalls_write() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = transport_ ? transport_->syscalls_write() : 0;
+  for (const auto& g : graveyard_) n += g->syscalls_write();
+  return n;
+}
+
+std::uint64_t LinkSession::frames_coalesced() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = transport_ ? transport_->frames_coalesced() : 0;
+  for (const auto& g : graveyard_) n += g->frames_coalesced();
+  return n;
+}
+
+std::uint64_t LinkSession::queue_full_stalls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = transport_ ? transport_->queue_full_stalls() : 0;
+  for (const auto& g : graveyard_) n += g->queue_full_stalls();
+  return n;
+}
+
+LinkState LinkSession::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+const char* LinkSession::error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+std::uint64_t LinkSession::recv_expected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recv_expected_;
+}
+
+bool LinkSession::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !socket_dead_;
+}
+
+std::uint64_t LinkSession::data_sent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_sent_;
+}
+
+std::uint64_t LinkSession::data_delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_delivered_;
+}
+
+std::uint64_t LinkSession::hb_miss() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hb_miss_;
+}
+
+std::uint64_t LinkSession::resumes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resumes_;
+}
+
+std::uint64_t LinkSession::dup_drops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dup_drops_;
+}
+
+bool LinkSession::down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ != LinkState::kUp;
+}
+
+bool accept_rejoin(int fd, const ControlMsg& msg, std::uint64_t self_id,
+                   LinkSession* session) {
+  if (session == nullptr || msg.b != session->session_id()) {
+    send_ctrl_fd(fd, ControlMsg::kJoinReject, self_id, kRejectStaleSession);
+    ::close(fd);
+    return false;
+  }
+  ControlMsg reply;
+  reply.code = ControlMsg::kRejoin;
+  reply.a = self_id;
+  reply.b = session->session_id();
+  reply.c = session->recv_expected();
+  // Reply before any replay frame can enter the stream: the dialer is
+  // blocking on exactly one control frame, and TCP keeps the order.
+  if (!send_ctrl_fd(fd, reply)) {
+    ::close(fd);
+    return false;
+  }
+  session->resume_with_socket(fd, msg.c);
+  return true;
+}
+
+}  // namespace cim::mesh

@@ -1,0 +1,226 @@
+// LinkSession: the crash-tolerant session layer between mesh::MeshNode and
+// net::TcpLinkTransport (docs/BRIDGE.md "Failure behavior").
+//
+// PR 6 made each tree edge a raw TCP stream: reliable while both processes
+// live, fatal the moment one hiccups. This layer gives every edge a
+// *session* that outlives any one socket:
+//
+//  * Frames carry monotonically increasing sequence numbers plus a
+//    piggybacked cumulative ACK — the same TransportFrame ARQ format the
+//    in-sim ReliableTransport uses (net/reliable_transport.h), so the wire
+//    is unchanged and a capture decodes with the same codec.
+//  * Sent frames stay in a bounded replay journal until the peer's ACK
+//    covers them; the journal doubles as the backpressure bound while a link
+//    is down (senders block against it — degraded, not dead).
+//  * A heartbeat tick on the shared EpollLoop sends pure-ACK frames and
+//    watches the transport's last_rx_ns: a silent peer (SIGSTOP, stall)
+//    flips the link to kDegraded (net.mesh.<peer>.{down,hb_miss} gauges)
+//    instead of killing the node, and flips back when bytes flow again.
+//  * A dead socket (EOF, RST, write failure) retires the transport
+//    incarnation; the dialer side re-dials with capped exponential backoff +
+//    jitter and a kRejoin handshake (session id + last-delivered seq), the
+//    acceptor side answers rejoins on the node's listener. The journal
+//    replays everything past the peer's delivery cursor; the receive cursor
+//    drops duplicates — no pair is delivered twice or lost.
+//  * Every session event is spilled to the node's SpillJournal (mesh/spill.h)
+//    so `cim_bridge --resume` restores the cursors and the replay window
+//    after a kill -9.
+//
+// Threading: send() may be called from any non-loop thread (engine,
+// convergecast) and blocks against the journal bound. on_frame and the
+// heartbeat tick run on the loop thread. The reconnect thread owns re-dials.
+// The session mutex is never held across a blocking transport send — the
+// tick must stay live while a sender is backpressured (the SIGSTOP case).
+// All journaled frames reach the wire through pump_wire(), a single-holder
+// drain of the journal tail under its own wire mutex: concurrent senders
+// (and a rejoin replay racing them) would otherwise emit seq-stamped frames
+// out of order, which the peer must treat as a fatal sequence gap.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mesh/spill.h"
+#include "net/epoll_loop.h"
+#include "net/link_transport.h"
+#include "net/tcp_link.h"
+#include "net/wire.h"
+
+namespace cim::mesh {
+
+enum class LinkState : int { kUp = 0, kDegraded = 1, kFailed = 2 };
+
+struct SessionConfig {
+  std::uint64_t session_id = 0;  // deterministic per (topology, seed, edge)
+  std::uint64_t self_id = 0;     // our node id
+  std::uint64_t peer_id = 0;     // neighbor node id
+  std::size_t link_index = 0;    // slot in the node's spill journal
+  /// True iff we dialed this edge at join time; the dialer re-dials after a
+  /// socket death, the acceptor waits for a kRejoin on the node's listener.
+  bool dialer = false;
+  std::string host = "127.0.0.1";
+  std::uint16_t peer_port = 0;
+  int hb_interval_ms = 100;
+  int liveness_timeout_ms = 2000;
+  /// After this long continuously degraded the session fails (0 = never:
+  /// degrade + backpressure forever, the default).
+  int degraded_timeout_ms = 0;
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 1000;
+  /// Dial attempts per outage before the session fails (<= 0: unbounded).
+  int reconnect_attempts = 40;
+  int handshake_timeout_ms = 2000;
+  std::size_t journal_max_frames = 4096;
+  std::size_t journal_max_bytes = std::size_t{4} << 20;
+  net::TcpLinkConfig link;
+};
+
+class LinkSession final : public net::LinkTransport {
+ public:
+  /// Payload delivery (loop thread), exactly once per payload per session
+  /// lifetime — crashes included, via the spill journal's receive cursor.
+  using DeliverFn = std::function<void(net::MessagePtr)>;
+
+  /// `journal` may be null (no crash spill — tests). The loop must outlive
+  /// stop(); the session must be destroyed only after loop.stop().
+  LinkSession(SessionConfig cfg, net::EpollLoop& loop, SpillJournal* journal);
+  ~LinkSession() override;
+  LinkSession(const LinkSession&) = delete;
+  LinkSession& operator=(const LinkSession&) = delete;
+
+  /// Restore cursors + replay window from a loaded spill journal. Must be
+  /// called before start().
+  void restore(const SpillLinkState& state);
+
+  /// Start the session. `fd` is the connected socket from the join
+  /// handshake, or -1 to start socketless (a resumed node: the dialer side
+  /// re-dials immediately, the acceptor waits for the peer's rejoin).
+  void start(int fd, DeliverFn deliver);
+
+  /// Attach a fresh socket after a successful rejoin handshake: trims the
+  /// journal to the peer's delivery cursor, replays the rest, flips to kUp.
+  /// Called by the reconnect thread (dialer) or accept_rejoin (acceptor).
+  void resume_with_socket(int fd, std::uint64_t peer_delivered);
+
+  /// Final drain: EOF from here on is a normal goodbye, not an outage.
+  void begin_shutdown();
+
+  /// Every sent frame acknowledged (the replay journal is empty).
+  bool drained() const;
+
+  /// Join the reconnect thread. Call before the loop stops.
+  void stop();
+
+  // net::LinkTransport — the interconnector sends pairs through here.
+  void send(net::MessagePtr msg) override;
+  std::size_t backlog() const override;
+  const char* kind() const override { return "session"; }
+  bool serializing() const override { return true; }
+  std::uint64_t wire_bytes_out() const override;
+  std::uint64_t wire_bytes_in() const override;
+
+  // ---- introspection (any thread) ------------------------------------------
+  LinkState state() const;
+  /// Static description of a permanent failure, or null.
+  const char* error() const;
+  std::uint64_t session_id() const { return cfg_.session_id; }
+  std::uint64_t peer_id() const { return cfg_.peer_id; }
+  std::uint64_t recv_expected() const;
+  /// A live socket incarnation exists right now.
+  bool connected() const;
+  /// Non-ctrl payload frames sent / delivered this session (across crashes).
+  std::uint64_t data_sent() const;
+  std::uint64_t data_delivered() const;
+  // net.mesh.<peer>.* gauge sources (docs/OBSERVABILITY.md, schema v4).
+  std::uint64_t hb_miss() const;
+  std::uint64_t resumes() const;
+  std::uint64_t dup_drops() const;
+  bool down() const;
+  // Transport stats summed across every socket incarnation.
+  std::uint64_t syscalls_read() const;
+  std::uint64_t syscalls_write() const;
+  std::uint64_t frames_coalesced() const;
+  std::uint64_t queue_full_stalls() const;
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> bytes;  // full encoded frame
+  };
+
+  void on_frame(std::unique_ptr<net::TransportFrame> frame);
+  /// Write journal entries from wire_next_ up in seq order to the live
+  /// transport. Any thread; blocks against the transport's bounded queue
+  /// while holding wire_mutex_ (never mutex_ — see the threading note).
+  void pump_wire();
+  void tick();
+  void arm_tick();
+  void handle_ack_locked(std::uint64_t ack);
+  void retire_locked();  // current transport died: degrade + wake the dialer
+  void fail_locked(const char* why);
+  void attach_locked(int fd);  // new transport incarnation, registered
+  void reconnect_main();
+  int dial_and_rejoin(std::uint64_t delivered, std::uint64_t& peer_delivered,
+                      bool& stale);
+
+  SessionConfig cfg_;
+  net::EpollLoop& loop_;
+  SpillJournal* spill_;
+  DeliverFn deliver_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable journal_cv_;    // senders wait for journal room
+  std::condition_variable reconnect_cv_;  // wakes/paces the dialer thread
+  LinkState state_ = LinkState::kUp;
+  const char* error_ = nullptr;
+  bool shutdown_ = false;
+  bool stopped_ = false;
+  bool socket_dead_ = true;  // no live transport incarnation
+
+  // Session cursors (mutex_). Persisted via spill_.
+  std::uint64_t send_next_ = 0;      // next seq to stamp
+  std::uint64_t acked_ = 0;          // peer's cumulative ack
+  std::uint64_t recv_expected_ = 0;  // next inbound seq we accept
+  std::uint64_t data_sent_ = 0;
+  std::uint64_t data_delivered_ = 0;
+  std::deque<Entry> journal_;        // unacked frames, seq ascending
+  std::size_t journal_bytes_ = 0;
+  /// Next seq to put on the wire (mutex_). Reset to the journal front by a
+  /// rejoin — that IS the replay. Claimed optimistically: if the socket dies
+  /// mid-send the journal still holds the frame and the next rejoin rewinds.
+  std::uint64_t wire_next_ = 0;
+  /// Serializes transport writes of seq-stamped frames (see pump_wire).
+  std::mutex wire_mutex_;
+  std::int64_t degraded_since_ns_ = 0;
+
+  // Gauges (mutex_).
+  std::uint64_t hb_miss_ = 0;
+  std::uint64_t resumes_ = 0;
+  std::uint64_t dup_drops_ = 0;
+
+  // Socket incarnations. `transport_` is the live one (null while down);
+  // retired ones move to the graveyard and die with the session — an epoll
+  // handler must outlive the loop's last dispatch (net/epoll_loop.h).
+  std::unique_ptr<net::TcpLinkTransport> transport_;
+  std::vector<std::unique_ptr<net::TcpLinkTransport>> graveyard_;
+
+  std::thread reconnect_thread_;
+  std::uint64_t jitter_state_;  // splitmix64, seeded deterministically
+};
+
+/// Acceptor-side rejoin: validate `msg` (a kRejoin read off a fresh
+/// connection by the node's accept thread) against `session`, answer with
+/// our own kRejoin carrying the local delivery cursor, and hand the socket
+/// to the session. On a session-id mismatch (or null session) the join is
+/// rejected with kRejectStaleSession and the fd closed. Returns success.
+bool accept_rejoin(int fd, const net::wire::ControlMsg& msg,
+                   std::uint64_t self_id, LinkSession* session);
+
+}  // namespace cim::mesh

@@ -1,8 +1,8 @@
 #include "mesh/mesh_node.h"
 
-#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "mesh/ctrl_io.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "protocols/anbkh.h"
@@ -23,95 +24,19 @@ namespace {
 using Clock = std::chrono::steady_clock;
 using net::wire::ControlMsg;
 
-// kJoinReject reason codes (ControlMsg.b; docs/BRIDGE.md "Join").
-enum RejectReason : std::uint64_t {
-  kRejectWireVersion = 1,
-  kRejectTopologyHash = 2,
-  kRejectNotANeighbor = 3,
-  kRejectDuplicateJoin = 4,
-};
-
-const char* reject_reason_name(std::uint64_t reason) {
-  switch (reason) {
-    case kRejectWireVersion: return "wire version mismatch";
-    case kRejectTopologyHash: return "topology hash mismatch";
-    case kRejectNotANeighbor: return "not a neighbor";
-    case kRejectDuplicateJoin: return "duplicate join";
-    default: return "unknown reason";
-  }
-}
-
-bool send_ctrl_fd(int fd, std::uint8_t code, std::uint64_t a,
-                  std::uint64_t b) {
-  ControlMsg msg;
-  msg.code = code;
-  msg.a = a;
-  msg.b = b;
-  std::vector<std::uint8_t> buf;
-  net::wire::encode(msg, buf);
-  const std::uint8_t* p = buf.data();
-  std::size_t left = buf.size();
-  while (left > 0) {
-    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-// Read one bare ControlMsg frame from a blocking fd, bounded by SO_RCVTIMEO.
-// Returns nullptr on success, a static error description otherwise.
-const char* recv_ctrl_fd(int fd, int timeout_ms, ControlMsg& out) {
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-
-  std::uint8_t frame[4 + 64];
-  auto read_exact = [fd](std::uint8_t* dst, std::size_t len) -> const char* {
-    while (len > 0) {
-      const ssize_t n = ::read(fd, dst, len);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK)
-          return "handshake timed out";
-        return "handshake read failed";
-      }
-      if (n == 0) return "peer closed during handshake";
-      dst += n;
-      len -= static_cast<std::size_t>(n);
-    }
-    return nullptr;
-  };
-  if (const char* err = read_exact(frame, 4)) return err;
-  std::uint32_t body_len = 0;
-  for (int i = 0; i < 4; ++i)
-    body_len |= static_cast<std::uint32_t>(frame[i]) << (8 * i);
-  if (body_len > sizeof(frame) - 4)
-    return "handshake frame is not a control message";
-  if (const char* err = read_exact(frame + 4, body_len)) return err;
-
-  net::wire::DecodeResult res = net::wire::decode(frame, 4 + body_len);
-  if (!res.ok()) return res.error;
-  auto* ctrl = dynamic_cast<ControlMsg*>(res.msg.get());
-  if (ctrl == nullptr) return "handshake frame is not a control message";
-  out = *ctrl;
-  return nullptr;
-}
-
 }  // namespace
 
 MeshNode::MeshNode(MeshConfig config) : cfg_(std::move(config)) {}
 
 MeshNode::~MeshNode() {
+  accept_stop_.store(true, std::memory_order_release);
+  for (auto& s : sessions_) s->stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
   // Contract with the transports: the loop thread must be joined before any
   // registered handler dies (net/epoll_loop.h).
   loop_.stop();
-  links_.clear();
+  sessions_.clear();
+  if (listener_ >= 0) ::close(listener_);
   for (int fd : fds_)
     if (fd >= 0) ::close(fd);
 }
@@ -210,6 +135,65 @@ std::size_t MeshNode::handshake_accept(int fd) {
   return slot;
 }
 
+bool MeshNode::load_resume_state() {
+  std::string err;
+  if (!SpillJournal::load(cfg_.state_path, restored_, err)) {
+    error_ = err;
+    return false;
+  }
+  if (restored_.node_id != cfg_.node_id) {
+    error_ = "state journal belongs to node " +
+             std::to_string(restored_.node_id) + ", not node " +
+             std::to_string(cfg_.node_id);
+    return false;
+  }
+  if (restored_.topo_hash != cfg_.topo.hash()) {
+    error_ = "state journal topology hash mismatch (different spec file?)";
+    return false;
+  }
+  if (restored_.seed != cfg_.seed) {
+    error_ = "state journal seed mismatch";
+    return false;
+  }
+  if (restored_.links.size() != neighbors_.size()) {
+    error_ = "state journal link count mismatch";
+    return false;
+  }
+  for (const SpillLinkState& l : restored_.links) {
+    if (l.done_sent || l.bye_sent) {
+      // Our done already announced a final pair count; re-running the
+      // workload would invalidate it. The convergecast is not resumable
+      // once begun — restart the whole mesh instead.
+      error_ = "cannot resume: termination had already begun";
+      return false;
+    }
+  }
+  generation_ = restored_.generation + 1;
+  if (generation_ > 4) {
+    // Value ranges are [id*1e6 + g*200k, ...): generation 5 would collide
+    // with the next node's range and break value-identifies-write.
+    error_ = "too many restart generations (value ranges would collide)";
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t MeshNode::edge_session_id(std::size_t peer) const {
+  // FNV-1a over (topology hash, seed, lower id, higher id): both endpoints
+  // compute the same id with no coordination, and a rejoin from a different
+  // run (other seed/spec) can never match — it is rejected as stale.
+  const std::uint64_t lo = std::min<std::uint64_t>(cfg_.node_id, peer);
+  const std::uint64_t hi = std::max<std::uint64_t>(cfg_.node_id, peer);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint64_t v : {cfg_.topo.hash(), cfg_.seed, lo, hi}) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h != 0 ? h : 1;
+}
+
 bool MeshNode::join() {
   isc::TopologyResult vr = isc::validate_topology(cfg_.topo);
   if (!vr.ok()) {
@@ -230,11 +214,26 @@ bool MeshNode::join() {
   for (std::size_t nb : neighbors_)
     if (nb > cfg_.node_id) ++higher;
 
+  if (cfg_.resume) {
+    if (cfg_.state_path.empty()) {
+      error_ = "--resume requires --state";
+      return false;
+    }
+    if (!load_resume_state()) return false;
+    // No handshakes: every edge re-forms through the kRejoin path. We still
+    // listen so crashed-and-back higher-id dialers can find us.
+    if (higher > 0)
+      listener_ = net::tcp_listen(
+          static_cast<std::uint16_t>(cfg_.base_port + cfg_.node_id),
+          static_cast<int>(higher));
+    return true;
+  }
+
   // Listen before dialing: higher-id neighbors may dial us at any moment
   // once their own lower dials are through. The backlog holds them all.
-  int listener = -1;
+  // The listener stays open for the whole run (accept_main answers rejoins).
   if (higher > 0)
-    listener = net::tcp_listen(
+    listener_ = net::tcp_listen(
         static_cast<std::uint16_t>(cfg_.base_port + cfg_.node_id),
         static_cast<int>(higher));
 
@@ -253,7 +252,8 @@ bool MeshNode::join() {
     }
     if (fd < 0 || !handshake_dial(fd, neighbors_[e])) {
       if (fd >= 0) ::close(fd);
-      if (listener >= 0) ::close(listener);
+      if (listener_ >= 0) ::close(listener_);
+      listener_ = -1;
       return false;
     }
     fds_[e] = fd;
@@ -271,7 +271,7 @@ bool MeshNode::join() {
         deadline - Clock::now());
     const int timeout = static_cast<int>(std::max<std::int64_t>(
         0, left.count()));
-    const int fd = timeout > 0 ? net::tcp_accept(listener, timeout) : -1;
+    const int fd = timeout > 0 ? net::tcp_accept(listener_, timeout) : -1;
     if (fd < 0) {
       std::string missing;
       for (std::size_t e = 0; e < neighbors_.size(); ++e) {
@@ -280,25 +280,76 @@ bool MeshNode::join() {
                      std::to_string(neighbors_[e]);
       }
       error_ = "join timed out waiting for node(s) " + missing;
-      ::close(listener);
+      ::close(listener_);
+      listener_ = -1;
       return false;
     }
     if (handshake_accept(fd) != isc::Topology::npos) ++joined;
   }
-  if (listener >= 0) ::close(listener);
   return true;
+}
+
+void MeshNode::accept_main() {
+  // Runs for the whole of run(): answers kRejoin handshakes from crashed
+  // higher-id dialers and refuses everything else. tcp_accept's timeout is
+  // the stop-polling granularity.
+  while (!accept_stop_.load(std::memory_order_acquire)) {
+    const int fd = net::tcp_accept(listener_, 200);
+    if (fd < 0) continue;
+    ControlMsg msg;
+    if (recv_ctrl_fd(fd, 1000, msg) != nullptr) {
+      ::close(fd);
+      continue;
+    }
+    if (msg.code == ControlMsg::kRejoin) {
+      LinkSession* target = nullptr;
+      for (auto& s : sessions_)
+        if (s->session_id() == msg.b && s->peer_id() == msg.a)
+          target = s.get();
+      accept_rejoin(fd, msg, cfg_.node_id, target);  // rejects stale inside
+    } else {
+      // A fresh kHello mid-run: this mesh epoch already formed, so the
+      // dialer is from some other world (stale spec, stray process).
+      send_ctrl_fd(fd, ControlMsg::kJoinReject, cfg_.node_id,
+                   kRejectStaleSession);
+      ::close(fd);
+    }
+  }
 }
 
 MeshResult MeshNode::run() {
   MeshResult result;
   const std::size_t n_links = neighbors_.size();
-  for (int fd : fds_) CIM_CHECK_MSG(fd >= 0 || n_links == 0, "run before join");
+  if (!cfg_.resume)
+    for (int fd : fds_)
+      CIM_CHECK_MSG(fd >= 0 || n_links == 0, "run before join");
+
+  // Open this generation's spill journal before anything can send: the
+  // journal must never miss a session event.
+  if (!cfg_.state_path.empty()) {
+    SpillState st;
+    st.node_id = cfg_.node_id;
+    st.topo_hash = cfg_.topo.hash();
+    st.seed = cfg_.seed;
+    st.generation = generation_;
+    if (cfg_.resume) st.links = restored_.links;
+    else st.links.assign(n_links, SpillLinkState{});
+    if (!spill_.create(cfg_.state_path, st)) {
+      error_ = "cannot write state journal " + cfg_.state_path;
+      return result;
+    }
+  }
 
   isc::FederationConfig cfg;
   cfg.obs.trace.enabled = cfg_.trace;
   cfg.monitor.enabled = true;
   mcs::SystemConfig sys;
-  sys.id = SystemId{static_cast<std::uint16_t>(cfg_.node_id)};
+  // A resumed incarnation is a *new* causal memory system joining the tree
+  // (the paper's systems are static; restart-as-new-system keeps us inside
+  // the model). Offset the id so its processes never collide with the
+  // crashed generation's in the merged history.
+  sys.id = SystemId{
+      static_cast<std::uint16_t>(cfg_.node_id + generation_ * 4096)};
   sys.num_app_processes = cfg_.procs;
   sys.protocol = proto::anbkh_protocol();
   sys.seed = cfg_.seed + cfg_.node_id;
@@ -307,14 +358,56 @@ MeshResult MeshNode::run() {
     cfg.external_links.push_back(isc::ExternalLinkSpec{});
   fed_ = std::make_unique<isc::Federation>(std::move(cfg));
 
+  // Crash-durable history stream: writes hit the page cache at invocation,
+  // before the pair can leave the engine thread, so any write a peer ever
+  // sees is on disk (zero lost writes in the merged history). Appends on
+  // resume — the crashed generation's prefix is already there.
+  if (!cfg_.history_path.empty()) {
+    history_ = std::make_unique<std::ofstream>(
+        cfg_.history_path,
+        cfg_.resume ? std::ios::app : std::ios::trunc);
+    if (!*history_) {
+      error_ = "cannot write history " + cfg_.history_path;
+      return result;
+    }
+    fed_->recorder().set_listener([this](const chk::Op& op) {
+      if (op.is_isp) return;
+      auto& os = *history_;
+      os << (op.kind == chk::OpKind::kRead ? 'r' : 'w') << ' '
+         << op.proc.system.value << ' ' << op.proc.index << ' '
+         << op.var.value << ' ' << op.value << '\n';
+      os.flush();
+    });
+  }
+
+  loop_.set_fault_hooks(cfg_.faults);
   loop_.start();
   std::vector<std::size_t> link_idx(n_links);
+  SpillJournal* spill = cfg_.state_path.empty() ? nullptr : &spill_;
   for (std::size_t e = 0; e < n_links; ++e) {
-    links_.push_back(std::make_unique<net::TcpLinkTransport>(
-        fds_[e], loop_, nullptr, cfg_.link));
-    fds_[e] = -1;  // the transport owns it now
+    SessionConfig sc;
+    sc.session_id = edge_session_id(neighbors_[e]);
+    sc.self_id = cfg_.node_id;
+    sc.peer_id = neighbors_[e];
+    sc.link_index = e;
+    // Reconnects re-dial in the original join direction — the higher id
+    // dials the lower id's listener, which stays open for the whole run.
+    sc.dialer = neighbors_[e] < cfg_.node_id;
+    sc.host = cfg_.host;
+    sc.peer_port = static_cast<std::uint16_t>(cfg_.base_port + neighbors_[e]);
+    sc.hb_interval_ms = cfg_.hb_interval_ms;
+    sc.liveness_timeout_ms = cfg_.liveness_timeout_ms;
+    sc.degraded_timeout_ms = cfg_.degraded_timeout_ms;
+    sc.backoff_initial_ms = cfg_.backoff_initial_ms;
+    sc.backoff_max_ms = cfg_.backoff_max_ms;
+    sc.reconnect_attempts = cfg_.reconnect_attempts;
+    sc.link = cfg_.link;
+    sc.link.faults = cfg_.faults;
+    sessions_.push_back(
+        std::make_unique<LinkSession>(std::move(sc), loop_, spill));
+    if (cfg_.resume) sessions_[e]->restore(restored_.links[e]);
     link_idx[e] = fed_->interconnector().attach_external_link(
-        e, links_.back().get());
+        e, sessions_[e].get());
   }
   // Every external link of this node shares the one IS-process, which is
   // exactly what makes the tree work: a pair arriving on link L is applied
@@ -325,7 +418,10 @@ MeshResult MeshNode::run() {
   wl::UniformConfig wc;
   wc.ops_per_process = cfg_.ops;
   wc.seed = cfg_.seed * 2 + cfg_.node_id;
-  wc.value_base = static_cast<Value>(cfg_.node_id) * 1'000'000;
+  // Each generation writes a disjoint value range (header comment): the
+  // checker's value-identifies-write premise survives restarts.
+  wc.value_base = static_cast<Value>(cfg_.node_id) * 1'000'000 +
+                  static_cast<Value>(generation_) * 200'000;
   auto runners = wl::install_uniform(*fed_, wc);
 
   rt::Runtime rt(*fed_);
@@ -333,10 +429,16 @@ MeshResult MeshNode::run() {
   std::vector<std::atomic<bool>> peer_done(n_links);
   std::vector<std::atomic<bool>> peer_bye(n_links);
   std::vector<std::atomic<std::uint64_t>> peer_pairs(n_links);
+  // Pairs applied on the engine thread per link, across generations: the
+  // restored delivery cursor seeds it, so a resumed node's drained()
+  // comparison counts the crashed generation's applies too.
+  std::vector<std::atomic<std::uint64_t>> applied_pairs(n_links);
   for (std::size_t e = 0; e < n_links; ++e) {
-    peer_done[e] = false;
-    peer_bye[e] = false;
-    peer_pairs[e] = 0;
+    const SpillLinkState* r = cfg_.resume ? &restored_.links[e] : nullptr;
+    peer_done[e] = r != nullptr && r->peer_done;
+    peer_bye[e] = r != nullptr && r->peer_bye;
+    peer_pairs[e] = r != nullptr ? r->peer_pairs : 0;
+    applied_pairs[e] = r != nullptr ? r->data_delivered : 0;
   }
 
   // The engine must accept posts before any transport can deliver: a fast
@@ -346,26 +448,36 @@ MeshResult MeshNode::run() {
   for (std::size_t e = 0; e < n_links; ++e) {
     isc::IsProcess* isp_ptr = isp;
     const std::size_t link = link_idx[e];
-    links_[e]->start([&, isp_ptr, link, e](net::MessagePtr msg) {
-      // Loop thread. Control frames only touch atomics; pairs go to the
-      // engine thread, where deliver_from_link runs protocol code and may
-      // forward to sibling links.
-      if (std::strcmp(msg->type_name(), "wire.ctrl") == 0) {
-        auto& ctrl = static_cast<ControlMsg&>(*msg);
-        if (ctrl.code == ControlMsg::kDone) {
-          peer_pairs[e].store(ctrl.a, std::memory_order_relaxed);
-          peer_done[e].store(true, std::memory_order_release);
-        } else if (ctrl.code == ControlMsg::kBye) {
-          peer_bye[e].store(true, std::memory_order_release);
-        }
-        return;
-      }
-      net::Message* raw = msg.release();
-      rt.post([isp_ptr, link, raw] {
-        isp_ptr->deliver_from_link(link, net::MessagePtr(raw));
-      });
-    });
+    auto* applied = &applied_pairs[e];
+    sessions_[e]->start(
+        cfg_.resume ? -1 : fds_[e],
+        [&, isp_ptr, link, applied, e](net::MessagePtr msg) {
+          // Loop thread. Control frames only touch atomics; pairs go to the
+          // engine thread, where deliver_from_link runs protocol code and
+          // may forward to sibling links.
+          if (std::strcmp(msg->type_name(), "wire.ctrl") == 0) {
+            auto& ctrl = static_cast<ControlMsg&>(*msg);
+            if (ctrl.code == ControlMsg::kDone) {
+              peer_pairs[e].store(ctrl.a, std::memory_order_relaxed);
+              peer_done[e].store(true, std::memory_order_release);
+            } else if (ctrl.code == ControlMsg::kBye) {
+              peer_bye[e].store(true, std::memory_order_release);
+            }
+            return;
+          }
+          net::Message* raw = msg.release();
+          rt.post([isp_ptr, link, raw, applied] {
+            isp_ptr->deliver_from_link(link, net::MessagePtr(raw));
+            applied->fetch_add(1, std::memory_order_release);
+          });
+        });
+    fds_[e] = -1;  // the session's transport owns it now
   }
+
+  // Rejoin service — started only after every session exists, so a crashed
+  // dialer reconnecting the instant we come back finds its session.
+  if (listener_ >= 0) accept_thread_ = std::thread([this] { accept_main(); });
+  sessions_ready_.store(true, std::memory_order_release);
 
   // Run `fn` on the engine thread and wait — the only way anything outside
   // the engine reads engine-owned state (IS counters, runner progress).
@@ -380,11 +492,19 @@ MeshResult MeshNode::run() {
     done.get_future().wait();
   };
 
-  auto fail = [&](std::string why) {
-    error_ = std::move(why);
+  auto shut_down_everything = [&] {
+    // Sessions first: stop() closes the live transports, which unblocks an
+    // accept thread stuck replaying into a stalled peer — only then is the
+    // join below guaranteed to return.
+    accept_stop_.store(true, std::memory_order_release);
+    for (auto& s : sessions_) s->stop();
+    if (accept_thread_.joinable()) accept_thread_.join();
     loop_.stop();  // before rt: a late delivery must not post to a dead rt
     rt.stop();
-    for (auto& link : links_) link->close();
+  };
+  auto fail = [&](std::string why) {
+    error_ = std::move(why);
+    shut_down_everything();
   };
 
   std::vector<bool> done_sent(n_links, false);
@@ -395,41 +515,36 @@ MeshResult MeshNode::run() {
     msg->code = code;
     msg->a = a;
     msg->b = b;
-    links_[e]->send(std::move(msg));
+    sessions_[e]->send(std::move(msg));
   };
 
-  // The done/bye convergecast (header comment + docs/BRIDGE.md).
+  // The done/bye convergecast (header comment + docs/BRIDGE.md). A dead
+  // socket is *not* an exit condition any more — the session reconnects or
+  // backpressures; only a permanent session failure aborts the node.
   while (true) {
     for (std::size_t e = 0; e < n_links; ++e) {
-      if (links_[e]->error() != nullptr) {
+      if (sessions_[e]->error() != nullptr) {
         fail(std::string("link to node ") + std::to_string(neighbors_[e]) +
-             ": " + links_[e]->error());
-        return result;
-      }
-      if (links_[e]->peer_closed() &&
-          !peer_bye[e].load(std::memory_order_acquire)) {
-        fail("node " + std::to_string(neighbors_[e]) +
-             " vanished before bye");
+             ": " + sessions_[e]->error());
         return result;
       }
     }
 
     bool local_done = true;
     bool idle = false;
-    std::vector<std::uint64_t> recv_on(n_links), sent_on(n_links);
     on_engine([&] {
       for (const auto& r : runners)
         if (!r->done()) local_done = false;
       idle = fed_->simulator().empty();
-      for (std::size_t e = 0; e < n_links; ++e) {
-        recv_on[e] = isp->pairs_received_on(link_idx[e]);
-        sent_on[e] = isp->pairs_sent_on(link_idx[e]);
-      }
     });
 
+    // Drained: the peer's done announced its final count and we have applied
+    // that many pairs. `>=` rather than `==`: a resumed peer's count starts
+    // from its restored cursor, and replay duplicates never reach the engine.
     auto drained = [&](std::size_t e) {
       return peer_done[e].load(std::memory_order_acquire) &&
-             recv_on[e] == peer_pairs[e].load(std::memory_order_relaxed);
+             applied_pairs[e].load(std::memory_order_acquire) >=
+                 peer_pairs[e].load(std::memory_order_relaxed);
     };
 
     if (local_done && idle) {
@@ -439,9 +554,11 @@ MeshResult MeshNode::run() {
         for (std::size_t m = 0; m < n_links; ++m)
           if (m != l && !drained(m)) others_drained = false;
         if (others_drained) {
-          // pairs_sent_on(l) is final: nothing local remains, and every
-          // other link is drained, so no more forwards onto l can appear.
-          send_ctrl(l, ControlMsg::kDone, sent_on[l], 0);
+          // data_sent(l) is final: nothing local remains, and every other
+          // link is drained, so no more forwards onto l can appear. The
+          // session counts across generations, matching the peer's
+          // cross-generation applied count.
+          send_ctrl(l, ControlMsg::kDone, sessions_[l]->data_sent(), 0);
           done_sent[l] = true;
         }
       }
@@ -464,27 +581,52 @@ MeshResult MeshNode::run() {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
 
-  // Our final byes may still sit in the send queues; let the loop flush
-  // them before it stops, or the peers hang waiting.
-  for (std::size_t e = 0; e < n_links; ++e) {
-    while (links_[e]->backlog() > 0 && links_[e]->error() == nullptr)
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // Final drain: every sent frame acked (the peer journaled our done/bye),
+  // bounded by drain_timeout_ms. A peer that already said bye and closed its
+  // socket is *probably* done with us — but "probably" is a race: the same
+  // socket death can mean our bye never arrived and the peer is mid-redial,
+  // and abandoning it now strands it waiting for a bye that a dead listener
+  // will never replay. So the escape only fires once the link has stayed
+  // disconnected through a grace window sized to the peer's worst
+  // rejoin-latency (its capped backoff plus detection); a rejoin inside the
+  // window resets the clock and the journal replays normally.
+  for (auto& s : sessions_) s->begin_shutdown();
+  const auto drain_deadline =
+      Clock::now() + std::chrono::milliseconds(cfg_.drain_timeout_ms);
+  const auto rejoin_grace = std::chrono::milliseconds(
+      2 * cfg_.backoff_max_ms + 2 * cfg_.hb_interval_ms);
+  std::vector<Clock::time_point> dead_since(n_links, Clock::time_point{});
+  while (Clock::now() < drain_deadline) {
+    bool all = true;
+    const auto now = Clock::now();
+    for (std::size_t e = 0; e < n_links; ++e) {
+      if (sessions_[e]->drained()) continue;
+      if (peer_bye[e].load(std::memory_order_acquire) &&
+          !sessions_[e]->connected()) {
+        if (dead_since[e] == Clock::time_point{}) dead_since[e] = now;
+        if (now - dead_since[e] >= rejoin_grace) continue;
+      } else {
+        dead_since[e] = Clock::time_point{};
+      }
+      all = false;
+    }
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  loop_.stop();
-  rt.stop();
+  shut_down_everything();
 
-  // Fold transport/loop atomics into the registry now that every producer
+  // Fold session/loop atomics into the registry now that every producer
   // thread is joined (obs cells are not thread-safe).
   obs::MetricsRegistry& m = fed_->observability().metrics();
   std::uint64_t bytes_out = 0, bytes_in = 0, sys_read = 0, sys_writev = 0;
   std::uint64_t coalesced = 0, stalls = 0;
-  for (const auto& link : links_) {
-    bytes_out += link->wire_bytes_out();
-    bytes_in += link->wire_bytes_in();
-    sys_read += link->syscalls_read();
-    sys_writev += link->syscalls_write();
-    coalesced += link->frames_coalesced();
-    stalls += link->queue_full_stalls();
+  for (const auto& s : sessions_) {
+    bytes_out += s->wire_bytes_out();
+    bytes_in += s->wire_bytes_in();
+    sys_read += s->syscalls_read();
+    sys_writev += s->syscalls_write();
+    coalesced += s->frames_coalesced();
+    stalls += s->queue_full_stalls();
   }
   m.counter("net.wire.bytes_out").inc(bytes_out);
   m.counter("net.wire.bytes_in").inc(bytes_in);
@@ -494,6 +636,22 @@ MeshResult MeshNode::run() {
   m.counter("net.mesh.queue_full_stalls").inc(stalls);
   m.counter("net.mesh.epoll_waits").inc(loop_.epoll_waits());
   m.counter("net.mesh.wakeups").inc(loop_.wakeups());
+  // Per-peer session gauges (docs/OBSERVABILITY.md, schema v4).
+  for (std::size_t e = 0; e < n_links; ++e) {
+    const std::string p =
+        "net.mesh." + std::to_string(neighbors_[e]) + ".";
+    m.gauge(p + "down").set(sessions_[e]->down() ? 1 : 0);
+    m.gauge(p + "hb_miss").set(
+        static_cast<std::int64_t>(sessions_[e]->hb_miss()));
+    m.gauge(p + "resumes").set(
+        static_cast<std::int64_t>(sessions_[e]->resumes()));
+    m.gauge(p + "dup_drops").set(
+        static_cast<std::int64_t>(sessions_[e]->dup_drops()));
+    m.gauge(p + "pairs_sent").set(
+        static_cast<std::int64_t>(sessions_[e]->data_sent()));
+    m.gauge(p + "pairs_delivered").set(
+        static_cast<std::int64_t>(sessions_[e]->data_delivered()));
+  }
 
   for (const auto& r : runners) result.ops_done += r->steps_completed();
   if (isp != nullptr) {

@@ -11,38 +11,62 @@
 //             carries the node id + wire version, join carries the node id +
 //             the canonical topology hash, so processes launched with
 //             diverging spec files or mismatched builds refuse each other
-//             (kJoinReject) instead of forming a broken mesh.
+//             (kJoinReject) instead of forming a broken mesh. With
+//             `resume`, join() instead loads the spill journal written by
+//             the crashed incarnation and skips the handshakes entirely —
+//             links re-form through the per-edge kRejoin handshake below.
 //   run()   — drive the workload. Builds a single-system Federation with one
 //             external link per neighbor (they share the node's IS-process,
-//             which gives split-horizon forwarding across the tree), hands
-//             each socket to an epoll-driven TcpLinkTransport on one shared
-//             EpollLoop, runs the uniform workload through rt::Runtime, and
-//             executes the per-link done/bye convergecast until the whole
-//             tree is drained. Returns the node's final counts.
+//             which gives split-horizon forwarding across the tree), wraps
+//             each socket in a crash-tolerant LinkSession (mesh/link_session.h)
+//             on one shared EpollLoop, runs the uniform workload through
+//             rt::Runtime, and executes the per-link done/bye convergecast
+//             until the whole tree is drained. Returns the node's final
+//             counts.
+//
+// Robustness (the PR-7 tentpole; docs/BRIDGE.md "Failure behavior"):
+// each edge is a LinkSession — seq/ack frames, a replay journal, heartbeats
+// with a liveness timeout, reconnect with backoff and the kRejoin handshake.
+// A silent or crashed peer degrades its link (bounded buffering +
+// backpressure, surfaced as net.mesh.<peer>.{down,hb_miss,resumes} gauges)
+// instead of killing the node; the node's listener stays open for the whole
+// run so crashed higher-id dialers can rejoin, and an accept thread answers
+// kRejoin (and refuses stale kHello) mid-run. Every session event spills to
+// a write-ahead journal (mesh/spill.h) and the history streams to disk as
+// it records, so `cim_bridge --resume` restarts a kill -9'd process with
+// zero duplicated and zero lost pair deliveries and a checkable merged
+// history.
 //
 // Termination (docs/BRIDGE.md "Termination"): done on link L is sent once
 // the local workload finished, the engine is idle, and every *other* link M
-// is drained (peer's done(M) received and pairs_received_on(M) matches its
-// announced count) — only then is pairs_sent_on(L) final, because forwards
-// of pairs from M contribute to L. Leaves therefore fire immediately and
-// dones converge across the tree; bye(L) answers a drained done(L), and the
-// node stops when every link has seen both byes. Induction on the tree
-// structure (the same induction as the paper's Corollary 1) gives progress.
+// is drained (peer's done(M) received and the pairs applied on M match its
+// announced count) — only then is the pair count of L final, because
+// forwards of pairs from M contribute to L. Leaves therefore fire
+// immediately and dones converge across the tree; bye(L) answers a drained
+// done(L), and the node stops when every link has seen both byes. Induction
+// on the tree structure (the same induction as the paper's Corollary 1)
+// gives progress.
 //
-// Value ranges: node i writes values in [i * 1'000'000, ...), so the merged
-// per-process histories keep the checker's value-identifies-write premise
-// and `cat *.hist` is directly checkable.
+// Value ranges: node i of generation g writes values in
+// [i * 1'000'000 + g * 200'000, ...), so the merged per-process histories
+// keep the checker's value-identifies-write premise across restarts and
+// `cat *.hist` is directly checkable.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "interconnect/federation.h"
 #include "interconnect/topology.h"
+#include "mesh/link_session.h"
+#include "mesh/spill.h"
 #include "net/epoll_loop.h"
+#include "net/fault_inject.h"
 #include "net/tcp_link.h"
 #include "workload/generator.h"
 
@@ -64,6 +88,28 @@ struct MeshConfig {
   int dial_retries = 100;
   net::TcpLinkConfig link;
   bool trace = false;
+
+  // ---- crash tolerance (docs/BRIDGE.md "Failure behavior") -----------------
+  int hb_interval_ms = 100;
+  int liveness_timeout_ms = 2000;
+  /// Continuously-degraded budget per link before the node gives up
+  /// (0 = never: degrade and backpressure forever).
+  int degraded_timeout_ms = 0;
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 1000;
+  int reconnect_attempts = 40;
+  /// Budget for the final drain (every sent frame acked) after the
+  /// convergecast completes.
+  int drain_timeout_ms = 10'000;
+  /// Write-ahead spill journal path ("" = no crash spill, no --resume).
+  std::string state_path;
+  /// Restart from state_path after a kill -9 (docs/BRIDGE.md).
+  bool resume = false;
+  /// Stream the history to this file as it records (crash-durable; appends
+  /// on resume). "" = off.
+  std::string history_path;
+  /// Borrowed chaos switchboard for tests/bench (docs/FAULTS.md).
+  net::FaultHooks* faults = nullptr;
 };
 
 struct MeshResult {
@@ -81,12 +127,15 @@ class MeshNode {
   MeshNode(const MeshNode&) = delete;
   MeshNode& operator=(const MeshNode&) = delete;
 
-  /// Form every incident link of the tree. False on failure (error() says
-  /// why): join timeout, handshake mismatch, peer death mid-handshake.
+  /// Form every incident link of the tree (or, with `resume`, load the spill
+  /// journal and defer link formation to the per-edge rejoin). False on
+  /// failure (error() says why): join timeout, handshake mismatch, peer
+  /// death mid-handshake, unusable journal.
   bool join();
 
   /// Run the workload and the termination convergecast; blocks until the
-  /// mesh is drained or a link fails. Requires a successful join().
+  /// mesh is drained or a link fails permanently. Requires a successful
+  /// join().
   MeshResult run();
 
   const std::string& error() const { return error_; }
@@ -98,21 +147,42 @@ class MeshNode {
   std::size_t degree() const { return neighbors_.size(); }
   /// Neighbor node id behind local link `e` (ascending neighbor order).
   std::size_t neighbor(std::size_t e) const { return neighbors_[e]; }
+  /// Session of local link `e` (valid once sessions_ready(), until
+  /// destruction).
+  LinkSession& session(std::size_t e) { return *sessions_[e]; }
+  /// run() has built and started every link session: session(e) is safe to
+  /// call from other threads (tests watch gauges mid-run through this).
+  bool sessions_ready() const {
+    return sessions_ready_.load(std::memory_order_acquire);
+  }
+  /// Restart generation (0 on a fresh start, prior + 1 on resume).
+  std::uint32_t generation() const { return generation_; }
 
  private:
   bool handshake_dial(int fd, std::size_t peer);
   /// Accept loop helper: validates one inbound handshake; returns the
   /// neighbor slot or npos (rejected / dead peer — keep accepting).
   std::size_t handshake_accept(int fd);
+  bool load_resume_state();
+  std::uint64_t edge_session_id(std::size_t peer) const;
+  void accept_main();
 
   MeshConfig cfg_;
   std::vector<std::size_t> neighbors_;  // ascending node ids
   std::vector<int> fds_;                // per neighbor slot, -1 until joined
   std::string error_;
+  int listener_ = -1;                   // stays open for the whole run
+  std::uint32_t generation_ = 0;
+  SpillState restored_;                 // loaded journal (resume only)
 
   net::EpollLoop loop_;
+  SpillJournal spill_;
   std::unique_ptr<isc::Federation> fed_;
-  std::vector<std::unique_ptr<net::TcpLinkTransport>> links_;
+  std::vector<std::unique_ptr<LinkSession>> sessions_;
+  std::unique_ptr<std::ofstream> history_;
+  std::thread accept_thread_;
+  std::atomic<bool> accept_stop_{false};
+  std::atomic<bool> sessions_ready_{false};
 };
 
 }  // namespace cim::mesh

@@ -5,12 +5,24 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "common/check.h"
+#include "net/fault_inject.h"
 
 namespace cim::net {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 EpollLoop::EpollLoop() {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -78,6 +90,17 @@ void EpollLoop::post(std::function<void()> fn) {
   wake();
 }
 
+void EpollLoop::post_after(int delay_ms, std::function<void()> fn) {
+  const std::int64_t deadline =
+      steady_ns() + std::int64_t{delay_ms} * 1'000'000;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    timers_.emplace(deadline, std::move(fn));
+  }
+  // The loop may be sleeping with a longer (or infinite) timeout; recompute.
+  wake();
+}
+
 void EpollLoop::wake() {
   const std::uint64_t one = 1;
   // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
@@ -100,19 +123,49 @@ void EpollLoop::run_tasks() {
   for (auto& fn : tasks) fn();
 }
 
+void EpollLoop::run_due_timers() {
+  // Pop everything due, run outside the lock (a timer may re-arm itself).
+  std::vector<std::function<void()>> due;
+  const std::int64_t now = steady_ns();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = timers_.begin();
+    while (it != timers_.end() && it->first <= now) {
+      due.push_back(std::move(it->second));
+      it = timers_.erase(it);
+    }
+  }
+  for (auto& fn : due) fn();
+}
+
+int EpollLoop::next_timer_timeout_ms() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (timers_.empty()) return -1;
+  const std::int64_t delta_ns = timers_.begin()->first - steady_ns();
+  if (delta_ns <= 0) return 0;
+  // Round up so a timer never fires early and re-sleeps in a tight loop.
+  return static_cast<int>((delta_ns + 999'999) / 1'000'000);
+}
+
 void EpollLoop::loop() {
   loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
   epoll_event events[64];
   while (true) {
-    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    const int n = ::epoll_wait(epoll_fd_, events, 64, next_timer_timeout_ms());
     if (n < 0) {
       if (errno == EINTR) continue;
       CIM_CHECK_MSG(false, "epoll_wait failed: " << std::strerror(errno));
     }
     epoll_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (fault_hooks_ != nullptr) {
+      const int delay_us =
+          fault_hooks_->dispatch_delay_us.load(std::memory_order_relaxed);
+      if (delay_us > 0) ::usleep(static_cast<useconds_t>(delay_us));
+    }
     // Tasks first: a remove() posted from the loop thread itself must take
     // effect before any event of the same batch dispatches to the handler.
     run_tasks();
+    run_due_timers();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {

@@ -30,12 +30,15 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 namespace cim::net {
+
+struct FaultHooks;
 
 class EpollLoop {
  public:
@@ -68,6 +71,17 @@ class EpollLoop {
   /// Run `fn` on the loop thread (FIFO with other posted tasks).
   void post(std::function<void()> fn);
 
+  /// Run `fn` on the loop thread once, roughly `delay_ms` from now. This is
+  /// what drives the session layer's heartbeats and liveness checks
+  /// (mesh::LinkSession): the loop computes its epoll_wait timeout from the
+  /// earliest pending timer. Timers that are still pending when the loop
+  /// stops are discarded, never run.
+  void post_after(int delay_ms, std::function<void()> fn);
+
+  /// Deterministic fault injection (tests/chaos bench; docs/FAULTS.md).
+  /// Borrowed; set before start(), null = off.
+  void set_fault_hooks(const FaultHooks* hooks) { fault_hooks_ = hooks; }
+
   /// Force one loop iteration (flush-arming from other threads). Cheaper
   /// than post() when the waker only needs the loop to look at its queues.
   void wake();
@@ -89,6 +103,8 @@ class EpollLoop {
   void loop();
   void drain_wake_fd();
   void run_tasks();
+  void run_due_timers();
+  int next_timer_timeout_ms();
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd
@@ -97,10 +113,12 @@ class EpollLoop {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_flag_{false};
   bool stopped_ = false;
+  const FaultHooks* fault_hooks_ = nullptr;
 
-  std::mutex mutex_;  // guards handlers_ and tasks_
+  std::mutex mutex_;  // guards handlers_, tasks_, and timers_
   std::unordered_map<int, FdHandler*> handlers_;
   std::vector<std::function<void()>> tasks_;
+  std::multimap<std::int64_t, std::function<void()>> timers_;  // deadline ns
 
   std::atomic<std::uint64_t> epoll_waits_{0};
   std::atomic<std::uint64_t> wakeups_{0};

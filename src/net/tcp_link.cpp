@@ -140,6 +140,47 @@ int tcp_connect(const char* host, std::uint16_t port, int retries) {
   return fd;
 }
 
+int tcp_connect_timeout(const char* host, std::uint16_t port, int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host, port_str.c_str(), &hints, &res) != 0) return -1;
+
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    if (::poll(&p, 1, timeout_ms) != 1) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // the rejoin handshake wants blocking I/O
+  set_nodelay(fd);
+  return fd;
+}
+
 TcpLinkTransport::TcpLinkTransport(int fd, EpollLoop& loop,
                                    obs::Observability* obs,
                                    TcpLinkConfig config)
@@ -162,13 +203,14 @@ void TcpLinkTransport::close() {
   closed_ = true;
   if (started_.load(std::memory_order_acquire)) loop_.remove(fd_);
   ::shutdown(fd_, SHUT_RDWR);
+  // The fd is unregistered, so the EOF that would normally set peer_closed_
+  // will never be read — mark the stream dead here or a sender blocked on
+  // the bounded queue of a retired transport waits forever.
+  peer_closed_.store(true, std::memory_order_release);
   send_cv_.notify_all();  // a stalled sender must not wait on a dead stream
 }
 
-void TcpLinkTransport::start(DeliverFn deliver) {
-  CIM_CHECK_MSG(!started_.load(std::memory_order_acquire),
-                "start() called twice");
-  deliver_ = std::move(deliver);
+void TcpLinkTransport::register_with_loop() {
   {
     // Serialize with a concurrent send(): the pre-start blocking write and
     // the switch to nonblocking must not interleave.
@@ -176,7 +218,29 @@ void TcpLinkTransport::start(DeliverFn deliver) {
     set_nonblocking(fd_);
     started_.store(true, std::memory_order_release);
   }
+  last_rx_ns_.store(wall_ns(), std::memory_order_relaxed);
   loop_.add(fd_, this);
+}
+
+void TcpLinkTransport::start(DeliverFn deliver) {
+  CIM_CHECK_MSG(!started_.load(std::memory_order_acquire),
+                "start() called twice");
+  deliver_ = std::move(deliver);
+  register_with_loop();
+}
+
+void TcpLinkTransport::start_frames(FrameFn fn) {
+  CIM_CHECK_MSG(!started_.load(std::memory_order_acquire),
+                "start() called twice");
+  frame_fn_ = std::move(fn);
+  register_with_loop();
+}
+
+void TcpLinkTransport::kick() {
+  loop_.post([this] {
+    std::unique_lock<std::mutex> lock(send_mutex_);
+    flush_locked(lock);
+  });
 }
 
 void TcpLinkTransport::fail(const char* error) {
@@ -191,12 +255,11 @@ std::size_t TcpLinkTransport::backlog() const {
   return sendq_.size();
 }
 
-void TcpLinkTransport::send(MessagePtr msg) {
-  std::unique_lock<std::mutex> lock(send_mutex_);
+bool TcpLinkTransport::wait_for_room(std::unique_lock<std::mutex>& lock) {
   // Bounded queue: a sender on a foreign thread stalls until the loop
   // drains below the bound; the loop thread itself (a forwarding deliver
-  // callback) flushes inline below and may overshoot the bound instead of
-  // deadlocking against its own flusher.
+  // callback) flushes inline instead and may overshoot the bound rather
+  // than deadlocking against its own flusher.
   if (started_.load(std::memory_order_acquire) && !loop_.on_loop_thread() &&
       (sendq_.size() >= config_.max_queued_frames ||
        queued_bytes_ >= config_.max_queued_bytes)) {
@@ -207,7 +270,12 @@ void TcpLinkTransport::send(MessagePtr msg) {
              peer_closed_.load(std::memory_order_acquire);
     });
   }
-  if (peer_closed_.load(std::memory_order_acquire)) return;
+  return !peer_closed_.load(std::memory_order_acquire);
+}
+
+void TcpLinkTransport::send(MessagePtr msg) {
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  if (!wait_for_room(lock)) return;
 
   TransportFrame frame;
   frame.seq = send_next_++;
@@ -240,6 +308,43 @@ void TcpLinkTransport::send(MessagePtr msg) {
     return;
   }
 
+  enqueue_locked(lock, std::move(buf));
+}
+
+bool TcpLinkTransport::send_bytes(const std::uint8_t* data, std::size_t size,
+                                  bool block) {
+  std::unique_lock<std::mutex> lock(send_mutex_);
+  if (block) {
+    if (!wait_for_room(lock)) return false;
+  } else if (peer_closed_.load(std::memory_order_acquire)) {
+    return false;
+  }
+
+  Buffer buf;
+  if (!free_bufs_.empty()) {
+    buf = std::move(free_bufs_.back());
+    free_bufs_.pop_back();
+    buf.clear();
+  }
+  buf.insert(buf.end(), data, data + size);
+
+  if (!started_.load(std::memory_order_acquire)) {
+    if (!write_all(fd_, buf.data(), buf.size())) {
+      fail("tcp link: write failed");
+      return false;
+    }
+    bytes_out_.fetch_add(size, std::memory_order_relaxed);
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (free_bufs_.size() < kMaxFreeBufs) free_bufs_.push_back(std::move(buf));
+    return true;
+  }
+
+  enqueue_locked(lock, std::move(buf));
+  return true;
+}
+
+void TcpLinkTransport::enqueue_locked(std::unique_lock<std::mutex>& lock,
+                                      Buffer buf) {
   queued_bytes_ += buf.size();
   sendq_.push_back(std::move(buf));
   if (loop_.on_loop_thread()) {
@@ -256,7 +361,26 @@ void TcpLinkTransport::send(MessagePtr msg) {
 }
 
 void TcpLinkTransport::flush_locked(std::unique_lock<std::mutex>& lock) {
+  FaultHooks* hooks = config_.faults;
   while (!sendq_.empty()) {
+    if (hooks != nullptr &&
+        hooks->stall_writes.load(std::memory_order_relaxed)) {
+      // Injected stall: behave exactly like a full kernel buffer. kick()
+      // resumes the flusher once the fault is cleared.
+      flush_armed_ = true;
+      return;
+    }
+    if (hooks != nullptr) {
+      // Loop thread only (and the pre-start handshake writes bypass this
+      // path), so a plain load/store countdown is race-free.
+      const int left = hooks->fail_writes_after.load(std::memory_order_relaxed);
+      if (left == 0) {
+        fail("tcp link: injected write failure");
+        return;
+      }
+      if (left > 0)
+        hooks->fail_writes_after.store(left - 1, std::memory_order_relaxed);
+    }
     iovec iov[kMaxIov];
     const std::size_t n_bufs = std::min(sendq_.size(), kMaxIov);
     std::size_t total = 0;
@@ -267,8 +391,25 @@ void TcpLinkTransport::flush_locked(std::unique_lock<std::mutex>& lock) {
       iov[i].iov_len = b.size() - off;
       total += iov[i].iov_len;
     }
-    const ssize_t written =
-        ::writev(fd_, iov, static_cast<int>(n_bufs));
+    const std::size_t write_cap =
+        hooks != nullptr ? hooks->max_write_bytes.load(std::memory_order_relaxed)
+                         : 0;
+    ssize_t written;
+    if (write_cap > 0) {
+      // Clamped partial write: at most `write_cap` bytes of the front
+      // buffer go out, tearing frames across syscalls.
+      const std::size_t n = std::min(write_cap, iov[0].iov_len);
+      written = ::send(fd_, iov[0].iov_base, n, MSG_NOSIGNAL);
+    } else {
+      // sendmsg, not writev: the gathered write needs MSG_NOSIGNAL too — a
+      // kill -9'd peer must surface as EPIPE here, not as a SIGPIPE that
+      // silently takes down the whole node (the read side racing to notice
+      // the EOF first is what made this *intermittent*).
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = n_bufs;
+      written = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+    }
     syscalls_write_.fetch_add(1, std::memory_order_relaxed);
     if (written < 0) {
       if (errno == EINTR) continue;
@@ -308,6 +449,7 @@ void TcpLinkTransport::flush_locked(std::unique_lock<std::mutex>& lock) {
       send_cv_.notify_all();
     }
     if (static_cast<std::size_t>(written) < total) {
+      if (write_cap > 0) continue;  // clamp, not a full buffer: keep going
       // Short write: the kernel buffer is full even though writev did not
       // say EAGAIN outright; wait for the EPOLLOUT edge.
       flush_armed_ = true;
@@ -330,6 +472,17 @@ void TcpLinkTransport::on_ready(std::uint32_t events) {
 void TcpLinkTransport::drain_input() {
   // Loop thread only. Edge-triggered: read until EAGAIN (or EOF/error).
   while (true) {
+    if (config_.faults != nullptr) {
+      const int left =
+          config_.faults->fail_reads_after.load(std::memory_order_relaxed);
+      if (left == 0) {
+        fail("tcp link: injected read failure");
+        return;
+      }
+      if (left > 0)
+        config_.faults->fail_reads_after.store(left - 1,
+                                               std::memory_order_relaxed);
+    }
     const std::size_t old_size = inbuf_.size();
     inbuf_.resize(old_size + kReadChunk);
     const ssize_t n = ::read(fd_, inbuf_.data() + old_size, kReadChunk);
@@ -350,6 +503,7 @@ void TcpLinkTransport::drain_input() {
     inbuf_.resize(old_size + static_cast<std::size_t>(n));
     bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
                         std::memory_order_relaxed);
+    last_rx_ns_.store(wall_ns(), std::memory_order_relaxed);
     if (!parse_frames()) return;
   }
 }
@@ -377,6 +531,14 @@ bool TcpLinkTransport::parse_frames() {
     if (frame == nullptr) {
       fail("tcp link: stream message is not a transport frame");
       return false;
+    }
+    if (frame_fn_) {
+      // Session mode: hand the whole frame (pure ACKs included) upward;
+      // the session owns the seq discipline and the replay journal.
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      res.msg.release();
+      frame_fn_(std::unique_ptr<TransportFrame>(frame));
+      continue;
     }
     if (frame->payload == nullptr) continue;  // pure ACK: nothing to do
     // The ARQ receive discipline, minus recovery: TCP already guarantees

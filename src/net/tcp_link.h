@@ -45,8 +45,10 @@
 #include <vector>
 
 #include "net/epoll_loop.h"
+#include "net/fault_inject.h"
 #include "net/link_transport.h"
 #include "net/message.h"
+#include "net/reliable_transport.h"
 #include "obs/obs.h"
 
 namespace cim::net {
@@ -70,10 +72,20 @@ int tcp_listen_accept(std::uint16_t port);
 /// listening. Returns the connected fd; throws after `retries` failures.
 int tcp_connect(const char* host, std::uint16_t port, int retries = 100);
 
-/// Bounds of the per-peer send queue (docs/BRIDGE.md "Backpressure").
+/// One connect attempt bounded by `timeout_ms` (nonblocking connect +
+/// poll; the returned fd is blocking again). Returns -1 on refusal or
+/// timeout instead of throwing — a reconnecting session must never sit in
+/// kernel SYN retries for minutes when the peer's listener backlog is full
+/// (docs/BRIDGE.md "Failure behavior").
+int tcp_connect_timeout(const char* host, std::uint16_t port, int timeout_ms);
+
+/// Bounds of the per-peer send queue (docs/BRIDGE.md "Backpressure") plus
+/// the optional chaos hooks (docs/FAULTS.md "Socket-level chaos").
 struct TcpLinkConfig {
   std::size_t max_queued_frames = 512;
   std::size_t max_queued_bytes = std::size_t{1} << 20;
+  /// Borrowed fault-injection switchboard; null = no faults.
+  FaultHooks* faults = nullptr;
 };
 
 class TcpLinkTransport final : public LinkTransport,
@@ -93,6 +105,24 @@ class TcpLinkTransport final : public LinkTransport,
   /// Switch the fd nonblocking, register it with the loop, and route every
   /// inbound payload to `deliver`.
   void start(DeliverFn deliver);
+
+  /// Raw-frame mode for the session layer (mesh::LinkSession): every decoded
+  /// TransportFrame — pure ACKs and heartbeats included — is handed to `fn`
+  /// on the loop thread with *no* seq policing; ordering, dedup, and replay
+  /// are the session's job. Mutually exclusive with start().
+  using FrameFn = std::function<void(std::unique_ptr<TransportFrame>)>;
+  void start_frames(FrameFn fn);
+
+  /// Enqueue one pre-encoded frame (session mode; the session stamps seq/ack
+  /// and owns the encoding). Same bounded queue as send(): with `block`,
+  /// a foreign thread stalls against the bound; the loop thread never does.
+  /// Returns false if the stream has already failed (the bytes are dropped —
+  /// the session's journal is what guarantees redelivery).
+  bool send_bytes(const std::uint8_t* data, std::size_t size,
+                  bool block = true);
+
+  /// Re-arm the flusher (after clearing an injected stall, or on resume).
+  void kick();
 
   /// Unregister from the loop and shut the socket down. Idempotent; called
   /// by the destructor if needed.
@@ -126,6 +156,13 @@ class TcpLinkTransport final : public LinkTransport,
   std::uint64_t dups_suppressed() const {
     return dups_suppressed_.load(std::memory_order_relaxed);
   }
+  /// Steady-clock nanosecond stamp of the last bytes read off the socket
+  /// (start time until then). The session layer's liveness timeout reads
+  /// this: a peer that has gone silent for longer than the budget is
+  /// presumed stalled and the link degrades (docs/BRIDGE.md).
+  std::int64_t last_rx_ns() const {
+    return last_rx_ns_.load(std::memory_order_relaxed);
+  }
 
   // ---- net.mesh.* accounting (docs/OBSERVABILITY.md) -----------------------
   /// read() syscalls issued by the receive path.
@@ -152,14 +189,18 @@ class TcpLinkTransport final : public LinkTransport,
   void on_ready(std::uint32_t events) override;
 
   void flush_locked(std::unique_lock<std::mutex>& lock);
+  void enqueue_locked(std::unique_lock<std::mutex>& lock, Buffer buf);
+  bool wait_for_room(std::unique_lock<std::mutex>& lock);
   void drain_input();
   bool parse_frames();  // false on a decode/protocol error
   void fail(const char* error);
+  void register_with_loop();
 
   int fd_;
   EpollLoop& loop_;
   TcpLinkConfig config_;
   DeliverFn deliver_;
+  FrameFn frame_fn_;  // raw-frame (session) mode when set
   std::atomic<bool> started_{false};
   bool closed_ = false;
 
@@ -188,6 +229,7 @@ class TcpLinkTransport final : public LinkTransport,
   std::atomic<std::uint64_t> syscalls_write_{0};
   std::atomic<std::uint64_t> frames_coalesced_{0};
   std::atomic<std::uint64_t> queue_full_stalls_{0};
+  std::atomic<std::int64_t> last_rx_ns_{0};
   std::atomic<bool> peer_closed_{false};
   std::atomic<const char*> error_{nullptr};
 

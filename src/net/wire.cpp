@@ -199,6 +199,7 @@ void encode_control(Buf& out, const ControlMsg& m) {
   put_u8(out, m.code);
   put_varint(out, m.a);
   put_varint(out, m.b);
+  if (m.c != 0) put_varint(out, m.c);  // v2 tail (see encode_body)
 }
 
 bool encode_body(const Message& msg, Buf& out);
@@ -252,8 +253,12 @@ bool encode_body(const Message& msg, Buf& out) {
     tagged(WireType::kTransportFrame);
     encode_transport_frame(out, static_cast<const TransportFrame&>(msg));
   } else if (std::strcmp(tn, "wire.ctrl") == 0) {
-    tagged(WireType::kControl);
-    encode_control(out, static_cast<const ControlMsg&>(msg));
+    // Control frames are v1 unless the v2 field `c` is in use (rejoin
+    // handshake), so historical byte streams re-encode bit-identically.
+    const auto& ctrl = static_cast<const ControlMsg&>(msg);
+    put_u8(out, static_cast<std::uint8_t>(WireType::kControl));
+    put_u8(out, ctrl.c != 0 ? kControlVersion2 : kWireVersion);
+    encode_control(out, ctrl);
   } else {
     return false;
   }
@@ -271,10 +276,11 @@ DecodeResult fail_with(const char* error) {
 DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
                           int depth);
 
-// Decodes the payload for `type` (version already validated as 1).
-// Returns null + error message on malformed payloads.
-MessagePtr decode_payload(WireType type, Reader& r, int depth,
-                          const char*& error) {
+// Decodes the payload for `type`. `version` has already been validated by
+// decode_frame (1 everywhere; control frames may also be 2, which appends
+// the varint `c`). Returns null + error message on malformed payloads.
+MessagePtr decode_payload(WireType type, std::uint8_t version, Reader& r,
+                          int depth, const char*& error) {
   switch (type) {
     case WireType::kPair: {
       auto m = std::make_unique<isc::PairMsg>();
@@ -369,6 +375,7 @@ MessagePtr decode_payload(WireType type, Reader& r, int depth,
       m->code = r.u8();
       m->a = r.varint();
       m->b = r.varint();
+      if (version >= kControlVersion2) m->c = r.varint();
       return m;
     }
   }
@@ -392,11 +399,15 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
   const std::uint8_t version = r.u8();
   if (raw_type > static_cast<std::uint8_t>(WireType::kTransportFrame))
     return fail_with("wire: unknown wire type");
-  if (version != kWireVersion) return fail_with("wire: unknown version");
+  const bool control_v2 =
+      raw_type == static_cast<std::uint8_t>(WireType::kControl) &&
+      version == kControlVersion2;
+  if (version != kWireVersion && !control_v2)
+    return fail_with("wire: unknown version");
 
   const char* error = nullptr;
   MessagePtr msg =
-      decode_payload(static_cast<WireType>(raw_type), r, depth, error);
+      decode_payload(static_cast<WireType>(raw_type), version, r, depth, error);
   if (!msg) return fail_with(error ? error : "wire: malformed payload");
   if (r.fail()) return fail_with("wire: truncated payload");
   if (r.remaining() != 0) return fail_with("wire: trailing bytes in frame");

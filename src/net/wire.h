@@ -43,6 +43,12 @@ namespace cim::net::wire {
 /// Current encoder version, stamped into every frame's version byte.
 inline constexpr std::uint8_t kWireVersion = 1;
 
+/// Control-frame version that carries the trailing `c` varint (the rejoin
+/// handshake's last-delivered seq). Stamped only when c != 0, so every
+/// pre-existing control frame — and every ControlMsg that doesn't use the
+/// field — still encodes as version 1, bit-identical to the golden vectors.
+inline constexpr std::uint8_t kControlVersion2 = 2;
+
 /// Upper bound on a frame body (type + version + payload). Guards decoders
 /// against absurd length prefixes from corrupt or hostile inputs.
 inline constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 20;
@@ -82,13 +88,21 @@ struct ControlMsg final : Message {
     kBye = 3,
     kJoin = 4,        // mesh join (docs/BRIDGE.md): a=node id, b=topology hash
     kJoinReject = 5,  // join refused: a=rejecting node id, b=reason code
+    kRejoin = 6,      // session resume: a=node id, b=session id,
+                      // c=last-delivered seq (docs/BRIDGE.md "Failure
+                      // behavior")
   };
   std::uint8_t code = kHello;
   std::uint64_t a = 0;  // hello: local system id;  done: pairs sent
   std::uint64_t b = 0;  // hello: wire version;     done: ops completed
+  // v2 field (kControlVersion2): the rejoin handshake's last-delivered seq.
+  // Encoded only when nonzero — a ControlMsg with c == 0 still produces a
+  // bit-identical v1 frame, which is what keeps the golden vectors stable
+  // and lets v1 decoders read every frame that predates the field.
+  std::uint64_t c = 0;
 
   const char* type_name() const override { return "wire.ctrl"; }
-  std::size_t wire_size() const override { return 1 + 8 + 8; }
+  std::size_t wire_size() const override { return 1 + 8 + 8 + 8; }
   MessagePtr clone() const override {
     return std::make_unique<ControlMsg>(*this);
   }

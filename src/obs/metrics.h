@@ -36,8 +36,11 @@ namespace cim::obs {
 // link; byte counts on serializing links); net.wire.* codec instruments
 // added. v3: net.mesh.* counters for the epoll mesh transport
 // (docs/BRIDGE.md); mesh snapshots fold net.wire.bytes_* post-run without
-// the *_ns histograms. See docs/OBSERVABILITY.md § Schema versioning.
-inline constexpr int kMetricsSchemaVersion = 3;
+// the *_ns histograms. v4: per-peer session gauges
+// net.mesh.<peer>.{down,hb_miss,resumes,dup_drops,pairs_sent,pairs_delivered}
+// for the crash-tolerant link sessions (docs/BRIDGE.md "Failure behavior").
+// See docs/OBSERVABILITY.md § Schema versioning.
+inline constexpr int kMetricsSchemaVersion = 4;
 
 class Counter {
  public:

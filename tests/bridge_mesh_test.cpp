@@ -10,7 +10,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,7 +23,10 @@
 #include "checker/causal_checker.h"
 #include "checker/history.h"
 #include "interconnect/topology.h"
+#include "mesh/ctrl_io.h"
 #include "mesh/mesh_node.h"
+#include "mesh/spill.h"
+#include "net/fault_inject.h"
 #include "net/tcp_link.h"
 #include "net/wire.h"
 
@@ -318,6 +324,323 @@ TEST(MeshSoak, FiveSystemTreeMergedHistoryIsCausal) {
   const auto verdict =
       chk::CausalChecker{}.check(history, chk::Level::kCM);
   EXPECT_TRUE(verdict.ok()) << verdict.detail;
+}
+
+// ---- socket-level chaos (src/net/fault_inject.h, docs/FAULTS.md) -----------
+//
+// Each test runs a real 2-node mesh over localhost with deterministic fault
+// hooks on one node and asserts the crash-tolerance contract: the mesh still
+// drains, the merged history is causal, and the per-edge data counters agree
+// (zero duplicated, zero lost pair deliveries).
+
+struct ChaosMesh {
+  std::vector<std::unique_ptr<mesh::MeshNode>> nodes;
+  std::vector<mesh::MeshResult> results;
+  std::vector<std::thread> threads;
+
+  // A 2-chain: node 0 accepts, node 1 dials (and re-dials on outages).
+  ChaosMesh(std::uint16_t base, net::FaultHooks* faults_on_1,
+            std::size_t ops = 40, net::FaultHooks* faults_on_0 = nullptr) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      mesh::MeshConfig cfg;
+      cfg.node_id = i;
+      cfg.topo = isc::make_chain(2);
+      cfg.base_port = base;
+      cfg.procs = 2;
+      cfg.ops = ops;
+      cfg.seed = 5;
+      cfg.join_timeout_ms = 20'000;
+      cfg.hb_interval_ms = 20;
+      cfg.liveness_timeout_ms = 150;
+      cfg.backoff_initial_ms = 20;
+      cfg.backoff_max_ms = 100;
+      cfg.faults = i == 1 ? faults_on_1 : faults_on_0;
+      nodes.push_back(std::make_unique<mesh::MeshNode>(std::move(cfg)));
+    }
+    results.resize(2);
+    for (std::size_t i = 0; i < 2; ++i) {
+      threads.emplace_back([this, i] {
+        if (nodes[i]->join()) results[i] = nodes[i]->run();
+      });
+    }
+  }
+
+  void wait_ready() {
+    while (!nodes[0]->sessions_ready() || !nodes[1]->sessions_ready())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Join the node threads, then assert drain + causality + zero dup/loss.
+  void finish_and_check() {
+    for (auto& t : threads) t.join();
+    std::vector<chk::Op> merged;
+    for (std::size_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE(results[i].ok) << "node " << i << ": " << nodes[i]->error();
+      EXPECT_EQ(results[i].violations, 0u);
+      const chk::History h = nodes[i]->federation().federation_history();
+      merged.insert(merged.end(), h.ops().begin(), h.ops().end());
+    }
+    // The zero-dup/zero-loss contract, stated on the session counters: every
+    // data frame one side ever sent (journaled, maybe replayed) was applied
+    // exactly once on the other.
+    EXPECT_EQ(nodes[0]->session(0).data_sent(),
+              nodes[1]->session(0).data_delivered());
+    EXPECT_EQ(nodes[1]->session(0).data_sent(),
+              nodes[0]->session(0).data_delivered());
+    const auto verdict =
+        chk::CausalChecker{}.check(chk::History{std::move(merged)},
+                                   chk::Level::kCM);
+    EXPECT_TRUE(verdict.ok()) << verdict.detail;
+  }
+};
+
+// Spin until `pred`, failing the test (and returning false) after `budget`.
+template <typename Pred>
+bool spin_until(Pred pred, std::chrono::milliseconds budget =
+                               std::chrono::milliseconds(10'000)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      ADD_FAILURE() << "spin_until timed out";
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(MeshChaos, InjectedReadFailureReconnectsWithZeroDupZeroLoss) {
+  // Hold the mesh open with a stall (node 0 keeps heartbeating at node 1),
+  // then reset node 1's receive side mid-stream — indistinguishable from a
+  // peer RST mid-frame. The transport dies, the session retires it, re-dials
+  // with backoff, and the kRejoin replay restores the stream.
+  net::FaultHooks hooks;
+  hooks.stall_writes.store(true);
+  ChaosMesh mesh(test_port(60), &hooks);
+  mesh.wait_ready();
+  hooks.fail_reads_after.store(2);
+  // The countdown sticks at 0 once spent; node 0's next heartbeat burns it.
+  ASSERT_TRUE(spin_until([&] { return hooks.fail_reads_after.load() == 0; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hooks.fail_reads_after.store(-1);
+  hooks.stall_writes.store(false);
+  mesh.finish_and_check();
+  EXPECT_GE(mesh.nodes[1]->session(0).resumes(), 1u);
+}
+
+TEST(MeshChaos, InjectedWriteFailureReconnectsWithZeroDupZeroLoss) {
+  // Arm the countdown before the mesh even forms: node 1's first transport
+  // flush spends it and the very next write fails, mid-workload — as if the
+  // peer reset under a partial writev. With most of the stream still
+  // undelivered, the mesh cannot drain without a real reconnect + replay.
+  net::FaultHooks hooks;
+  hooks.fail_writes_after.store(1);
+  ChaosMesh mesh(test_port(70), &hooks);
+  mesh.wait_ready();
+  ASSERT_TRUE(spin_until([&] { return hooks.fail_writes_after.load() == 0; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hooks.fail_writes_after.store(-1);
+  mesh.finish_and_check();
+  EXPECT_GE(mesh.nodes[1]->session(0).resumes(), 1u);
+}
+
+TEST(MeshChaos, ClampedPartialWritesTearFramesButNothingBreaks) {
+  // Every send syscall on node 1 moves at most 7 bytes: frames tear between
+  // the length prefix and the payload, across payloads, everywhere. The
+  // receive parser reassembles; the mesh drains normally.
+  net::FaultHooks hooks;
+  hooks.max_write_bytes.store(7);
+  ChaosMesh mesh(test_port(80), &hooks, /*ops=*/25);
+  mesh.finish_and_check();
+  EXPECT_GE(mesh.nodes[1]->session(0).syscalls_write(), 50u);
+}
+
+TEST(MeshChaos, StalledPeerDegradesWithBackpressureThenRecovers) {
+  // The SIGSTOP scenario, deterministically: node 1's transport pretends the
+  // kernel buffer is full — no data, no heartbeats, queues build, node 0's
+  // senders block on the bounded journal. Node 0 must flip the link degraded
+  // (hb_miss rising) and must NOT fail; clearing the stall recovers it.
+  // Node 0 is stalled too, for the whole observation: its own silence keeps
+  // the run from draining, so node 0's ticks are still firing when node 1's
+  // bytes come back — the degraded -> up flip is observable, not racing the
+  // mesh's completion.
+  net::FaultHooks hooks1;
+  net::FaultHooks hooks0;
+  hooks1.stall_writes.store(true);
+  hooks0.stall_writes.store(true);
+  ChaosMesh mesh(test_port(90), &hooks1, /*ops=*/40, &hooks0);
+  mesh.wait_ready();
+  mesh::LinkSession& seen_by_0 = mesh.nodes[0]->session(0);
+  ASSERT_TRUE(spin_until(
+      [&] { return seen_by_0.down() && seen_by_0.hb_miss() > 0; }));
+  EXPECT_EQ(seen_by_0.state(), mesh::LinkState::kDegraded);
+  EXPECT_EQ(seen_by_0.error(), nullptr);
+  hooks1.stall_writes.store(false);
+  // Node 1's heartbeats resume; node 0 (still stalled, still ticking) must
+  // flip its link back up and count the resume while the run is provably
+  // still in flight.
+  ASSERT_TRUE(spin_until([&] { return !seen_by_0.down(); }));
+  EXPECT_GE(seen_by_0.resumes(), 1u);  // degraded -> up counts as a resume
+  hooks0.stall_writes.store(false);
+  mesh.finish_and_check();
+  EXPECT_GE(seen_by_0.hb_miss(), 1u);
+}
+
+TEST(MeshChaos, StrayConnectionsMidRunAreRefusedAsStale) {
+  // Hold the run open with a stall, then poke node 0's listener: a rejoin
+  // with an unknown session id, a fresh hello for an already-formed mesh,
+  // and a torn control frame (EOF between length prefix and payload). All
+  // are refused/ignored; the mesh finishes untouched.
+  net::FaultHooks hooks;
+  hooks.stall_writes.store(true);
+  const std::uint16_t base = test_port(100);
+  ChaosMesh mesh(base, &hooks);
+  mesh.wait_ready();
+
+  ControlMsg bogus;
+  bogus.code = ControlMsg::kRejoin;
+  bogus.a = 1;
+  bogus.b = 0x5E5510;  // no such session
+  bogus.c = 7;
+  const int rj = net::tcp_connect("127.0.0.1", base, 100);
+  ASSERT_TRUE(mesh::send_ctrl_fd(rj, bogus));
+  ControlMsg rej = recv_ctrl(rj);
+  EXPECT_EQ(rej.code, ControlMsg::kJoinReject);
+  EXPECT_EQ(rej.b, mesh::kRejectStaleSession);
+  ::close(rj);
+
+  const int hello = net::tcp_connect("127.0.0.1", base, 100);
+  send_ctrl(hello, ControlMsg::kHello, 1, net::wire::kWireVersion);
+  rej = recv_ctrl(hello);
+  EXPECT_EQ(rej.code, ControlMsg::kJoinReject);
+  EXPECT_EQ(rej.b, mesh::kRejectStaleSession);
+  ::close(hello);
+
+  const int torn = net::tcp_connect("127.0.0.1", base, 100);
+  const std::uint8_t prefix[4] = {32, 0, 0, 0};  // promises a 32-byte body…
+  ASSERT_EQ(::send(torn, prefix, 4, MSG_NOSIGNAL), 4);
+  ::close(torn);  // …and dies before sending it
+
+  hooks.stall_writes.store(false);
+  mesh.finish_and_check();
+}
+
+// ---- spill journal (src/mesh/spill.h) --------------------------------------
+
+TEST(Spill, RoundTripsCursorsFramesAndCtrlFlags) {
+  const std::string path =
+      "/tmp/cim_spill_test_" + std::to_string(::getpid()) + ".journal";
+  mesh::SpillState st;
+  st.node_id = 3;
+  st.topo_hash = 0xABCD;
+  st.seed = 11;
+  st.generation = 1;
+  st.links.resize(2);
+  mesh::SpillJournal j;
+  ASSERT_TRUE(j.create(path, st));
+
+  // Two sent frames on link 0, the first later acked away.
+  for (std::uint64_t seq : {0u, 1u}) {
+    net::TransportFrame f;
+    f.seq = seq;
+    f.ack = 0;
+    auto pay = std::make_unique<ControlMsg>();
+    pay->code = ControlMsg::kDone;
+    pay->a = 40 + seq;
+    f.payload = std::move(pay);
+    std::vector<std::uint8_t> buf;
+    net::wire::encode(f, buf);
+    j.record_sent(0, /*data_sent=*/seq + 1, buf.data(), buf.size());
+  }
+  j.record_acked(0, 1);
+  j.record_delivered(1, 5, 4);
+  j.record_ctrl_delivered(1, ControlMsg::kDone, 123);
+  j.record_ctrl_sent(0, ControlMsg::kDone);
+  j.close();
+
+  mesh::SpillState back;
+  std::string err;
+  ASSERT_TRUE(mesh::SpillJournal::load(path, back, err)) << err;
+  EXPECT_EQ(back.node_id, 3u);
+  EXPECT_EQ(back.topo_hash, 0xABCDu);
+  EXPECT_EQ(back.seed, 11u);
+  EXPECT_EQ(back.generation, 1u);
+  ASSERT_EQ(back.links.size(), 2u);
+  EXPECT_EQ(back.links[0].acked, 1u);
+  EXPECT_EQ(back.links[0].send_next, 2u);
+  EXPECT_EQ(back.links[0].data_sent, 2u);
+  ASSERT_EQ(back.links[0].frames.size(), 1u);  // seq 0 trimmed by the ack
+  EXPECT_TRUE(back.links[0].done_sent);
+  EXPECT_EQ(back.links[1].recv_expected, 5u);
+  EXPECT_EQ(back.links[1].data_delivered, 4u);
+  EXPECT_TRUE(back.links[1].peer_done);
+  EXPECT_EQ(back.links[1].peer_pairs, 123u);
+
+  // The surviving frame decodes back to the original payload.
+  const auto& bytes = back.links[0].frames[0];
+  const auto res = net::wire::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(res.ok()) << res.error;
+  ::unlink(path.c_str());
+}
+
+TEST(Spill, ToleratesATornTailRecord) {
+  const std::string path =
+      "/tmp/cim_spill_torn_" + std::to_string(::getpid()) + ".journal";
+  mesh::SpillState st;
+  st.node_id = 0;
+  st.links.resize(1);
+  {
+    mesh::SpillJournal j;
+    ASSERT_TRUE(j.create(path, st));
+    j.record_delivered(0, 9, 9);
+    j.record_acked(0, 4);
+    j.close();
+  }
+  // Chop bytes off the tail: a crash mid-append. Every truncation point must
+  // still load, keeping the intact prefix.
+  std::ifstream is(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  is.close();
+  for (std::size_t cut = 1; cut <= 8 && cut < bytes.size(); ++cut) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size() - cut));
+    os.close();
+    mesh::SpillState back;
+    std::string err;
+    ASSERT_TRUE(mesh::SpillJournal::load(path, back, err))
+        << "cut=" << cut << ": " << err;
+    EXPECT_EQ(back.links[0].recv_expected, 9u) << "cut=" << cut;
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(MeshResume, RefusesAJournalWhoseTerminationAlreadyBegan) {
+  const std::string path =
+      "/tmp/cim_spill_done_" + std::to_string(::getpid()) + ".journal";
+  mesh::SpillState st;
+  st.node_id = 0;
+  st.topo_hash = isc::make_chain(2).hash();
+  st.seed = 7;
+  st.links.resize(1);
+  st.links[0].done_sent = true;  // the convergecast had started
+  {
+    mesh::SpillJournal j;
+    ASSERT_TRUE(j.create(path, st));
+  }
+  mesh::MeshConfig cfg;
+  cfg.node_id = 0;
+  cfg.topo = isc::make_chain(2);
+  cfg.base_port = test_port(110);
+  cfg.seed = 7;
+  cfg.state_path = path;
+  cfg.resume = true;
+  mesh::MeshNode node(std::move(cfg));
+  EXPECT_FALSE(node.join());
+  EXPECT_NE(node.error().find("termination"), std::string::npos)
+      << node.error();
+  ::unlink(path.c_str());
 }
 
 }  // namespace

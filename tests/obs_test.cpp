@@ -145,7 +145,7 @@ TEST(ObsMetrics, JsonExporterShape) {
   std::ostringstream os;
   obs::write_json(os, reg.snapshot());
   EXPECT_EQ(os.str(),
-            "{\"schema\":\"cim.metrics.v1\",\"v\":3,\"metrics\":["
+            "{\"schema\":\"cim.metrics.v1\",\"v\":4,\"metrics\":["
             "{\"name\":\"a.count\",\"kind\":\"counter\",\"value\":3},"
             "{\"name\":\"b.gauge\",\"kind\":\"gauge\",\"value\":-7}]}\n");
 }

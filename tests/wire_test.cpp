@@ -416,6 +416,43 @@ TEST(WireDecode, RejectsUnknownTypeAndVersion) {
   EXPECT_NE(std::string(res.error).find("version"), std::string::npos);
 }
 
+TEST(WireControlV2, RejoinCursorRoundTripsAndV1StaysBitIdentical) {
+  // c == 0 encodes exactly as before the field existed: the version byte
+  // stays v1 and no tail is appended, so old captures and the golden file
+  // decode unchanged.
+  wire::ControlMsg plain;
+  plain.code = wire::ControlMsg::kDone;
+  plain.a = 99;
+  plain.b = 3;
+  std::vector<std::uint8_t> buf;
+  wire::encode(plain, buf);
+  EXPECT_EQ(buf[5], wire::kWireVersion);
+
+  // A rejoin carries the delivery cursor in c and flips to v2.
+  wire::ControlMsg rejoin;
+  rejoin.code = wire::ControlMsg::kRejoin;
+  rejoin.a = 4;
+  rejoin.b = 0xDEADBEEFCAFEULL;  // session id
+  rejoin.c = 123'456'789;        // last-delivered seq
+  std::vector<std::uint8_t> v2;
+  wire::encode(rejoin, v2);
+  EXPECT_EQ(v2[5], wire::kControlVersion2);
+
+  const wire::DecodeResult res = wire::decode(v2.data(), v2.size());
+  ASSERT_TRUE(res.ok()) << res.error;
+  const auto* back = dynamic_cast<const wire::ControlMsg*>(res.msg.get());
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->code, wire::ControlMsg::kRejoin);
+  EXPECT_EQ(back->a, 4u);
+  EXPECT_EQ(back->b, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(back->c, 123'456'789u);
+
+  // And v1 decodes still default c to 0.
+  const wire::DecodeResult res1 = wire::decode(buf.data(), buf.size());
+  ASSERT_TRUE(res1.ok()) << res1.error;
+  EXPECT_EQ(dynamic_cast<const wire::ControlMsg*>(res1.msg.get())->c, 0u);
+}
+
 // ---- transparency: bytes-mode federation == in-memory federation ----------
 
 chk::History run_federation(isc::LinkWire wire_mode) {

@@ -17,13 +17,22 @@
 // merged history: examples/trace_checker verifies the whole tree's
 // computation is causal.
 //
+// Crash tolerance (scripts/mesh_chaos_smoke.sh): with `--state FILE` every
+// session event spills to a write-ahead journal and `--history` streams to
+// disk as operations record. A kill -9'd node restarts with the same flags
+// plus `--resume`: it reloads the journal, rejoins its neighbors through
+// the per-edge kRejoin handshake, and the merged history still checks out
+// with zero duplicated and zero lost pair deliveries. While a peer is down
+// the survivors degrade (heartbeat misses, bounded backpressure) instead of
+// dying — see docs/BRIDGE.md "Failure behavior" and docs/FAULTS.md.
+//
 // Legacy two-process mode (scripts/bridge_smoke.sh) still works and is the
 // same thing in a 2-node chain: `--side a --port P` is node 0 with
 // base-port P, `--side b --port P` is node 1 dialing it.
 //
-// Mechanics — epoll transport, join protocol, done/bye convergecast — live
-// in mesh::MeshNode (src/mesh/mesh_node.h); this tool only parses flags and
-// dumps history/metrics/trace files.
+// Mechanics — epoll transport, join protocol, link sessions, done/bye
+// convergecast — live in mesh::MeshNode (src/mesh/mesh_node.h); this tool
+// only parses flags and dumps history/metrics/trace files.
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -31,7 +40,6 @@
 #include <sstream>
 #include <string>
 
-#include "checker/trace_io.h"
 #include "interconnect/topology.h"
 #include "mesh/mesh_node.h"
 #include "obs/metrics.h"
@@ -59,6 +67,16 @@ struct Options {
   std::string history_path;
   std::string metrics_path;
   std::string trace_path;
+  // Crash tolerance (docs/BRIDGE.md "Failure behavior").
+  std::string state_path;
+  bool resume = false;
+  int hb_interval_ms = 100;
+  int liveness_timeout_ms = 2000;
+  int degraded_timeout_ms = 0;
+  int backoff_ms = 50;
+  int backoff_max_ms = 1000;
+  int reconnect_attempts = 40;
+  int drain_timeout_ms = 10'000;
 };
 
 int usage() {
@@ -68,7 +86,11 @@ int usage() {
          "       cim_bridge --side a|b --port P            (legacy 2-process)\n"
          "       [--host H] [--procs N] [--ops N] [--seed N]"
          " [--join-timeout MS]\n"
-         "       [--history FILE] [--metrics FILE] [--trace FILE]\n";
+         "       [--history FILE] [--metrics FILE] [--trace FILE]\n"
+         "       [--state FILE] [--resume] [--hb-interval MS]"
+         " [--liveness MS]\n"
+         "       [--degraded-timeout MS] [--backoff MS] [--backoff-max MS]\n"
+         "       [--reconnect-attempts N] [--drain-timeout MS]\n";
   return 2;
 }
 
@@ -109,9 +131,31 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.metrics_path = v;
     } else if (std::strcmp(arg, "--trace") == 0 && (v = next())) {
       opt.trace_path = v;
+    } else if (std::strcmp(arg, "--state") == 0 && (v = next())) {
+      opt.state_path = v;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      opt.resume = true;
+    } else if (std::strcmp(arg, "--hb-interval") == 0 && (v = next())) {
+      opt.hb_interval_ms = std::stoi(v);
+    } else if (std::strcmp(arg, "--liveness") == 0 && (v = next())) {
+      opt.liveness_timeout_ms = std::stoi(v);
+    } else if (std::strcmp(arg, "--degraded-timeout") == 0 && (v = next())) {
+      opt.degraded_timeout_ms = std::stoi(v);
+    } else if (std::strcmp(arg, "--backoff") == 0 && (v = next())) {
+      opt.backoff_ms = std::stoi(v);
+    } else if (std::strcmp(arg, "--backoff-max") == 0 && (v = next())) {
+      opt.backoff_max_ms = std::stoi(v);
+    } else if (std::strcmp(arg, "--reconnect-attempts") == 0 && (v = next())) {
+      opt.reconnect_attempts = std::stoi(v);
+    } else if (std::strcmp(arg, "--drain-timeout") == 0 && (v = next())) {
+      opt.drain_timeout_ms = std::stoi(v);
     } else {
       return false;
     }
+  }
+  if (opt.resume && opt.state_path.empty()) {
+    std::cerr << "--resume requires --state\n";
+    return false;
   }
   if (opt.side != 0) {
     // Legacy mode maps onto a 2-node chain.
@@ -176,6 +220,18 @@ int main(int argc, char** argv) {
   cfg.seed = opt.seed;
   cfg.join_timeout_ms = opt.join_timeout_ms;
   cfg.trace = !opt.trace_path.empty();
+  // The history streams to disk as it records (crash-durable) rather than
+  // being dumped post-run: a kill -9'd node's writes are already on disk.
+  cfg.history_path = opt.history_path;
+  cfg.state_path = opt.state_path;
+  cfg.resume = opt.resume;
+  cfg.hb_interval_ms = opt.hb_interval_ms;
+  cfg.liveness_timeout_ms = opt.liveness_timeout_ms;
+  cfg.degraded_timeout_ms = opt.degraded_timeout_ms;
+  cfg.backoff_initial_ms = opt.backoff_ms;
+  cfg.backoff_max_ms = opt.backoff_max_ms;
+  cfg.reconnect_attempts = opt.reconnect_attempts;
+  cfg.drain_timeout_ms = opt.drain_timeout_ms;
 
   mesh::MeshNode node(std::move(cfg));
   if (!node.join()) {
@@ -189,14 +245,6 @@ int main(int argc, char** argv) {
   }
 
   isc::Federation& fed = node.federation();
-  if (!opt.history_path.empty()) {
-    std::ofstream os(opt.history_path);
-    if (!os) {
-      std::cerr << tag << " cannot write " << opt.history_path << "\n";
-      return 1;
-    }
-    chk::write_trace(fed.federation_history(), os);
-  }
   if (!opt.trace_path.empty()) {
     std::ofstream os(opt.trace_path);
     if (!os) {
@@ -214,9 +262,10 @@ int main(int argc, char** argv) {
     obs::write_json(os, fed.metrics_snapshot());
   }
 
-  std::cout << tag << " system " << opt.node << ": " << res.ops_done
-            << " ops, pairs sent " << res.pairs_sent << ", received "
-            << res.pairs_received << ", links " << node.degree()
-            << ", monitor violations " << res.violations << "\n";
+  std::cout << tag << " system " << opt.node << " gen " << node.generation()
+            << ": " << res.ops_done << " ops, pairs sent " << res.pairs_sent
+            << ", received " << res.pairs_received << ", links "
+            << node.degree() << ", monitor violations " << res.violations
+            << "\n";
   return res.violations > 0 ? 1 : 0;
 }
