@@ -44,13 +44,14 @@ if [ ! -f "$wire_doc" ]; then
   status=1
 else
   for label in control pair vc_update tob_publish tob_deliver partial_update \
-      cbcast transport_frame; do
+      cbcast transport_frame stats; do
     if ! grep -q "$label" "$wire_doc"; then
       echo "check_docs: wire type '${label}' is not documented in docs/WIRE.md" >&2
       status=1
     fi
   done
-  for sym in kWireVersion kMaxBodyBytes kMaxClockEntries kMaxNestingDepth; do
+  for sym in kWireVersion kMaxBodyBytes kMaxClockEntries kMaxNestingDepth \
+      kTransportVersion2 kMaxStatsEntries kMaxStatsKeyBytes; do
     if ! grep -q "$sym" "$wire_doc"; then
       echo "check_docs: wire constant ${sym} is not documented in docs/WIRE.md" >&2
       status=1
@@ -76,7 +77,8 @@ else
   done
   for word in "nodes" "edge" "base_port" "done" "bye" "net.mesh" \
       "topology hash" "writev" "heartbeat" "rejoin" "replay journal" \
-      "--resume" "backoff"; do
+      "--resume" "backoff" "StatsFrame" "--stats-interval" "--fed-metrics" \
+      "cim_top" "fed.node" "stats_parent"; do
     if ! grep -q -- "$word" "$bridge_doc"; then
       echo "check_docs: '${word}' is not documented in docs/BRIDGE.md" >&2
       status=1

@@ -34,8 +34,12 @@ LOWER_BETTER = {"wall_s", "real_time_ns", "cpu_time_ns", "bytes_per_msg",
 # Fields exempt from the suffix rules: reported for the record but never
 # judged. post_recovery_msgs_per_sec times the catch-up burst right after a
 # rejoin, whose size depends on how much queued during the outage — a
-# 100x run-to-run spread that no threshold can gate.
-INFORMATIONAL = {"post_recovery_msgs_per_sec"}
+# 100x run-to-run spread that no threshold can gate. The obs_overhead pair
+# differences two noisy absolute throughputs (stats plane off vs on) to
+# expose the plane's relative cost; the delta is the point, the absolutes
+# swing with host load, so all three stay visible but ungated.
+INFORMATIONAL = {"post_recovery_msgs_per_sec", "stats_off_msgs_per_sec",
+                 "stats_on_msgs_per_sec", "overhead_pct"}
 # Build-identity meta fields: differing values make the comparison
 # apples-to-oranges, so they warn loudly.
 IDENTITY_META = ("compiler", "compiler_version", "build_type", "sanitize")

@@ -25,7 +25,8 @@ out="${3:-}"
 
 bridge="$build/tools/cim_bridge"
 checker="$build/examples/trace_checker"
-for bin in "$bridge" "$checker"; do
+cim_top="$build/tools/cim_top"
+for bin in "$bridge" "$checker" "$cim_top"; do
   if [ ! -x "$bin" ]; then
     echo "mesh_chaos_smoke: missing $bin (build the project first)" >&2
     exit 1
@@ -49,12 +50,16 @@ launch() {
     --hb-interval 50 --liveness 500 --backoff 50 --backoff-max 200 \
     --reconnect-attempts 200 --join-timeout 30000 --drain-timeout 30000 \
     --state "$out/n$node.state" --history "$out/n$node.hist" \
-    --metrics "$out/n$node.json" "$@" > "$log" 2>&1 &
+    --metrics "$out/n$node.json" --stats-interval 50 "$@" > "$log" 2>&1 &
 }
 
 pids=()
 for i in 0 1 2 3; do
-  launch "$i" "$out/n$i.log"
+  if [ "$i" -eq 0 ]; then
+    launch "$i" "$out/n$i.log" --fed-metrics "$out/fed.json"
+  else
+    launch "$i" "$out/n$i.log"
+  fi
   pids[$i]=$!
 done
 
@@ -115,7 +120,39 @@ for i in 0 1 2 3; do
 done
 "$checker" "$out/merged.trace" --cm | tee "$out/checker.out"
 
-# Gauge assertions (metrics schema v4, docs/OBSERVABILITY.md): the SIGSTOP
+# The stats plane must have survived the chaos too: node 0's federation
+# snapshot covers every node, and node 1's latest frame carries its resumed
+# incarnation (generation 1) — stats frames from the dead generation cannot
+# roll the view back (newest t_ns wins, and CLOCK_MONOTONIC is system-wide).
+python3 - "$out/fed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+metrics = {e["name"]: e.get("value", 0) for e in snapshot["metrics"]}
+if metrics.get("fed.nodes") != 4:
+    sys.exit(f"mesh_chaos_smoke: fed.nodes = {metrics.get('fed.nodes')}, want 4")
+for i in range(4):
+    if f"fed.node.{i}.t_ns" not in metrics:
+        sys.exit(f"mesh_chaos_smoke: fed.json has no snapshot from node {i}")
+if metrics.get("fed.node.1.generation") != 1:
+    sys.exit("mesh_chaos_smoke: fed snapshot never saw node 1's resumed "
+             f"generation (got {metrics.get('fed.node.1.generation')})")
+if metrics.get("fed.node.0.peer.1.resumes", 0) < 1:
+    sys.exit("mesh_chaos_smoke: fed snapshot shows no reconnect on the "
+             "crashed edge 0-1")
+print("fed snapshot ok: all 4 nodes covered, node 1 at generation 1, "
+      "reconnect visible on edge 0-1")
+EOF
+
+# The chaos run must be renderable: one cim_top frame over the final
+# snapshot, with the reconnect visible in the per-peer health table.
+"$cim_top" --file "$out/fed.json" --once | tee "$out/cim_top.out"
+grep -q "reconn" "$out/cim_top.out" || {
+  echo "mesh_chaos_smoke: cim_top --once rendered no per-peer table" >&2
+  exit 1
+}
+
+# Gauge assertions (metrics schema v5, docs/OBSERVABILITY.md): the SIGSTOP
 # was observed and recovered from, the crash was rejoined, and — the core
 # contract — every pair one side sent was delivered exactly once on the
 # other, across the kill and the replay.

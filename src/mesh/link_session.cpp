@@ -165,6 +165,11 @@ void LinkSession::send(net::MessagePtr msg) {
     if (state_ == LinkState::kFailed || stopped_) return;
 
     const bool is_ctrl = std::strcmp(msg->type_name(), "wire.ctrl") == 0;
+    // Stats frames ride the session like control traffic: journaled and
+    // replayed for FIFO integrity, but excluded from the pair accounting the
+    // done/bye convergecast drains against (docs/BRIDGE.md).
+    const bool is_meta =
+        is_ctrl || std::strcmp(msg->type_name(), "wire.stats") == 0;
     std::uint8_t ctrl_code = 0;
     if (is_ctrl) ctrl_code = static_cast<const ControlMsg&>(*msg).code;
 
@@ -174,7 +179,7 @@ void LinkSession::send(net::MessagePtr msg) {
     frame.payload = std::move(msg);
     net::wire::encode(frame, buf);
 
-    if (!is_ctrl) ++data_sent_;
+    if (!is_meta) ++data_sent_;
     journal_bytes_ += buf.size();
     journal_.push_back(Entry{frame.seq, buf});
     if (spill_ != nullptr) {
@@ -217,6 +222,35 @@ void LinkSession::on_frame(std::unique_ptr<net::TransportFrame> frame) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     handle_ack_locked(frame->ack);
+    if (frame->ts_tx != 0) {
+      // Heartbeat timestamps (wire transport v2). With the echo fields set
+      // this frame completes an NTP four-timestamp exchange:
+      //   t1 = our earlier send (local clock, echoed back)
+      //   t2 = peer's receive of it, t3 = peer's send (peer clock)
+      //   t4 = now (local clock)
+      // rtt subtracts the peer's hold time, so it measures the path alone;
+      // offset = ((t2-t1)+(t3-t4))/2 is peer-minus-local, and keeping the
+      // minimum-RTT exchange bounds its error by rtt/2 — injected stalls
+      // widen RTT but can only make us *keep* an older, tighter estimate.
+      const std::int64_t t4 = steady_ns();
+      if (frame->ts_orig != 0) {
+        const auto t1 = static_cast<std::int64_t>(frame->ts_orig);
+        const auto t2 = static_cast<std::int64_t>(frame->ts_rx);
+        const auto t3 = static_cast<std::int64_t>(frame->ts_tx);
+        const std::int64_t rtt = (t4 - t1) - (t3 - t2);
+        if (rtt >= 0) {
+          ++rtt_count_;
+          if (rtt_samples_.size() < kMaxRttSamples)
+            rtt_samples_.push_back(rtt);
+          if (best_rtt_ns_ < 0 || rtt < best_rtt_ns_) {
+            best_rtt_ns_ = rtt;
+            offset_ns_ = ((t2 - t1) + (t3 - t4)) / 2;
+          }
+        }
+      }
+      peer_hb_tx_ = frame->ts_tx;
+      peer_hb_rx_ns_ = t4;
+    }
     if (!frame->payload) return;  // pure ACK / heartbeat
     if (frame->seq < recv_expected_) {
       // Replay overlap after a rejoin (or an in-flight frame racing one):
@@ -231,7 +265,10 @@ void LinkSession::on_frame(std::unique_ptr<net::TransportFrame> frame) {
     ++recv_expected_;
     const bool is_ctrl =
         std::strcmp(frame->payload->type_name(), "wire.ctrl") == 0;
-    if (!is_ctrl) ++data_delivered_;
+    const bool is_meta =
+        is_ctrl ||
+        std::strcmp(frame->payload->type_name(), "wire.stats") == 0;
+    if (!is_meta) ++data_delivered_;
     if (spill_ != nullptr) {
       // Record-then-deliver: once the cursor is on disk the frame is
       // never accepted again, so a crash between the two leaves at most a
@@ -292,6 +329,13 @@ void LinkSession::tick() {
           // the other's heartbeats alone).
           net::TransportFrame hb;
           hb.ack = recv_expected_;
+          // NTP exchange (docs/OBSERVABILITY.md): echo the peer's latest
+          // heartbeat send time and our receive time of it, stamp our own
+          // send time. Data frames never carry these, so only heartbeats
+          // pay the 24-byte v2 tail.
+          hb.ts_orig = peer_hb_tx_;
+          hb.ts_rx = static_cast<std::uint64_t>(peer_hb_rx_ns_);
+          hb.ts_tx = static_cast<std::uint64_t>(now);
           std::vector<std::uint8_t> buf;
           net::wire::encode(hb, buf);
           t->send_bytes(buf.data(), buf.size(), false);
@@ -510,6 +554,26 @@ std::uint64_t LinkSession::dup_drops() const {
 bool LinkSession::down() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return state_ != LinkState::kUp;
+}
+
+std::vector<std::int64_t> LinkSession::rtt_samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rtt_samples_;
+}
+
+std::int64_t LinkSession::clock_offset_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return offset_ns_;
+}
+
+std::int64_t LinkSession::best_rtt_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return best_rtt_ns_;
+}
+
+std::uint64_t LinkSession::rtt_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rtt_count_;
 }
 
 bool accept_rejoin(int fd, const ControlMsg& msg, std::uint64_t self_id,

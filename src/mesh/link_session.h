@@ -143,6 +143,21 @@ class LinkSession final : public net::LinkTransport {
   std::uint64_t resumes() const;
   std::uint64_t dup_drops() const;
   bool down() const;
+  // ---- heartbeat RTT / clock offset (docs/OBSERVABILITY.md "RTT and
+  // clock offset"). Every heartbeat completes an NTP-style four-timestamp
+  // exchange; samples feed the net.mesh.<peer>.rtt_ns histogram and the
+  // offset table in the federation snapshot.
+  /// Bounded copy of the per-edge RTT samples (ns), oldest first.
+  std::vector<std::int64_t> rtt_samples() const;
+  /// Pairwise clock-offset estimate (peer steady clock minus local, ns),
+  /// taken from the minimum-RTT exchange seen so far — queueing delay from
+  /// stalls or backpressure widens RTT but cannot corrupt this estimate.
+  std::int64_t clock_offset_ns() const;
+  /// RTT (ns) of the exchange backing clock_offset_ns(); -1 until the first
+  /// full exchange completes.
+  std::int64_t best_rtt_ns() const;
+  /// Completed exchanges (including samples dropped by the storage bound).
+  std::uint64_t rtt_count() const;
   // Transport stats summed across every socket incarnation.
   std::uint64_t syscalls_read() const;
   std::uint64_t syscalls_write() const;
@@ -204,6 +219,17 @@ class LinkSession final : public net::LinkTransport {
   std::uint64_t hb_miss_ = 0;
   std::uint64_t resumes_ = 0;
   std::uint64_t dup_drops_ = 0;
+
+  // NTP four-timestamp state (mutex_). The peer's latest heartbeat send
+  // time (peer clock) and our local receive time of it are echoed back on
+  // our next heartbeat; a completed exchange yields one RTT/offset sample.
+  static constexpr std::size_t kMaxRttSamples = 2048;
+  std::uint64_t peer_hb_tx_ = 0;     // peer's latest ts_tx (peer clock)
+  std::int64_t peer_hb_rx_ns_ = 0;   // local steady rx time of that
+  std::vector<std::int64_t> rtt_samples_;
+  std::uint64_t rtt_count_ = 0;
+  std::int64_t best_rtt_ns_ = -1;
+  std::int64_t offset_ns_ = 0;
 
   // Socket incarnations. `transport_` is the live one (null while down);
   // retired ones move to the graveyard and die with the session — an epoll

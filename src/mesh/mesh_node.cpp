@@ -5,15 +5,20 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "mesh/ctrl_io.h"
+#include "mesh/stats_plane.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocols/anbkh.h"
 #include "runtime/runtime.h"
 
@@ -23,6 +28,12 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 using net::wire::ControlMsg;
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -441,6 +452,23 @@ MeshResult MeshNode::run() {
     applied_pairs[e] = r != nullptr ? r->data_delivered : 0;
   }
 
+  // ---- stats plane (docs/BRIDGE.md "Stats aggregation") --------------------
+  // Frames from child subtrees are queued on the loop thread and forwarded
+  // to the parent by the pump thread below — never sent from the loop thread
+  // itself, where a journal-bound send() would deadlock against its own ACKs.
+  FedAggregator agg;
+  std::size_t stats_parent_e = isc::Topology::npos;
+  if (cfg_.node_id != 0) {
+    const std::size_t parent_node = stats_parent(cfg_.topo, cfg_.node_id);
+    for (std::size_t e = 0; e < n_links; ++e)
+      if (neighbors_[e] == parent_node) stats_parent_e = e;
+  }
+  std::mutex stats_mutex;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+  std::deque<std::unique_ptr<net::wire::StatsFrame>> stats_relay;
+  std::thread stats_thread;
+
   // The engine must accept posts before any transport can deliver: a fast
   // peer may flood pairs the moment its own join completes.
   rt.start();
@@ -465,6 +493,21 @@ MeshResult MeshNode::run() {
             }
             return;
           }
+          if (std::strcmp(msg->type_name(), "wire.stats") == 0) {
+            auto frame = std::unique_ptr<net::wire::StatsFrame>(
+                static_cast<net::wire::StatsFrame*>(msg.release()));
+            if (cfg_.node_id == 0) {
+              agg.fold(*frame);
+            } else {
+              std::lock_guard<std::mutex> lk(stats_mutex);
+              // Bounded: a long parent outage drops the oldest snapshots,
+              // never backpressures the loop thread.
+              if (stats_relay.size() >= 64) stats_relay.pop_front();
+              stats_relay.push_back(std::move(frame));
+              stats_cv.notify_all();
+            }
+            return;
+          }
           net::Message* raw = msg.release();
           rt.post([isp_ptr, link, raw, applied] {
             isp_ptr->deliver_from_link(link, net::MessagePtr(raw));
@@ -478,6 +521,96 @@ MeshResult MeshNode::run() {
   // dialer reconnecting the instant we come back finds its session.
   if (listener_ >= 0) accept_thread_ = std::thread([this] { accept_main(); });
   sessions_ready_.store(true, std::memory_order_release);
+
+  // Snapshot of this node's thread-safe session/transport gauges, keyed
+  // relative to the node (the aggregator prefixes fed.node.<origin>.).
+  auto sample_stats = [&]() {
+    auto f = std::make_unique<net::wire::StatsFrame>();
+    f->origin = cfg_.node_id;
+    f->t_ns = static_cast<std::uint64_t>(steady_ns());
+    auto put = [&f](std::string key, std::int64_t v) {
+      f->entries.emplace_back(std::move(key), v);
+    };
+    put("generation", generation_);
+    std::int64_t bytes_out = 0;
+    std::int64_t bytes_in = 0;
+    for (std::size_t e = 0; e < n_links; ++e) {
+      LinkSession& s = *sessions_[e];
+      const std::string p = "peer." + std::to_string(neighbors_[e]) + ".";
+      put(p + "down", s.down() ? 1 : 0);
+      put(p + "journal_depth", static_cast<std::int64_t>(s.backlog()));
+      put(p + "hb_miss", static_cast<std::int64_t>(s.hb_miss()));
+      put(p + "resumes", static_cast<std::int64_t>(s.resumes()));
+      put(p + "dup_drops", static_cast<std::int64_t>(s.dup_drops()));
+      put(p + "pairs_sent", static_cast<std::int64_t>(s.data_sent()));
+      put(p + "pairs_delivered", static_cast<std::int64_t>(s.data_delivered()));
+      put(p + "queue_full_stalls",
+          static_cast<std::int64_t>(s.queue_full_stalls()));
+      put(p + "rtt_ns", s.best_rtt_ns());
+      put(p + "offset_ns", s.clock_offset_ns());
+      put(p + "rtt_count", static_cast<std::int64_t>(s.rtt_count()));
+      bytes_out += static_cast<std::int64_t>(s.wire_bytes_out());
+      bytes_in += static_cast<std::int64_t>(s.wire_bytes_in());
+    }
+    put("bytes_out", bytes_out);
+    put("bytes_in", bytes_in);
+    return f;
+  };
+  auto signal_stats_stop = [&] {
+    {
+      std::lock_guard<std::mutex> lk(stats_mutex);
+      stats_stop = true;
+    }
+    stats_cv.notify_all();
+  };
+  if (cfg_.stats_interval_ms > 0) {
+    stats_thread = std::thread([&] {
+      const auto interval = std::chrono::milliseconds(cfg_.stats_interval_ms);
+      auto next = Clock::now();  // first sample immediately: short runs and
+                                 // slow cadences still cover every node
+      std::unique_lock<std::mutex> lk(stats_mutex);
+      while (!stats_stop) {
+        stats_cv.wait_until(lk, next, [&] {
+          return stats_stop || !stats_relay.empty();
+        });
+        if (stats_stop) break;
+        std::vector<std::unique_ptr<net::wire::StatsFrame>> forward;
+        while (!stats_relay.empty()) {
+          forward.push_back(std::move(stats_relay.front()));
+          stats_relay.pop_front();
+        }
+        const bool do_sample = Clock::now() >= next;
+        if (do_sample) next = Clock::now() + interval;
+        lk.unlock();
+        if (do_sample && cfg_.trace) {
+          // Pin a (virtual time, steady clock) correspondence on the engine
+          // thread — both clocks read at the same instant — so cim_trace
+          // merge can align this node's virtual timeline onto the shared
+          // wall clock (trace schema v4, docs/TRACE_TOOLS.md "merge").
+          rt.post([this] {
+            obs::TraceSink& tr = fed_->observability().trace();
+            CIM_TRACE(&tr, fed_->simulator().now(), obs::TraceCategory::kSim,
+                      "clock_sample",
+                      {{"steady_ns", steady_ns()},
+                       {"node", static_cast<std::uint64_t>(cfg_.node_id)}});
+          });
+        }
+        if (cfg_.node_id == 0) {
+          if (do_sample) agg.fold(*sample_stats());
+          if ((do_sample || !forward.empty()) &&
+              !cfg_.fed_metrics_path.empty())
+            agg.write_json(cfg_.fed_metrics_path);
+        } else if (stats_parent_e != isc::Topology::npos) {
+          // send() blocks against the journal bound while the parent link is
+          // down — that is this thread's backpressure, and stop() unblocks
+          // it. Own sample last: children's snapshots stay older than ours.
+          for (auto& fr : forward) sessions_[stats_parent_e]->send(std::move(fr));
+          if (do_sample) sessions_[stats_parent_e]->send(sample_stats());
+        }
+        lk.lock();
+      }
+    });
+  }
 
   // Run `fn` on the engine thread and wait — the only way anything outside
   // the engine reads engine-owned state (IS counters, runner progress).
@@ -493,11 +626,16 @@ MeshResult MeshNode::run() {
   };
 
   auto shut_down_everything = [&] {
-    // Sessions first: stop() closes the live transports, which unblocks an
+    // Signal the stats pump before stopping the sessions (its forwarding
+    // send() only unblocks when the parent session stops), join it before
+    // rt.stop() (it posts clock_sample closures to rt).
+    signal_stats_stop();
+    // Sessions next: stop() closes the live transports, which unblocks an
     // accept thread stuck replaying into a stalled peer — only then is the
     // join below guaranteed to return.
     accept_stop_.store(true, std::memory_order_release);
     for (auto& s : sessions_) s->stop();
+    if (stats_thread.joinable()) stats_thread.join();
     if (accept_thread_.joinable()) accept_thread_.join();
     loop_.stop();  // before rt: a late delivery must not post to a dead rt
     rt.stop();
@@ -651,6 +789,23 @@ MeshResult MeshNode::run() {
         static_cast<std::int64_t>(sessions_[e]->data_sent()));
     m.gauge(p + "pairs_delivered").set(
         static_cast<std::int64_t>(sessions_[e]->data_delivered()));
+    // Heartbeat-derived RTT/clock alignment (schema v5, docs/OBSERVABILITY.md
+    // "Link RTT and clock offsets").
+    auto& rtt = m.value_histogram(p + "rtt_ns");
+    for (std::int64_t v : sessions_[e]->rtt_samples()) rtt.observe(v);
+    m.gauge(p + "rtt_best_ns").set(sessions_[e]->best_rtt_ns());
+    m.gauge(p + "offset_ns").set(sessions_[e]->clock_offset_ns());
+    m.gauge(p + "rtt_count").set(
+        static_cast<std::int64_t>(sessions_[e]->rtt_count()));
+  }
+
+  // Final federation snapshot: fold our own closing sample so the file node 0
+  // leaves behind covers the full run even when the last cadence tick raced
+  // shutdown.
+  if (cfg_.stats_interval_ms > 0 && cfg_.node_id == 0 &&
+      !cfg_.fed_metrics_path.empty()) {
+    agg.fold(*sample_stats());
+    agg.write_json(cfg_.fed_metrics_path);
   }
 
   for (const auto& r : runners) result.ops_done += r->steps_completed();

@@ -110,6 +110,16 @@ struct MeshConfig {
   std::string history_path;
   /// Borrowed chaos switchboard for tests/bench (docs/FAULTS.md).
   net::FaultHooks* faults = nullptr;
+
+  // ---- stats plane (docs/BRIDGE.md "Stats aggregation") --------------------
+  /// Cadence of the per-node StatsFrame sent up the tree toward node 0 (and
+  /// of node 0's aggregated snapshot refresh, and of the clock_sample trace
+  /// events `cim_trace merge` aligns timelines with). 0 = stats plane off.
+  int stats_interval_ms = 0;
+  /// Node 0 only: path of the federation-wide aggregated metrics JSON,
+  /// atomically refreshed every cadence tick and finalized after the run
+  /// ("" = off). cim_top tails this file for the live view.
+  std::string fed_metrics_path;
 };
 
 struct MeshResult {

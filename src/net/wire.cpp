@@ -202,6 +202,23 @@ void encode_control(Buf& out, const ControlMsg& m) {
   if (m.c != 0) put_varint(out, m.c);  // v2 tail (see encode_body)
 }
 
+void encode_stats(Buf& out, const StatsFrame& m) {
+  put_varint(out, m.origin);
+  put_u64le(out, m.t_ns);
+  put_varint(out, m.entries.size());
+  for (const auto& e : m.entries) {
+    put_varint(out, e.first.size());
+    out.insert(out.end(), e.first.begin(), e.first.end());
+    put_zigzag(out, e.second);
+  }
+}
+
+// True when the frame carries the v2 heartbeat timestamp tail (see
+// kTransportVersion2): only heartbeats stamp these, so data frames stay v1.
+bool transport_has_timestamps(const TransportFrame& m) {
+  return m.ts_orig != 0 || m.ts_rx != 0 || m.ts_tx != 0;
+}
+
 bool encode_body(const Message& msg, Buf& out);
 
 void encode_transport_frame(Buf& out, const TransportFrame& m) {
@@ -220,6 +237,11 @@ void encode_transport_frame(Buf& out, const TransportFrame& m) {
       return true;
     }();
     CIM_CHECK_MSG(ok, "wire: transport frame payload is not encodable");
+  }
+  if (transport_has_timestamps(m)) {  // v2 tail (see encode_body)
+    put_u64le(out, m.ts_orig);
+    put_u64le(out, m.ts_rx);
+    put_u64le(out, m.ts_tx);
   }
 }
 
@@ -250,8 +272,16 @@ bool encode_body(const Message& msg, Buf& out) {
     tagged(WireType::kCbcast);
     encode_cbcast(out, static_cast<const mp::CbcastMsg&>(msg));
   } else if (std::strcmp(tn, "tr.data") == 0 || std::strcmp(tn, "tr.ack") == 0) {
-    tagged(WireType::kTransportFrame);
-    encode_transport_frame(out, static_cast<const TransportFrame&>(msg));
+    // Transport frames are v1 unless the heartbeat timestamp tail is in use
+    // (same nonzero-only discipline as the control v2 field below).
+    const auto& frame = static_cast<const TransportFrame&>(msg);
+    put_u8(out, static_cast<std::uint8_t>(WireType::kTransportFrame));
+    put_u8(out,
+           transport_has_timestamps(frame) ? kTransportVersion2 : kWireVersion);
+    encode_transport_frame(out, frame);
+  } else if (std::strcmp(tn, "wire.stats") == 0) {
+    tagged(WireType::kStats);
+    encode_stats(out, static_cast<const StatsFrame&>(msg));
   } else if (std::strcmp(tn, "wire.ctrl") == 0) {
     // Control frames are v1 unless the v2 field `c` is in use (rejoin
     // handshake), so historical byte streams re-encode bit-identically.
@@ -368,6 +398,40 @@ MessagePtr decode_payload(WireType type, std::uint8_t version, Reader& r,
         m->payload = std::move(nested.msg);
         r.advance(nested.consumed);
       }
+      if (version >= kTransportVersion2) {
+        m->ts_orig = r.u64le();
+        m->ts_rx = r.u64le();
+        m->ts_tx = r.u64le();
+      }
+      return m;
+    }
+    case WireType::kStats: {
+      auto m = std::make_unique<StatsFrame>();
+      m->origin = r.varint();
+      m->t_ns = r.u64le();
+      const std::uint64_t n = r.varint();
+      if (r.fail() || n > kMaxStatsEntries) {
+        error = "wire: too many stats entries";
+        return nullptr;
+      }
+      m->entries.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t key_len = r.varint();
+        if (r.fail() || key_len > kMaxStatsKeyBytes ||
+            key_len > r.remaining()) {
+          error = "wire: bad stats key";
+          return nullptr;
+        }
+        std::string key(reinterpret_cast<const char*>(r.cursor()),
+                        static_cast<std::size_t>(key_len));
+        r.advance(static_cast<std::size_t>(key_len));
+        const std::int64_t value = r.zigzag();
+        if (r.fail()) {
+          error = "wire: truncated payload";
+          return nullptr;
+        }
+        m->entries.emplace_back(std::move(key), value);
+      }
       return m;
     }
     case WireType::kControl: {
@@ -397,12 +461,15 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
   Reader r(data + 4, body_len);
   const std::uint8_t raw_type = r.u8();
   const std::uint8_t version = r.u8();
-  if (raw_type > static_cast<std::uint8_t>(WireType::kTransportFrame))
+  if (raw_type > static_cast<std::uint8_t>(WireType::kStats))
     return fail_with("wire: unknown wire type");
   const bool control_v2 =
       raw_type == static_cast<std::uint8_t>(WireType::kControl) &&
       version == kControlVersion2;
-  if (version != kWireVersion && !control_v2)
+  const bool transport_v2 =
+      raw_type == static_cast<std::uint8_t>(WireType::kTransportFrame) &&
+      version == kTransportVersion2;
+  if (version != kWireVersion && !control_v2 && !transport_v2)
     return fail_with("wire: unknown version");
 
   const char* error = nullptr;
@@ -438,6 +505,8 @@ const char* wire_type_label(WireType t) {
       return "cbcast";
     case WireType::kTransportFrame:
       return "transport_frame";
+    case WireType::kStats:
+      return "stats";
   }
   return "unknown";
 }
@@ -446,7 +515,7 @@ bool encodable(const Message& msg) {
   const char* tn = msg.type_name();
   for (const char* known :
        {"is.pair", "vc.update", "tob.publish", "tob.deliver", "partial.update",
-        "partial.marker", "cbcast.msg", "wire.ctrl"}) {
+        "partial.marker", "cbcast.msg", "wire.ctrl", "wire.stats"}) {
     if (std::strcmp(tn, known) == 0) return true;
   }
   if (std::strcmp(tn, "tr.data") == 0)

@@ -34,6 +34,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -49,6 +51,14 @@ inline constexpr std::uint8_t kWireVersion = 1;
 /// field — still encodes as version 1, bit-identical to the golden vectors.
 inline constexpr std::uint8_t kControlVersion2 = 2;
 
+/// Transport-frame version that carries the trailing heartbeat timestamp
+/// triple (ts_orig/ts_rx/ts_tx — the NTP-style four-timestamp exchange,
+/// docs/OBSERVABILITY.md "RTT and clock offset"). Stamped only when at least
+/// one timestamp is nonzero, so every data frame — and every pure ACK that
+/// predates the field — still encodes as version 1, bit-identical to the
+/// golden vectors.
+inline constexpr std::uint8_t kTransportVersion2 = 2;
+
 /// Upper bound on a frame body (type + version + payload). Guards decoders
 /// against absurd length prefixes from corrupt or hostile inputs.
 inline constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 20;
@@ -62,6 +72,13 @@ inline constexpr std::size_t kMaxClockEntries = 4096;
 /// nested payload frame; deeper nesting is not produced by any encoder).
 inline constexpr int kMaxNestingDepth = 4;
 
+/// Upper bound on StatsFrame entries accepted on decode. A node snapshot is
+/// a few dozen gauges; the bound caps attacker-driven allocation.
+inline constexpr std::size_t kMaxStatsEntries = 512;
+
+/// Upper bound on one StatsFrame entry key, in bytes.
+inline constexpr std::size_t kMaxStatsKeyBytes = 96;
+
 /// Wire type tags, one per encodable message type. Values are the on-wire
 /// bytes and must never be renumbered — only appended to.
 enum class WireType : std::uint8_t {
@@ -73,6 +90,7 @@ enum class WireType : std::uint8_t {
   kPartialUpdate = 5,   // partial.*     (proto::PartialUpdate)
   kCbcast = 6,          // cbcast.msg    (mp::CbcastMsg)
   kTransportFrame = 7,  // tr.data/tr.ack (net::TransportFrame)
+  kStats = 8,           // wire.stats    (net::wire::StatsFrame)
 };
 
 /// Stable label for a wire type (bench rows, error messages).
@@ -105,6 +123,29 @@ struct ControlMsg final : Message {
   std::size_t wire_size() const override { return 1 + 8 + 8 + 8; }
   MessagePtr clone() const override {
     return std::make_unique<ControlMsg>(*this);
+  }
+};
+
+/// Compact metrics snapshot carried up the tree by the stats plane
+/// (docs/BRIDGE.md "Stats aggregation"): one frame per node per cadence
+/// tick, folded by node 0 into the federation-wide metrics.json. Defined
+/// here (not in the mesh) so the codec, decode limits, and fuzz tests cover
+/// it like any other type. Keys are short metric names relative to the
+/// originating node (e.g. "pairs_sent", "peer.2.rtt_ns"); values are raw
+/// gauge/counter readings.
+struct StatsFrame final : Message {
+  std::uint64_t origin = 0;  // originating node id
+  std::uint64_t t_ns = 0;    // steady-clock sample time at the origin
+  std::vector<std::pair<std::string, std::int64_t>> entries;
+
+  const char* type_name() const override { return "wire.stats"; }
+  std::size_t wire_size() const override {
+    std::size_t n = 16;
+    for (const auto& e : entries) n += e.first.size() + 10;
+    return n;
+  }
+  MessagePtr clone() const override {
+    return std::make_unique<StatsFrame>(*this);
   }
 };
 

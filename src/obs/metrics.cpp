@@ -139,6 +139,18 @@ void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
   w.begin_object();
   w.kv("schema", "cim.metrics.v1");
   w.kv("v", kMetricsSchemaVersion);
+  // Provenance header (schema v5): lets an aggregator refuse or flag
+  // snapshots from a different schema or build instead of silently merging
+  // incomparable gauges.
+  w.key("meta");
+  w.begin_object();
+  w.kv("schema_version", kMetricsSchemaVersion);
+#if defined(CIM_GIT_SHA)
+  w.kv("git_sha", CIM_GIT_SHA);
+#else
+  w.kv("git_sha", "unknown");
+#endif
+  w.end_object();
   w.key("metrics");
   w.begin_array();
   for (const MetricsSnapshot::Entry& e : snapshot.entries) {

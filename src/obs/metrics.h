@@ -39,8 +39,13 @@ namespace cim::obs {
 // the *_ns histograms. v4: per-peer session gauges
 // net.mesh.<peer>.{down,hb_miss,resumes,dup_drops,pairs_sent,pairs_delivered}
 // for the crash-tolerant link sessions (docs/BRIDGE.md "Failure behavior").
-// See docs/OBSERVABILITY.md § Schema versioning.
-inline constexpr int kMetricsSchemaVersion = 4;
+// v5: the JSON header carries a `meta` object ({schema_version, git_sha}) so
+// mixed-version snapshots are detectable during federation aggregation;
+// per-peer RTT/offset instruments net.mesh.<peer>.{rtt_ns,rtt_best_ns,
+// offset_ns,rtt_count} from the heartbeat NTP exchange; federation-wide
+// fed.node.<i>.* entries in node 0's aggregated snapshot (docs/BRIDGE.md
+// "Stats aggregation"). See docs/OBSERVABILITY.md § Schema versioning.
+inline constexpr int kMetricsSchemaVersion = 5;
 
 class Counter {
  public:

@@ -41,7 +41,12 @@ namespace cim::obs {
 // originating `wid` (see cim::WriteId); new `chk` category with the
 // `violation` event emitted by checker::OnlineMonitor; field slots per record
 // raised from 6 to 8.
-inline constexpr int kTraceSchemaVersion = 3;
+// v4: periodic `clock_sample` events (category sim, field `steady_ns`)
+// recorded on the engine thread by the mesh stats plane — each one pins a
+// (virtual time, steady clock) correspondence so `cim_trace merge` can align
+// per-process virtual timelines onto one wall clock (docs/TRACE_TOOLS.md
+// "merge"). The record layout itself is unchanged.
+inline constexpr int kTraceSchemaVersion = 4;
 
 /// Which layer emitted an event. One bit each in TraceOptions::category_mask.
 enum class TraceCategory : std::uint8_t {

@@ -1,0 +1,75 @@
+// Cross-node trace correlation: merging per-process trace JSONL files into
+// one federation-wide timeline (docs/TRACE_TOOLS.md "merge").
+//
+// Each mesh node runs its own virtual-time engine, so the raw `t` of two
+// nodes' records are unrelated. Two ingredients align them:
+//
+//   1. clock_sample records (trace schema v4): the stats plane periodically
+//      pins (virtual time, CLOCK_MONOTONIC ns) pairs on the engine thread.
+//      Piecewise-linear interpolation between consecutive samples maps any
+//      virtual timestamp of that process onto its host steady clock.
+//   2. The pairwise clock-offset table the heartbeat RTT estimator produces
+//      (fed.node.<i>.peer.<j>.offset_ns in the federation metrics snapshot),
+//      chained along the tree from node 0, maps each host steady clock onto
+//      node 0's.
+//
+// The merged record stream is sorted by aligned time and re-sequenced;
+// fields (and in particular the globally-unique `wid`) pass through
+// untouched, so SpanIndex and the Perfetto exporter stitch one write's
+// spans across OS-process boundaries exactly as they do in-process.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_read.h"
+
+namespace cim::obs {
+
+/// Per-node clock offsets relative to node 0's steady clock:
+/// rel_node0[n] = steady_clock(n) - steady_clock(0). Missing nodes align
+/// with offset 0 (exact on a single host, where every process shares
+/// CLOCK_MONOTONIC).
+struct NodeOffsets {
+  std::map<std::uint64_t, std::int64_t> rel_node0;
+};
+
+/// Build chained offsets from a federation metrics snapshot
+/// (FedAggregator::write_json output): BFS from node 0 over the
+/// fed.node.<i>.peer.<j>.offset_ns entries, summing offsets along the tree
+/// path. Returns false with `error` on malformed JSON; nodes unreachable
+/// from node 0 are simply absent from the result.
+bool load_offsets_json(const std::string& text, NodeOffsets& out,
+                       std::string* error = nullptr);
+
+struct MergeInput {
+  std::string label;  // diagnostics only (usually the source file name)
+  std::vector<ParsedTraceEvent> events;
+};
+
+struct MergeResult {
+  /// Aligned union of every input, sorted by t (node-0 steady ns), seq
+  /// renumbered 0..n-1 in that order.
+  std::vector<ParsedTraceEvent> events;
+  /// One human-readable line per degraded input (no clock_sample records,
+  /// node missing from the offset table, ...).
+  std::vector<std::string> warnings;
+  /// Inputs that had at least one clock_sample to align with.
+  std::size_t aligned_inputs = 0;
+};
+
+/// Merge per-process traces into one timeline. Inputs without any
+/// clock_sample record keep their virtual timestamps verbatim (with a
+/// warning) — still useful for single-host runs and tests, where all inputs
+/// came from one clock domain.
+MergeResult merge_traces(const std::vector<MergeInput>& inputs,
+                         const NodeOffsets& offsets);
+
+/// Write records in the TraceSink::write_jsonl schema (one object per
+/// line), so every cim_trace subcommand accepts a merged file.
+void write_trace_jsonl(std::ostream& os,
+                       const std::vector<ParsedTraceEvent>& events);
+
+}  // namespace cim::obs

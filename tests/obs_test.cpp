@@ -144,8 +144,17 @@ TEST(ObsMetrics, JsonExporterShape) {
 
   std::ostringstream os;
   obs::write_json(os, reg.snapshot());
+  // v5: the meta header embeds the schema version and the build's git SHA
+  // (the same CIM_GIT_SHA the bench reports carry).
+#if defined(CIM_GIT_SHA)
+  const std::string sha = CIM_GIT_SHA;
+#else
+  const std::string sha = "unknown";
+#endif
   EXPECT_EQ(os.str(),
-            "{\"schema\":\"cim.metrics.v1\",\"v\":4,\"metrics\":["
+            "{\"schema\":\"cim.metrics.v1\",\"v\":5,"
+            "\"meta\":{\"schema_version\":5,\"git_sha\":\"" + sha + "\"},"
+            "\"metrics\":["
             "{\"name\":\"a.count\",\"kind\":\"counter\",\"value\":3},"
             "{\"name\":\"b.gauge\",\"kind\":\"gauge\",\"value\":-7}]}\n");
 }
@@ -282,7 +291,7 @@ TEST(ObsTrace, JsonlRendersEveryFieldType) {
   std::ostringstream os;
   sink.write_jsonl(os);
   EXPECT_EQ(os.str(),
-            "{\"v\":3,\"seq\":0,\"t\":42,\"cat\":\"isc\",\"ev\":\"pair_in\","
+            "{\"v\":4,\"seq\":0,\"t\":42,\"cat\":\"isc\",\"ev\":\"pair_in\","
             "\"f\":{\"proc\":\"1.4\",\"var\":3,\"lat\":-5,\"rate\":0.5,"
             "\"type\":\"vc.update\"}}\n");
 }

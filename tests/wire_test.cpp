@@ -308,6 +308,21 @@ net::MessagePtr random_message(Rng& rng, int type, bool allow_nested) {
       m->sender = static_cast<std::uint16_t>(rng.next());
       return m;
     }
+    case 8: {
+      auto m = std::make_unique<wire::StatsFrame>();
+      m->origin = rng.uniform(0, 4095);
+      m->t_ns = rng.next() >> 1;
+      const std::size_t n = rng.uniform(0, 24);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string key;
+        const std::size_t len = rng.uniform(0, wire::kMaxStatsKeyBytes);
+        for (std::size_t k = 0; k < len; ++k)
+          key.push_back(static_cast<char>('a' + rng.uniform(0, 25)));
+        m->entries.emplace_back(std::move(key),
+                                static_cast<std::int64_t>(random_value(rng)));
+      }
+      return m;
+    }
     default: {
       auto m = std::make_unique<net::TransportFrame>();
       m->seq = rng.next();
@@ -315,6 +330,11 @@ net::MessagePtr random_message(Rng& rng, int type, bool allow_nested) {
       if (allow_nested && rng.chance(0.7)) {
         m->payload =
             random_message(rng, static_cast<int>(rng.uniform(0, 6)), false);
+      }
+      if (rng.chance(0.5)) {  // heartbeat timestamp tail (transport v2)
+        m->ts_orig = rng.chance(0.8) ? (rng.next() >> 1) : 0;
+        m->ts_rx = rng.next() >> 1;
+        m->ts_tx = rng.next() >> 1;
       }
       return m;
     }
@@ -326,7 +346,7 @@ TEST(WireFuzz, TenThousandRoundTripsPerType) {
   Rng rng(0xC0DEC);
   std::vector<std::uint8_t> buf;
   std::vector<std::uint8_t> rebuf;
-  for (int type = 0; type <= 7; ++type) {
+  for (int type = 0; type <= 8; ++type) {
     for (int i = 0; i < kPerType; ++i) {
       const net::MessagePtr msg = random_message(rng, type, true);
       buf.clear();
@@ -358,7 +378,7 @@ TEST(WireFuzz, MutatedAndTruncatedBuffersFailCleanly) {
   int clean_errors = 0;
   for (int i = 0; i < kCases; ++i) {
     const net::MessagePtr msg =
-        random_message(rng, static_cast<int>(rng.uniform(0, 7)), true);
+        random_message(rng, static_cast<int>(rng.uniform(0, 8)), true);
     buf.clear();
     wire::encode(*msg, buf);
 
@@ -451,6 +471,84 @@ TEST(WireControlV2, RejoinCursorRoundTripsAndV1StaysBitIdentical) {
   const wire::DecodeResult res1 = wire::decode(buf.data(), buf.size());
   ASSERT_TRUE(res1.ok()) << res1.error;
   EXPECT_EQ(dynamic_cast<const wire::ControlMsg*>(res1.msg.get())->c, 0u);
+}
+
+TEST(WireTransportV2, HeartbeatTimestampsRoundTripAndV1StaysBitIdentical) {
+  // A plain data frame or ACK (no timestamps) encodes exactly as before the
+  // field existed: version byte v1, no tail — golden captures decode
+  // unchanged and data-path bytes don't grow.
+  net::TransportFrame plain;
+  plain.ack = 41;
+  std::vector<std::uint8_t> v1;
+  wire::encode(plain, v1);
+  EXPECT_EQ(v1[5], wire::kWireVersion);
+
+  // A heartbeat stamps the NTP triple and flips to transport v2.
+  net::TransportFrame hb;
+  hb.ack = 41;
+  hb.ts_orig = 1'000'000;
+  hb.ts_rx = 1'000'900;
+  hb.ts_tx = 2'500'000;
+  std::vector<std::uint8_t> v2;
+  wire::encode(hb, v2);
+  EXPECT_EQ(v2[5], wire::kTransportVersion2);
+  EXPECT_EQ(v2.size(), v1.size() + 24);  // exactly the three u64 tail
+
+  const wire::DecodeResult res = wire::decode(v2.data(), v2.size());
+  ASSERT_TRUE(res.ok()) << res.error;
+  const auto* back = dynamic_cast<const net::TransportFrame*>(res.msg.get());
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->ack, 41u);
+  EXPECT_EQ(back->ts_orig, 1'000'000u);
+  EXPECT_EQ(back->ts_rx, 1'000'900u);
+  EXPECT_EQ(back->ts_tx, 2'500'000u);
+
+  // v1 decodes default the triple to zero.
+  const wire::DecodeResult res1 = wire::decode(v1.data(), v1.size());
+  ASSERT_TRUE(res1.ok()) << res1.error;
+  const auto* old = dynamic_cast<const net::TransportFrame*>(res1.msg.get());
+  EXPECT_EQ(old->ts_orig, 0u);
+  EXPECT_EQ(old->ts_tx, 0u);
+}
+
+TEST(WireStats, RoundTripsAndEnforcesDecodeLimits) {
+  wire::StatsFrame stats;
+  stats.origin = 3;
+  stats.t_ns = 123'456'789;
+  stats.entries = {{"pairs_sent", 120},
+                   {"peer.1.rtt_ns", 830'000},
+                   {"peer.1.offset_ns", -412}};
+  std::vector<std::uint8_t> buf;
+  wire::encode(stats, buf);
+
+  const wire::DecodeResult res = wire::decode(buf.data(), buf.size());
+  ASSERT_TRUE(res.ok()) << res.error;
+  const auto* back = dynamic_cast<const wire::StatsFrame*>(res.msg.get());
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->origin, 3u);
+  EXPECT_EQ(back->t_ns, 123'456'789u);
+  ASSERT_EQ(back->entries.size(), 3u);
+  EXPECT_EQ(back->entries[1].first, "peer.1.rtt_ns");
+  EXPECT_EQ(back->entries[2].second, -412);
+
+  // An entry count past kMaxStatsEntries is rejected before any allocation
+  // proportional to it.
+  wire::StatsFrame huge;
+  huge.entries.assign(wire::kMaxStatsEntries + 1, {"k", 1});
+  std::vector<std::uint8_t> big;
+  wire::encode(huge, big);
+  const wire::DecodeResult too_many = wire::decode(big.data(), big.size());
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_NE(std::string(too_many.error).find("stats"), std::string::npos);
+
+  // So is an oversized key.
+  wire::StatsFrame longkey;
+  longkey.entries = {{std::string(wire::kMaxStatsKeyBytes + 1, 'x'), 7}};
+  std::vector<std::uint8_t> bigkey;
+  wire::encode(longkey, bigkey);
+  const wire::DecodeResult bad_key = wire::decode(bigkey.data(), bigkey.size());
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_NE(std::string(bad_key.error).find("stats"), std::string::npos);
 }
 
 // ---- transparency: bytes-mode federation == in-memory federation ----------

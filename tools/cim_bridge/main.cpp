@@ -5,8 +5,8 @@
 // Mesh mode (scripts/mesh_smoke.sh): every process names its node id and
 // the shared topology — a spec file or a generated shape:
 //
-//   cim_bridge --node 0 --shape btree --n 4 --base-port 9100 \
-//              --history n0.hist --metrics n0.json &
+//   cim_bridge --node 0 --shape btree --n 4 --base-port 9100
+//              --history n0.hist --metrics n0.json &       (one command)
 //   cim_bridge --node 1 --shape btree --n 4 --base-port 9100 ... &
 //   ...
 //
@@ -77,6 +77,9 @@ struct Options {
   int backoff_max_ms = 1000;
   int reconnect_attempts = 40;
   int drain_timeout_ms = 10'000;
+  // Observability plane (docs/OBSERVABILITY.md "Federation snapshot").
+  int stats_interval_ms = 0;
+  std::string fed_metrics_path;
 };
 
 int usage() {
@@ -90,7 +93,8 @@ int usage() {
          "       [--state FILE] [--resume] [--hb-interval MS]"
          " [--liveness MS]\n"
          "       [--degraded-timeout MS] [--backoff MS] [--backoff-max MS]\n"
-         "       [--reconnect-attempts N] [--drain-timeout MS]\n";
+         "       [--reconnect-attempts N] [--drain-timeout MS]\n"
+         "       [--stats-interval MS] [--fed-metrics FILE]  (node 0 only)\n";
   return 2;
 }
 
@@ -149,6 +153,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.reconnect_attempts = std::stoi(v);
     } else if (std::strcmp(arg, "--drain-timeout") == 0 && (v = next())) {
       opt.drain_timeout_ms = std::stoi(v);
+    } else if (std::strcmp(arg, "--stats-interval") == 0 && (v = next())) {
+      opt.stats_interval_ms = std::stoi(v);
+    } else if (std::strcmp(arg, "--fed-metrics") == 0 && (v = next())) {
+      opt.fed_metrics_path = v;
     } else {
       return false;
     }
@@ -232,6 +240,12 @@ int main(int argc, char** argv) {
   cfg.backoff_max_ms = opt.backoff_max_ms;
   cfg.reconnect_attempts = opt.reconnect_attempts;
   cfg.drain_timeout_ms = opt.drain_timeout_ms;
+  // --fed-metrics implies the stats plane: default its cadence on so a bare
+  // `--fed-metrics fed.json` run still leaves a snapshot behind.
+  cfg.stats_interval_ms = opt.stats_interval_ms;
+  if (!opt.fed_metrics_path.empty() && cfg.stats_interval_ms == 0)
+    cfg.stats_interval_ms = 250;
+  cfg.fed_metrics_path = opt.fed_metrics_path;
 
   mesh::MeshNode node(std::move(cfg));
   if (!node.join()) {

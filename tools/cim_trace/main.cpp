@@ -7,9 +7,15 @@
 //   cim_trace export --perfetto <trace.jsonl> [-o out.json]
 //                                          Chrome Trace Event JSON for
 //                                          Perfetto / chrome://tracing
+//   cim_trace merge [--offsets fed.json] <t0.jsonl> <t1.jsonl>... [-o F]
+//                                          align per-node traces onto node
+//                                          0's clock, one unified timeline
+//                                          (add --perfetto for Chrome JSON)
 //
 // The input is the file TraceSink::write_jsonl() produces (schema
-// docs/OBSERVABILITY.md); pass `-` to read stdin.
+// docs/OBSERVABILITY.md); pass `-` to read stdin. merge consumes one file
+// per mesh node plus (optionally) the federation metrics snapshot for the
+// heartbeat-measured clock offsets — see docs/TRACE_TOOLS.md "merge".
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -20,6 +26,7 @@
 #include "checker/online_monitor.h"
 #include "obs/perfetto_export.h"
 #include "obs/span_index.h"
+#include "obs/trace_merge.h"
 #include "obs/trace_read.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -35,6 +42,8 @@ int usage() {
          "  spans <trace.jsonl>                    per-write span JSONL\n"
          "  check <trace.jsonl>                    offline consistency check\n"
          "  export --perfetto <trace.jsonl> [-o F] Chrome Trace Event JSON\n"
+         "  merge [--offsets fed.json] [--perfetto] <t0.jsonl>... [-o F]\n"
+         "                                         one cross-node timeline\n"
          "Pass '-' as the trace file to read stdin.\n";
   return 2;
 }
@@ -56,6 +65,60 @@ bool load(const std::string& path, std::vector<ParsedTraceEvent>& events) {
   }
   if (events.empty()) {
     std::cerr << "cim_trace: " << path << ": no trace records\n";
+    return false;
+  }
+  return true;
+}
+
+/// Like load(), but a report-producing command (summarize/spans) refuses
+/// degraded input outright: an empty trace or a truncated tail (a writer
+/// that died mid-line, e.g. kill -9 before the JSONL flush completed) gets
+/// one clear diagnostic and a failure exit instead of a quietly partial or
+/// zero-row report.
+bool load_strict(const std::string& path,
+                 std::vector<ParsedTraceEvent>& events) {
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::cerr << "cim_trace: cannot open " << path << "\n";
+      return false;
+    }
+    in = &file;
+  }
+  std::string line;
+  std::size_t line_no = 0, bad = 0, last_bad_line = 0;
+  std::string last_error;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    ParsedTraceEvent ev;
+    std::string error;
+    if (cim::obs::parse_trace_line(line, ev, &error)) {
+      events.push_back(std::move(ev));
+    } else {
+      ++bad;
+      last_bad_line = line_no;
+      last_error = std::move(error);
+    }
+  }
+  if (events.empty()) {
+    std::cerr << "cim_trace: " << path
+              << ": empty trace (0 records) — was tracing enabled"
+                 " (--trace)?\n";
+    return false;
+  }
+  if (bad > 0 && last_bad_line == line_no) {
+    std::cerr << "cim_trace: " << path << ": truncated tail at line "
+              << last_bad_line << " (" << last_error
+              << ") — writer died mid-record? refusing a partial report\n";
+    return false;
+  }
+  if (bad > 0) {
+    std::cerr << "cim_trace: " << path << ": " << bad
+              << " malformed line(s), last at line " << last_bad_line << " ("
+              << last_error << ") — refusing a partial report\n";
     return false;
   }
   return true;
@@ -135,14 +198,71 @@ int cmd_export(const std::vector<ParsedTraceEvent>& events,
   return 0;
 }
 
+int cmd_merge(const std::vector<std::string>& paths,
+              const std::string& offsets_path, bool perfetto,
+              const std::string& out_path) {
+  cim::obs::NodeOffsets offsets;
+  if (!offsets_path.empty()) {
+    std::ifstream in(offsets_path);
+    if (!in) {
+      std::cerr << "cim_trace: cannot open " << offsets_path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!cim::obs::load_offsets_json(text.str(), offsets, &error)) {
+      std::cerr << "cim_trace: " << offsets_path << ": " << error << "\n";
+      return 2;
+    }
+  } else {
+    std::cerr << "cim_trace: merge without --offsets: assuming one clock"
+                 " domain (offsets 0)\n";
+  }
+
+  std::vector<cim::obs::MergeInput> inputs;
+  for (const std::string& path : paths) {
+    cim::obs::MergeInput in;
+    in.label = path;
+    if (!load(path, in.events)) return 2;
+    inputs.push_back(std::move(in));
+  }
+  cim::obs::MergeResult merged =
+      cim::obs::merge_traces(inputs, offsets);
+  for (const std::string& w : merged.warnings) {
+    std::cerr << "cim_trace: " << w << "\n";
+  }
+
+  const bool to_file = !out_path.empty() && out_path != "-";
+  std::ofstream file;
+  if (to_file) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "cim_trace: cannot write " << out_path << "\n";
+      return 2;
+    }
+  }
+  std::ostream& os = to_file ? static_cast<std::ostream&>(file) : std::cout;
+  if (perfetto) {
+    cim::obs::write_chrome_trace(os, merged.events);
+  } else {
+    cim::obs::write_trace_jsonl(os, merged.events);
+  }
+  std::cerr << "merged " << inputs.size() << " trace(s), "
+            << merged.events.size() << " records ("
+            << merged.aligned_inputs << " clock-aligned)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
 
-  std::string trace_path;
+  std::vector<std::string> trace_paths;
   std::string out_path;
+  std::string offsets_path;
   bool perfetto = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -151,16 +271,29 @@ int main(int argc, char** argv) {
     } else if (arg == "-o" || arg == "--out") {
       if (i + 1 >= argc) return usage();
       out_path = argv[++i];
-    } else if (trace_path.empty()) {
-      trace_path = arg;
+    } else if (arg == "--offsets") {
+      if (i + 1 >= argc) return usage();
+      offsets_path = argv[++i];
     } else {
-      return usage();
+      trace_paths.push_back(arg);
     }
   }
-  if (trace_path.empty()) return usage();
+  if (trace_paths.empty()) return usage();
+
+  if (cmd == "merge") {
+    return cmd_merge(trace_paths, offsets_path, perfetto, out_path);
+  }
+  if (trace_paths.size() != 1) return usage();
+  const std::string& trace_path = trace_paths.front();
 
   std::vector<ParsedTraceEvent> events;
-  if (!load(trace_path, events)) return 2;
+  // summarize/spans produce reports: degraded input fails loudly (see
+  // load_strict); check/export keep best-effort parsing.
+  if (cmd == "summarize" || cmd == "spans") {
+    if (!load_strict(trace_path, events)) return 2;
+  } else {
+    if (!load(trace_path, events)) return 2;
+  }
 
   if (cmd == "summarize") return cmd_summarize(events);
   if (cmd == "spans") return cmd_spans(events);
