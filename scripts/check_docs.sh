@@ -86,6 +86,33 @@ else
   done
 fi
 
+# docs/CHECKER.md is the normative description of the columnar history
+# store and the sparse constraint engine: it must exist, name every bad
+# pattern the checker can report (src/checker/causal_checker.h), and
+# document the storage/engine pieces and tuning knobs, so the checker
+# description cannot silently fall behind the implementation.
+checker_doc="$root/docs/CHECKER.md"
+if [ ! -f "$checker_doc" ]; then
+  echo "check_docs: missing $checker_doc" >&2
+  status=1
+else
+  for pattern in CyclicCO ThinAirRead WriteCOInitRead WriteCORead CyclicHB \
+      WriteHBInitRead CyclicCF ResidualLimit; do
+    if ! grep -q "$pattern" "$checker_doc"; then
+      echo "check_docs: bad pattern '${pattern}' is not documented in docs/CHECKER.md" >&2
+      status=1
+    fi
+  done
+  for word in SparseGraph HistoryBuilder VarProcWrites bytes_per_op \
+      struct_bytes_per_op residual_budget kCC kCM kCCv \
+      BENCH_checker.json CIM_CHECKER_BENCH_OPS; do
+    if ! grep -q "$word" "$checker_doc"; then
+      echo "check_docs: '${word}' is not documented in docs/CHECKER.md" >&2
+      status=1
+    fi
+  done
+fi
+
 # docs/FAULTS.md owns the fault-injection model; the socket-level chaos
 # hooks (src/net/fault_inject.h) and the chaos smoke must be described
 # there, so a new hook cannot ship undocumented.

@@ -11,7 +11,8 @@
 #   --out DIR     where the merged BENCH_*.json land (default: bench/out)
 #   --runs N      runs per bench; medians absorb host noise (default: 3)
 #   --quick       one run per bench (CI smoke mode)
-#   bench ...     subset to run (default: tree_scale throughput wire bridge)
+#   bench ...     subset to run (default: tree_scale throughput wire bridge
+#                 checker)
 #
 # Two bench flavors are handled:
 #   * cim-style binaries emit BENCH_<name>.json themselves (bench_report.h);
@@ -38,17 +39,26 @@ while [[ $# -gt 0 ]]; do
     *) BENCHES+=("$1"); shift ;;
   esac
 done
-[[ ${#BENCHES[@]} -gt 0 ]] || BENCHES=(tree_scale throughput wire bridge)
+[[ ${#BENCHES[@]} -gt 0 ]] || BENCHES=(tree_scale throughput wire bridge checker)
 
 # Benches whose binaries speak google-benchmark instead of bench_report.h.
 is_google() { [[ "$1" == throughput ]]; }
+
+# Binary names follow bench_<name>, except the checker gate whose binary
+# keeps its historical bench_checker_perf name (report/baseline: checker).
+bin_of() {
+  case "$1" in
+    checker) echo bench_checker_perf ;;
+    *) echo "bench_$1" ;;
+  esac
+}
 
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 mkdir -p "$OUT"
 
 for bench in "${BENCHES[@]}"; do
-  bin="$BUILD/bench/bench_$bench"
+  bin="$BUILD/bench/$(bin_of "$bench")"
   if [[ ! -x "$bin" ]]; then
     echo "run_benches: missing binary $bin (build first)" >&2
     exit 1

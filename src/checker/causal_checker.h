@@ -6,11 +6,11 @@
 // preserves the causal order ⇝ (the transitive closure of program order and
 // writes-into order).
 //
-// Deciding this directly involves searching for a permutation; under the
-// paper's assumption that each value is written at most once per variable,
-// CM admits a polynomial characterization by *bad patterns* (Bouajjani,
-// Enea, Guerraoui, Hamza, "On verifying causal consistency", POPL 2017,
-// Theorem for CM): α is causal iff it exhibits none of
+// Deciding this directly involves searching for a permutation; for a fixed
+// reads-from relation, CM admits a polynomial characterization by *bad
+// patterns* (Bouajjani, Enea, Guerraoui, Hamza, "On verifying causal
+// consistency", POPL 2017, Theorem for CM): α is causal iff it exhibits
+// none of
 //
 //   CyclicCO         — co := (po ∪ rf)+ has a cycle
 //   ThinAirRead      — a read returns a value never written to that variable
@@ -27,10 +27,29 @@
 // from w2 and w1 is another write to x with (w1, r) ∈ HB_i, then
 // (w1, w2) ∈ HB_i.
 //
+// The engine is the sparse dependency-graph architecture of graph.h: known
+// po/rf edges as adjacency lists, Kahn toposort + Tarjan SCC for cycles,
+// vector-clock reachability for the pattern scans — O((n + m)·P) per pass
+// instead of the old dense O(n²) matrices.
+//
+// **The distinct-value assumption is gone.** The paper assumes each value is
+// written at most once per variable, which makes reads-from a function of
+// the read; this checker instead treats a repeated (variable, value) pair as
+// a *constraint source*: α is causal iff SOME admissible reads-from
+// assignment (each read of value v bound to one write of v to the same
+// variable; reads of the initial value optionally bound to no write) yields
+// a pattern-free history. Violations found using the unambiguous edges alone
+// are definite under every assignment (adding edges only grows co), so
+// ambiguity costs nothing on the fast path; only the residual ambiguous
+// reads are resolved by a budgeted backtracking search over pruned candidate
+// sets. See docs/CHECKER.md for the full semantics and complexity story.
+//
 // SearchChecker (search_checker.h) decides the definition directly by
-// backtracking; property tests cross-validate the two on random histories.
+// enumerating assignments and backtracking; property tests cross-validate
+// the two on random histories, including histories with repeated values.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
@@ -41,7 +60,6 @@ namespace cim::chk {
 
 enum class BadPattern {
   kNone,
-  kDuplicateWrite,   // precondition violation: a value written twice to a var
   kCyclicCO,
   kThinAirRead,
   kWriteCOInitRead,
@@ -49,6 +67,7 @@ enum class BadPattern {
   kCyclicHB,
   kWriteHBInitRead,
   kCyclicCF,         // CCv only: conflict/arbitration cycle
+  kResidualLimit,    // residual-constraint budget exhausted: verdict unknown
 };
 
 const char* to_string(BadPattern p);
@@ -64,24 +83,47 @@ enum class Level {
          // the level exists to demonstrate that separation.
 };
 
+/// Work counters from one check, for benches and the cim_trace summary.
+struct CheckStats {
+  std::size_t ops = 0;
+  std::size_t explicit_edges = 0;    // rf ∪ derived ∪ cf edges materialized
+  std::size_t ambiguous_reads = 0;   // reads with >1 admissible writer
+  std::size_t assignments_tried = 0; // complete rf assignments evaluated
+};
+
 struct CheckResult {
   BadPattern pattern = BadPattern::kNone;
   std::string detail;  // human-readable witness description
+  CheckStats stats;
 
   bool ok() const { return pattern == BadPattern::kNone; }
   explicit operator bool() const { return ok(); }
 };
 
+struct CheckOptions {
+  /// Maximum complete reads-from assignments the residual search evaluates
+  /// before returning kResidualLimit (only reachable when repeated values
+  /// make reads-from ambiguous AND the fast path was inconclusive).
+  std::size_t residual_budget = 256;
+};
+
 class CausalChecker {
  public:
-  /// Verify `history` against the model. O(n^2) bit-parallel for kCC;
-  /// kCM adds per-process fixpoints (still polynomial).
+  CausalChecker() = default;
+  explicit CausalChecker(CheckOptions options) : options_(options) {}
+
+  /// Verify `history` against the model. O((n+m)·P) for kCC/kCCv and per
+  /// HB-fixpoint round; kCM runs one fixpoint per process with reads.
   CheckResult check(const History& history, Level level = Level::kCM) const;
 
-  /// The causal order co = (po ∪ rf)+ of a history, exposed for tests and
-  /// for the latency experiments. Fails (returns nullopt) on ThinAirRead /
-  /// DuplicateWrite preconditions.
+  /// The causal order co = (po ∪ rf)+ of a history as a dense Relation,
+  /// exposed for tests and the latency experiments. Returns nullopt when co
+  /// is cyclic, a read is thin-air, or reads-from is ambiguous (repeated
+  /// values read back) — callers needing the ambiguous case run check().
   std::optional<Relation> causal_order(const History& history) const;
+
+ private:
+  CheckOptions options_;
 };
 
 }  // namespace cim::chk

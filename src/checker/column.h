@@ -1,0 +1,283 @@
+// Columnar storage primitives for execution histories.
+//
+// At 10^6+ operations the per-`Op` struct layout (~56 bytes plus an 8-byte
+// per-process index entry) makes memory the checker's ceiling before CPU.
+// History stores each field as its own compressed column instead:
+//
+//  * BitColumn       — one bit per op (kind, ISP flag);
+//  * I64Column       — zigzag-encoded 32-bit slots with an exact-overflow
+//                      side table for the rare value that does not fit
+//                      (values, durations);
+//  * DeltaI64Column  — 32-bit deltas against the previous entry with an
+//                      absolute 64-bit checkpoint every kCheckpointEvery
+//                      entries, so random access walks at most 63 deltas
+//                      (invocation timestamps, near-monotone per process);
+//  * VarDict         — dictionary mapping VarId to dense ids, with 16-bit
+//                      storage promoted to 32-bit on the 65537th variable.
+//
+// All columns are append-only and expose bytes() — the live payload size
+// used by History::bytes_per_op() — and a Cursor for O(1) amortized
+// sequential decoding (HistoryBuilder re-encodes per-process chunks into the
+// final global columns with cursors, never materializing Op vectors).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace cim::chk::col {
+
+inline constexpr std::uint32_t kSlotOverflow = 0xFFFFFFFFu;
+
+/// One bit per entry.
+class BitColumn {
+ public:
+  void push_back(bool b) {
+    if ((n_ & 63) == 0) words_.push_back(0);
+    if (b) words_.back() |= 1ULL << (n_ & 63);
+    ++n_;
+  }
+  bool operator[](std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  std::size_t size() const { return n_; }
+  std::size_t bytes() const { return words_.size() * sizeof(std::uint64_t); }
+  void reserve(std::size_t n) { words_.reserve((n + 63) / 64); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t n_ = 0;
+};
+
+inline std::uint32_t zigzag32(std::int64_t v64, bool& fits) {
+  // Maps small-magnitude signed values onto small unsigned ones.
+  const std::uint64_t z =
+      (static_cast<std::uint64_t>(v64) << 1) ^
+      static_cast<std::uint64_t>(v64 >> 63);
+  fits = z < kSlotOverflow;
+  return static_cast<std::uint32_t>(z);
+}
+
+inline std::int64_t unzigzag32(std::uint32_t z) {
+  return static_cast<std::int64_t>(z >> 1) ^ -static_cast<std::int64_t>(z & 1);
+}
+
+/// Exact i64 storage in 4-byte slots; entries whose zigzag form does not fit
+/// go to a sorted (by construction) overflow table, found by binary search.
+class I64Column {
+ public:
+  void push_back(std::int64_t v) {
+    bool fits = false;
+    const std::uint32_t z = zigzag32(v, fits);
+    if (fits) {
+      slots_.push_back(z);
+    } else {
+      slots_.push_back(kSlotOverflow);
+      overflow_.emplace_back(static_cast<std::uint32_t>(slots_.size() - 1), v);
+    }
+  }
+  std::int64_t operator[](std::size_t i) const {
+    const std::uint32_t z = slots_[i];
+    if (z != kSlotOverflow) return unzigzag32(z);
+    return find_overflow(static_cast<std::uint32_t>(i));
+  }
+  std::size_t size() const { return slots_.size(); }
+  std::size_t bytes() const {
+    return slots_.size() * sizeof(std::uint32_t) +
+           overflow_.size() * sizeof(overflow_[0]);
+  }
+  void reserve(std::size_t n) { slots_.reserve(n); }
+
+  /// O(1) amortized sequential decoding.
+  class Cursor {
+   public:
+    explicit Cursor(const I64Column& c) : c_(&c) {}
+    std::int64_t next() {
+      const std::uint32_t z = c_->slots_[i_++];
+      if (z != kSlotOverflow) return unzigzag32(z);
+      return c_->overflow_[oi_++].second;
+    }
+
+   private:
+    const I64Column* c_;
+    std::size_t i_ = 0, oi_ = 0;
+  };
+
+ private:
+  std::int64_t find_overflow(std::uint32_t i) const {
+    std::size_t lo = 0, hi = overflow_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (overflow_[mid].first < i) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return overflow_[lo].second;
+  }
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> overflow_;
+};
+
+/// Delta-encoded i64 sequence with periodic absolute checkpoints. Built for
+/// per-process invocation timestamps: non-decreasing runs compress to small
+/// positive deltas; span boundaries and clock regressions land in the
+/// overflow table without losing exactness.
+class DeltaI64Column {
+ public:
+  static constexpr std::size_t kCheckpointEvery = 64;
+
+  void push_back(std::int64_t v) {
+    if ((slots_.size() % kCheckpointEvery) == 0) checkpoints_.push_back(v);
+    const std::int64_t delta = v - last_;
+    if (delta >= 0 &&
+        delta < static_cast<std::int64_t>(kSlotOverflow)) {
+      slots_.push_back(static_cast<std::uint32_t>(delta));
+    } else {
+      slots_.push_back(kSlotOverflow);
+      overflow_.emplace_back(static_cast<std::uint32_t>(slots_.size() - 1), v);
+    }
+    last_ = v;
+  }
+
+  /// Random access: walk forward from the nearest checkpoint (<64 adds).
+  std::int64_t operator[](std::size_t i) const {
+    const std::size_t base = i / kCheckpointEvery;
+    std::int64_t cur = checkpoints_[base];
+    std::size_t oi = overflow_lower_bound(base * kCheckpointEvery + 1);
+    for (std::size_t k = base * kCheckpointEvery + 1; k <= i; ++k) {
+      const std::uint32_t d = slots_[k];
+      if (d != kSlotOverflow) {
+        cur += d;
+      } else {
+        cur = overflow_[oi++].second;
+      }
+    }
+    return cur;
+  }
+
+  std::size_t size() const { return slots_.size(); }
+  std::size_t bytes() const {
+    return slots_.size() * sizeof(std::uint32_t) +
+           checkpoints_.size() * sizeof(std::int64_t) +
+           overflow_.size() * sizeof(overflow_[0]);
+  }
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    checkpoints_.reserve(n / kCheckpointEvery + 1);
+  }
+
+  class Cursor {
+   public:
+    explicit Cursor(const DeltaI64Column& c) : c_(&c) {}
+    std::int64_t next() {
+      const std::uint32_t d = c_->slots_[i_++];
+      if (d != kSlotOverflow) {
+        cur_ += d;
+      } else {
+        cur_ = c_->overflow_[oi_++].second;
+      }
+      return cur_;
+    }
+
+   private:
+    const DeltaI64Column* c_;
+    std::size_t i_ = 0, oi_ = 0;
+    std::int64_t cur_ = 0;
+  };
+
+ private:
+  std::size_t overflow_lower_bound(std::size_t first) const {
+    std::size_t lo = 0, hi = overflow_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (overflow_[mid].first < first) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  std::vector<std::uint32_t> slots_;     // delta from previous, or sentinel
+  std::vector<std::int64_t> checkpoints_;
+  std::vector<std::pair<std::uint32_t, std::int64_t>> overflow_;
+  std::int64_t last_ = 0;
+};
+
+/// Variable dictionary: VarId -> dense id in interning order.
+class VarDict {
+ public:
+  std::uint32_t intern(VarId var) {
+    auto [it, inserted] =
+        index_.emplace(var.value, static_cast<std::uint32_t>(dict_.size()));
+    if (inserted) dict_.push_back(var);
+    return it->second;
+  }
+  VarId var_of_dense(std::uint32_t d) const { return dict_[d]; }
+  std::size_t num_vars() const { return dict_.size(); }
+  std::size_t bytes() const {
+    // VarId payload + an estimate of the hash-index entry.
+    return dict_.size() * (sizeof(VarId) + sizeof(std::uint64_t) + 16);
+  }
+
+ private:
+  std::vector<VarId> dict_;  // dense id -> VarId
+  std::unordered_map<std::uint32_t, std::uint32_t> index_;
+};
+
+/// Dictionary-encoded variable column: 16-bit slots promoted to 32-bit when
+/// the 65537th distinct variable appears.
+class VarColumn {
+ public:
+  /// Intern `var` into the owned dictionary and append; returns dense id.
+  std::uint32_t push(VarId var) { return push_dense(dict_.intern(var)); }
+  /// Append a dense id interned against `dict()` (HistoryBuilder path).
+  std::uint32_t push_dense(std::uint32_t dense) {
+    if (wide_.empty()) {
+      if (dense <= 0xFFFF) {
+        narrow_.push_back(static_cast<std::uint16_t>(dense));
+        return dense;
+      }
+      wide_.assign(narrow_.begin(), narrow_.end());
+      narrow_.clear();
+      narrow_.shrink_to_fit();
+    }
+    wide_.push_back(dense);
+    return dense;
+  }
+
+  VarDict& dict() { return dict_; }
+
+  std::uint32_t dense(std::size_t i) const {
+    return wide_.empty() ? narrow_[i] : wide_[i];
+  }
+  VarId var(std::size_t i) const { return dict_.var_of_dense(dense(i)); }
+  VarId var_of_dense(std::uint32_t d) const { return dict_.var_of_dense(d); }
+  std::size_t num_vars() const { return dict_.num_vars(); }
+  std::size_t size() const {
+    return wide_.empty() ? narrow_.size() : wide_.size();
+  }
+  std::size_t bytes() const {
+    return narrow_.size() * sizeof(std::uint16_t) +
+           wide_.size() * sizeof(std::uint32_t) + dict_.bytes();
+  }
+  void reserve(std::size_t n) {
+    if (wide_.empty()) {
+      narrow_.reserve(n);
+    } else {
+      wide_.reserve(n);
+    }
+  }
+
+ private:
+  VarDict dict_;
+  std::vector<std::uint16_t> narrow_;
+  std::vector<std::uint32_t> wide_;
+};
+
+}  // namespace cim::chk::col

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "checker/causal_checker.h"
@@ -114,15 +115,23 @@ std::optional<bool> solve(Problem& p) {
   return false;
 }
 
-}  // namespace
+std::vector<Op> materialize(const History& h) {
+  std::vector<Op> ops;
+  ops.reserve(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) ops.push_back(h.op(i));
+  return ops;
+}
 
-std::optional<bool> SearchChecker::is_causal(const History& history,
-                                             std::uint64_t node_budget) const {
+// Decide causality of a history whose reads-from is a *function* (every
+// value written at most once per variable) — the original distinct-value
+// core: materialize co, then search a causal view per process.
+std::optional<bool> is_causal_distinct(const History& history,
+                                       std::uint64_t node_budget) {
   CausalChecker cc;
   std::optional<Relation> co = cc.causal_order(history);
-  if (!co) return false;  // cyclic co or thin-air / duplicate values
+  if (!co) return false;  // cyclic co or thin-air read
 
-  const auto& ops = history.ops();
+  const std::vector<Op> ops = materialize(history);
 
   for (ProcId proc : history.processes()) {
     // α_i: all writes plus this process's reads, with co restricted.
@@ -152,19 +161,105 @@ std::optional<bool> SearchChecker::is_causal(const History& history,
   return true;
 }
 
+}  // namespace
+
+std::optional<bool> SearchChecker::is_causal(const History& history,
+                                             std::uint64_t node_budget) const {
+  // Repeated values make reads-from a relation, not a function. The
+  // definition quantifies existentially over admissible assignments, so we
+  // enumerate them: bind every read of value v to one write of (var, v)
+  // (reads of the initial value may also bind to ⊥), *rename* the written
+  // values to the writer's index so each assignment becomes a distinct-value
+  // history with the same legality structure, and accept iff some renamed
+  // history is causal. This is the semantics the sparse CausalChecker's
+  // residual-constraint phase implements; here it is decided by brute force.
+  std::vector<Op> ops = materialize(history);
+
+  std::map<std::pair<VarId, Value>, std::vector<std::size_t>> writers;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == OpKind::kWrite) {
+      writers[{ops[i].var, ops[i].value}].push_back(i);
+    }
+  }
+
+  constexpr std::size_t kInitChoice = SIZE_MAX;
+  struct Choice {
+    std::size_t read;
+    std::vector<std::size_t> cands;  // writer indices; kInitChoice for ⊥
+  };
+  std::vector<Choice> choices;
+  std::vector<std::size_t> fixed(ops.size(), kInitChoice);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != OpKind::kRead) continue;
+    auto it = writers.find({ops[i].var, ops[i].value});
+    const bool is_init = ops[i].value == kInitValue;
+    if (it == writers.end()) {
+      if (!is_init) return false;  // thin-air read: no legal view exists
+      continue;                    // unambiguous ⊥
+    }
+    if (it->second.size() == 1 && !is_init) {
+      fixed[i] = it->second[0];
+      continue;
+    }
+    Choice c{i, it->second};
+    if (is_init) c.cands.push_back(kInitChoice);
+    choices.push_back(std::move(c));
+  }
+
+  // Cap the assignment space; histories this checker sees are small, so a
+  // blowup means the caller should not trust a brute-force answer anyway.
+  std::size_t total = 1;
+  for (const Choice& c : choices) {
+    if (total > 4096 / c.cands.size()) return std::nullopt;
+    total *= c.cands.size();
+  }
+
+  std::vector<std::size_t> pos(choices.size(), 0);
+  while (true) {
+    // Rename under the current assignment: write i gets value i+1, each
+    // read gets its writer's renamed value (kInitValue for ⊥).
+    std::vector<Op> renamed = ops;
+    for (std::size_t i = 0; i < renamed.size(); ++i) {
+      if (renamed[i].kind == OpKind::kWrite) {
+        renamed[i].value = static_cast<Value>(i + 1);
+      } else if (fixed[i] != kInitChoice) {
+        renamed[i].value = static_cast<Value>(fixed[i] + 1);
+      }
+      // Unambiguous ⊥ reads keep kInitValue; ambiguous reads are set below.
+    }
+    for (std::size_t k = 0; k < choices.size(); ++k) {
+      const std::size_t w = choices[k].cands[pos[k]];
+      renamed[choices[k].read].value =
+          w == kInitChoice ? kInitValue : static_cast<Value>(w + 1);
+    }
+    std::optional<bool> r = is_causal_distinct(History(renamed), node_budget);
+    if (!r) return std::nullopt;
+    if (*r) return true;
+    // Next assignment.
+    std::size_t k = 0;
+    for (; k < pos.size(); ++k) {
+      if (++pos[k] < choices[k].cands.size()) break;
+      pos[k] = 0;
+    }
+    if (k == pos.size()) return false;  // all assignments exhausted
+  }
+}
+
 std::optional<bool> SearchChecker::is_sequential(
     const History& history, std::uint64_t node_budget) const {
-  const auto& ops = history.ops();
+  // Legality in solve() is value-based, so repeated values need no special
+  // handling here: a read may legally follow any write of its value.
+  const std::vector<Op> ops = materialize(history);
   if (ops.size() > 64) return std::nullopt;
 
   Problem p;
   p.budget = node_budget;
   p.ops = ops;
   p.before = Relation(ops.size());
-  for (ProcId proc : history.processes()) {
-    const auto& seq = history.process_ops(proc);
-    for (std::size_t k = 1; k < seq.size(); ++k) {
-      p.before.set(seq[k - 1], seq[k]);
+  for (std::size_t pi = 0; pi < history.num_processes(); ++pi) {
+    const History::Span s = history.process_span(pi);
+    for (std::size_t i = s.begin + 1; i < s.end; ++i) {
+      p.before.set(i - 1, i);
     }
   }
   return solve(p);

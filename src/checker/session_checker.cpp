@@ -5,8 +5,7 @@
 #include <utility>
 #include <vector>
 
-#include "checker/causal_checker.h"
-#include "checker/relation.h"
+#include "checker/graph.h"
 
 namespace cim::chk {
 
@@ -25,47 +24,63 @@ constexpr std::size_t kInit = SIZE_MAX;
 
 struct Prepared {
   const History* history = nullptr;
-  Relation co;                          // (po ∪ rf)+
+  SparseGraph g;                        // po ∪ rf, with clocks
+  std::vector<std::uint32_t> clk;
   std::vector<std::size_t> rf_source;   // per read; kInit for initial value
   bool ok = false;
   std::string error;
+
+  explicit Prepared(const History& h) : history(&h), g(h) {}
+
+  // Strict causal precedence a ⇝ b under (po ∪ rf)+.
+  bool co(std::size_t a, std::size_t b) const {
+    return g.reaches(clk, static_cast<std::uint32_t>(a),
+                     static_cast<std::uint32_t>(b));
+  }
 };
 
 Prepared prepare(const History& h) {
-  Prepared p;
-  p.history = &h;
-  const auto& ops = h.ops();
-  p.rf_source.assign(ops.size(), kInit);
+  Prepared p(h);
+  const std::size_t n = h.size();
+  p.rf_source.assign(n, kInit);
 
+  // The session guarantees are defined relative to *the* reads-from map, so
+  // this checker requires it to be a function: a value read back after being
+  // written twice to the same variable has no unique source, and we report
+  // that instead of guessing (CausalChecker handles the ambiguous case by
+  // searching over assignments).
   std::map<std::pair<VarId, Value>, std::size_t> writer;
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    if (ops[i].kind != OpKind::kWrite) continue;
-    if (!writer.try_emplace({ops[i].var, ops[i].value}, i).second) {
-      p.error = "duplicate write of " + ops[i].to_string();
+  std::map<std::pair<VarId, Value>, std::size_t> dup;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (h.kind(i) != OpKind::kWrite) continue;
+    auto [it, inserted] = writer.try_emplace({h.var(i), h.value(i)}, i);
+    if (!inserted) dup[it->first] = i;
+  }
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (h.kind(i) != OpKind::kRead || h.value(i) == kInitValue) continue;
+    auto it = writer.find({h.var(i), h.value(i)});
+    if (it == writer.end()) {
+      p.error = "thin-air read " + h.op(i).to_string();
       return p;
     }
-  }
-  Relation base(ops.size());
-  for (ProcId proc : h.processes()) {
-    const auto& seq = h.process_ops(proc);
-    for (std::size_t k = 1; k < seq.size(); ++k) base.set(seq[k - 1], seq[k]);
-  }
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    if (ops[i].kind != OpKind::kRead || ops[i].value == kInitValue) continue;
-    auto it = writer.find({ops[i].var, ops[i].value});
-    if (it == writer.end()) {
-      p.error = "thin-air read " + ops[i].to_string();
+    if (dup.count(it->first)) {
+      p.error = "ambiguous reads-from: " + h.op(i).to_string() +
+                " could read " + h.op(it->second).to_string() + " or " +
+                h.op(dup[it->first]).to_string();
       return p;
     }
     p.rf_source[i] = it->second;
-    base.set(it->second, i);
+    edges.push_back({static_cast<std::uint32_t>(it->second),
+                     static_cast<std::uint32_t>(i)});
   }
-  ClosureResult cr = transitive_closure(base);
-  if (cr.cycle_witness) {
+  p.g.set_edges(edges);
+  std::vector<std::uint32_t> order;
+  if (!p.g.topo_order(order, nullptr)) {
     p.error = "cyclic causal order";
     return p;
   }
-  p.co = std::move(cr.closure);
+  p.g.clocks(order, p.clk);
   p.ok = true;
   return p;
 }
@@ -75,26 +90,22 @@ SessionResult violation(const std::string& detail) {
 }
 
 SessionResult check_ryw(const Prepared& p) {
-  const auto& h = *p.history;
-  const auto& ops = h.ops();
-  for (ProcId proc : h.processes()) {
-    const auto& seq = h.process_ops(proc);
-    for (std::size_t k = 0; k < seq.size(); ++k) {
-      const std::size_t r = seq[k];
-      if (ops[r].kind != OpKind::kRead) continue;
+  const History& h = *p.history;
+  for (std::size_t pi = 0; pi < h.num_processes(); ++pi) {
+    const History::Span s = h.process_span(pi);
+    for (std::size_t r = s.begin; r < s.end; ++r) {
+      if (h.kind(r) != OpKind::kRead) continue;
       const std::size_t src = p.rf_source[r];
       // The state served to the read must have contained every own prior
       // write to the variable. A *concurrent* remote value may legitimately
       // have overwritten it; only the initial value or a value strictly
       // causally OLDER than the own write is an observable violation.
-      for (std::size_t j = 0; j < k; ++j) {
-        const std::size_t w = seq[j];
-        if (ops[w].kind != OpKind::kWrite || ops[w].var != ops[r].var) continue;
-        const bool violated =
-            src == kInit || (src != w && p.co.test(src, w));
+      for (std::size_t w = s.begin; w < r; ++w) {
+        if (h.kind(w) != OpKind::kWrite || h.var(w) != h.var(r)) continue;
+        const bool violated = src == kInit || (src != w && p.co(src, w));
         if (violated) {
-          return violation(ops[r].to_string() + " predates own write " +
-                           ops[w].to_string());
+          return violation(h.op(r).to_string() + " predates own write " +
+                           h.op(w).to_string());
         }
       }
     }
@@ -103,26 +114,25 @@ SessionResult check_ryw(const Prepared& p) {
 }
 
 SessionResult check_monotonic_reads(const Prepared& p) {
-  const auto& h = *p.history;
-  const auto& ops = h.ops();
-  for (ProcId proc : h.processes()) {
-    const auto& seq = h.process_ops(proc);
+  const History& h = *p.history;
+  for (std::size_t pi = 0; pi < h.num_processes(); ++pi) {
+    const History::Span s = h.process_span(pi);
     // Track, per variable, the most recent non-init source read.
     std::map<VarId, std::size_t> last_src;
     std::map<VarId, std::size_t> last_read;
-    for (std::size_t idx : seq) {
-      if (ops[idx].kind != OpKind::kRead) continue;
-      const VarId var = ops[idx].var;
+    for (std::size_t idx = s.begin; idx < s.end; ++idx) {
+      if (h.kind(idx) != OpKind::kRead) continue;
+      const VarId var = h.var(idx);
       const std::size_t src = p.rf_source[idx];
       auto it = last_src.find(var);
       if (it != last_src.end()) {
         const std::size_t prev = it->second;
         const bool regressed =
-            src == kInit || (src != prev && p.co.test(src, prev));
+            src == kInit || (src != prev && p.co(src, prev));
         if (regressed) {
-          return violation(ops[idx].to_string() +
+          return violation(h.op(idx).to_string() +
                            " is causally older than earlier " +
-                           ops[last_read[var]].to_string());
+                           h.op(last_read[var]).to_string());
         }
       }
       if (src != kInit) {
@@ -135,26 +145,25 @@ SessionResult check_monotonic_reads(const Prepared& p) {
 }
 
 SessionResult check_monotonic_writes(const Prepared& p) {
-  const auto& h = *p.history;
-  const auto& ops = h.ops();
-  for (ProcId proc : h.processes()) {
-    const auto& seq = h.process_ops(proc);
+  const History& h = *p.history;
+  for (std::size_t pi = 0; pi < h.num_processes(); ++pi) {
+    const History::Span s = h.process_span(pi);
     std::map<VarId, std::size_t> last_src;  // per var, previous read's source
     std::map<VarId, std::size_t> last_read;
-    for (std::size_t idx : seq) {
-      if (ops[idx].kind != OpKind::kRead) continue;
-      const VarId var = ops[idx].var;
+    for (std::size_t idx = s.begin; idx < s.end; ++idx) {
+      if (h.kind(idx) != OpKind::kRead) continue;
+      const VarId var = h.var(idx);
       const std::size_t src = p.rf_source[idx];
       auto it = last_src.find(var);
       if (it != last_src.end() && src != kInit) {
         const std::size_t prev = it->second;
         // Same writer, inverted program order: the session observed the
         // writer's writes out of order.
-        if (src != prev && ops[src].proc == ops[prev].proc &&
-            ops[src].proc_seq < ops[prev].proc_seq) {
-          return violation(ops[idx].to_string() + " observes " +
-                           ops[src].to_string() + " after the later " +
-                           ops[prev].to_string());
+        if (src != prev && h.proc(src) == h.proc(prev) &&
+            h.proc_seq(src) < h.proc_seq(prev)) {
+          return violation(h.op(idx).to_string() + " observes " +
+                           h.op(src).to_string() + " after the later " +
+                           h.op(prev).to_string());
         }
       }
       if (src != kInit) {

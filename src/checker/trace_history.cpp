@@ -1,0 +1,60 @@
+#include "checker/trace_history.h"
+
+namespace cim::chk {
+
+void TraceHistoryBuilder::observe(const obs::ParsedTraceEvent& ev) {
+  const bool issue = ev.name == "read_issue" || ev.name == "write_issue";
+  const bool done = ev.name == "read_done" || ev.name == "write_done";
+  if (ev.cat != "mcs" || (!issue && !done)) {
+    ++stats_.ignored;
+    return;
+  }
+  ProcId proc;
+  if (!ev.field_proc("proc", proc)) {
+    ++stats_.ignored;
+    return;
+  }
+  const bool is_write = ev.name[0] == 'w';
+  const VarId var{static_cast<std::uint32_t>(ev.field_uint("var"))};
+
+  PendingOp& slot = pending_[proc];
+  if (issue) {
+    if (slot.active) ++stats_.pending;  // overwritten: its done was dropped
+    slot.kind = is_write ? OpKind::kWrite : OpKind::kRead;
+    slot.var = var;
+    slot.value = is_write ? ev.field_int("val") : kInitValue;
+    slot.issued_ns = ev.t;
+    slot.active = true;
+    if (is_write) {
+      // A wid reappearing on another issue is the IS-process re-issuing an
+      // application write into the sibling system: the propagated copy.
+      slot.is_isp = !seen_wids_.insert(ev.field_uint("wid")).second;
+    } else {
+      slot.is_isp = false;
+    }
+    return;
+  }
+  // A done record: must match the open slot in kind and variable.
+  if (!slot.active || (slot.kind == OpKind::kWrite) != is_write ||
+      slot.var != var) {
+    ++stats_.orphan_dones;
+    return;
+  }
+  const Value value = is_write ? slot.value : ev.field_int("val");
+  builder_.add(proc, slot.is_isp, slot.kind, slot.var, value,
+               sim::Time{slot.issued_ns}, sim::Time{ev.t});
+  slot.active = false;
+  ++stats_.ops;
+  if (slot.is_isp) ++stats_.isp_ops;
+}
+
+History TraceHistoryBuilder::build() {
+  for (const auto& [proc, slot] : pending_) {
+    if (slot.active) ++stats_.pending;
+  }
+  pending_.clear();
+  seen_wids_.clear();
+  return builder_.build();
+}
+
+}  // namespace cim::chk

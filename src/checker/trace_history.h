@@ -1,0 +1,70 @@
+// Streaming bridge from structured trace JSONL (obs::ParsedTraceEvent) to a
+// columnar History, so `cim_trace check` can run the offline CausalChecker
+// on multi-million-record traces without ever materializing per-Op structs.
+//
+// The mcs layer emits four record names in category "mcs":
+//
+//   read_issue  {proc, var}                   invocation of a read
+//   read_done   {proc, var, val, lat_ns}      its response
+//   write_issue {proc, var, val, wid}         invocation of a write
+//   write_done  {proc, var, val, wid, lat_ns} its response
+//
+// Each application process has at most one outstanding operation (the
+// paper's blocked-until-response semantics), so matching is one pending
+// slot per process. A `wid` seen on a second process marks the *propagated*
+// copy: the IS-process re-issue of an earlier application write, which the
+// builder flags is_isp so callers can project the federation history α^T
+// (drop ISP copies) or a system history α^k (keep them).
+//
+// Incomplete operations (issue without done — a crash, or a ring-buffer
+// drop) are discarded at build(), mirroring Recorder: computations contain
+// completed operations only. The counters in Stats make every discard
+// visible to the caller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+#include "checker/history.h"
+#include "obs/trace_read.h"
+
+namespace cim::chk {
+
+class TraceHistoryBuilder {
+ public:
+  struct Stats {
+    std::size_t ops = 0;            // completed operations encoded
+    std::size_t isp_ops = 0;        // of which propagated (wid repeat)
+    std::size_t pending = 0;        // issues still unmatched (set by build)
+    std::size_t orphan_dones = 0;   // done without a matching issue
+    std::size_t ignored = 0;        // records of other categories/names
+  };
+
+  /// Feed one parsed trace record; non-operation records are counted and
+  /// skipped. Records must arrive in per-process time order (file order of
+  /// a single node's trace, or cim_trace-merge order).
+  void observe(const obs::ParsedTraceEvent& ev);
+
+  /// Finalize into a columnar History; the builder is left empty.
+  History build();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingOp {
+    OpKind kind = OpKind::kRead;
+    VarId var;
+    Value value = kInitValue;
+    bool is_isp = false;
+    std::int64_t issued_ns = 0;
+    bool active = false;
+  };
+
+  HistoryBuilder builder_;
+  std::map<ProcId, PendingOp> pending_;
+  std::unordered_set<std::uint64_t> seen_wids_;
+  Stats stats_;
+};
+
+}  // namespace cim::chk

@@ -1,7 +1,8 @@
 #include "checker/trace_io.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <numeric>
 #include <sstream>
 #include <vector>
 
@@ -11,19 +12,31 @@ void write_trace(const History& history, std::ostream& os) {
   os << "# cim trace v1: kind system proc var value invoked_ns responded_ns"
         " [isp]\n";
   // Interleave by invocation time so the file reads chronologically while
-  // preserving per-process program order (stable for equal times).
-  std::vector<const Op*> ops;
-  ops.reserve(history.size());
-  for (const Op& op : history.ops()) ops.push_back(&op);
-  std::stable_sort(ops.begin(), ops.end(), [](const Op* a, const Op* b) {
-    return a->invoked < b->invoked;
-  });
-  for (const Op* op : ops) {
-    os << (op->kind == OpKind::kRead ? "r" : "w") << " "
-       << op->proc.system.value << " " << op->proc.index << " "
-       << op->var.value << " " << op->value << " " << op->invoked.ns << " "
-       << op->responded.ns;
-    if (op->is_isp) os << " isp";
+  // preserving per-process program order (stable for equal times). Sorting
+  // an index array over a materialized timestamp column keeps this free of
+  // per-Op structs.
+  const std::size_t n = history.size();
+  std::vector<std::int64_t> invoked(n);
+  for (std::size_t i = 0; i < n; ++i) invoked[i] = history.invoked(i).ns;
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return invoked[a] < invoked[b];
+                   });
+  std::vector<ProcId> procs(n);
+  for (std::size_t p = 0; p < history.num_processes(); ++p) {
+    const History::Span s = history.process_span(p);
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      procs[i] = history.process(p);
+    }
+  }
+  for (const std::uint32_t i : idx) {
+    os << (history.kind(i) == OpKind::kRead ? "r" : "w") << " "
+       << procs[i].system.value << " " << procs[i].index << " "
+       << history.var(i).value << " " << history.value(i) << " " << invoked[i]
+       << " " << history.responded(i).ns;
+    if (history.is_isp(i)) os << " isp";
     os << "\n";
   }
 }
@@ -35,8 +48,10 @@ std::string to_trace(const History& history) {
 }
 
 ParseResult read_trace(std::istream& is) {
-  std::vector<Op> ops;
-  std::map<ProcId, std::uint64_t> next_seq;
+  // Stream straight into the columnar builder: per-process program order is
+  // line order, which is exactly the order HistoryBuilder wants, so no Op
+  // vector is ever materialized.
+  HistoryBuilder b;
   std::string line;
   std::size_t line_no = 0;
 
@@ -64,30 +79,23 @@ ParseResult read_trace(std::istream& is) {
     if (system > UINT16_MAX || proc > UINT16_MAX) {
       return fail("system/proc id out of range");
     }
-    Op op;
-    op.id = OpId{ops.size()};
-    op.proc = ProcId{SystemId{static_cast<std::uint16_t>(system)},
-                     static_cast<std::uint16_t>(proc)};
-    op.kind = kind == "r" ? OpKind::kRead : OpKind::kWrite;
-    op.var = VarId{var};
-    op.value = value;
-    op.proc_seq = next_seq[op.proc]++;
-
     std::int64_t invoked = 0, responded = 0;
     if (ls >> invoked) {
       if (!(ls >> responded)) return fail("invoked time without responded");
-      op.invoked = sim::Time{invoked};
-      op.responded = sim::Time{responded};
     }
+    bool is_isp = false;
     std::string flag;
     if (ls >> flag) {
       if (flag != "isp") return fail("unknown trailer '" + flag + "'");
-      op.is_isp = true;
+      is_isp = true;
     }
-    ops.push_back(op);
+    b.add(ProcId{SystemId{static_cast<std::uint16_t>(system)},
+                 static_cast<std::uint16_t>(proc)},
+          is_isp, kind == "r" ? OpKind::kRead : OpKind::kWrite, VarId{var},
+          value, sim::Time{invoked}, sim::Time{responded});
   }
   ParseResult r;
-  r.history = History(std::move(ops));
+  r.history = b.build();
   return r;
 }
 

@@ -1,10 +1,15 @@
 // Values stored in shared variables.
 //
-// Following the paper (Section 2) we assume "a given value is written at most
-// once in any given variable". Workload generators enforce this by drawing
-// values from a global counter. The distinguished kInitValue is the value a
-// variable holds before any write; the consistency checker models it with an
-// implicit initialization write that causally precedes every operation.
+// The paper (Section 2) assumes "a given value is written at most once in
+// any given variable", and the workload generators still enforce that by
+// drawing values from a global counter — it keeps reads-from a function of
+// the read. The checkers, however, no longer require it: repeated
+// (variable, value) pairs are handled by the existential reads-from
+// constraint search of docs/CHECKER.md, so externally produced traces with
+// duplicate values are checked, not rejected. The distinguished kInitValue
+// is the value a variable holds before any write; the consistency checker
+// models it with an implicit initialization write that causally precedes
+// every operation.
 #pragma once
 
 #include <cstdint>

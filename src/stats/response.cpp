@@ -7,9 +7,9 @@ namespace cim::stats {
 ResponseStats response_stats(const chk::History& history, chk::OpKind kind) {
   ResponseStats out;
   double total = 0.0;
-  for (const chk::Op& op : history.ops()) {
-    if (op.kind != kind || op.is_isp) continue;
-    const std::int64_t ns = (op.responded - op.invoked).ns;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history.kind(i) != kind || history.is_isp(i)) continue;
+    const std::int64_t ns = (history.responded(i) - history.invoked(i)).ns;
     ++out.count;
     total += static_cast<double>(ns);
     out.max_ns = std::max(out.max_ns, ns);

@@ -314,7 +314,7 @@ TEST(MeshSoak, FiveSystemTreeMergedHistoryIsCausal) {
     total_sent += results[i].pairs_sent;
     total_received += results[i].pairs_received;
     const chk::History h = nodes[i]->federation().federation_history();
-    merged.insert(merged.end(), h.ops().begin(), h.ops().end());
+    for (std::size_t k = 0; k < h.size(); ++k) merged.push_back(h.op(k));
   }
   // Every pair sent anywhere was received somewhere: the tree drained.
   EXPECT_EQ(total_sent, total_received);
@@ -378,7 +378,7 @@ struct ChaosMesh {
       ASSERT_TRUE(results[i].ok) << "node " << i << ": " << nodes[i]->error();
       EXPECT_EQ(results[i].violations, 0u);
       const chk::History h = nodes[i]->federation().federation_history();
-      merged.insert(merged.end(), h.ops().begin(), h.ops().end());
+      for (std::size_t k = 0; k < h.size(); ++k) merged.push_back(h.op(k));
     }
     // The zero-dup/zero-loss contract, stated on the session counters: every
     // data frame one side ever sent (journaled, maybe replayed) was applied

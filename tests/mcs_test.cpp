@@ -228,7 +228,7 @@ TEST(Recording, OperationsCarryInvocationAndResponseTimes) {
   fed.run();
   auto h = fed.federation_history();
   ASSERT_EQ(h.size(), 1u);
-  EXPECT_LE(h.ops()[0].invoked, h.ops()[0].responded);
+  EXPECT_LE(h.invoked(0), h.responded(0));
 }
 
 }  // namespace

@@ -67,13 +67,15 @@ TEST(Federation, SystemHistoryIncludesIspOps) {
   // not contain any ISP op.
   auto s1 = fed.system_history(1);
   bool has_isp_write = false;
-  for (const auto& op : s1.ops()) {
-    if (op.is_isp && op.kind == chk::OpKind::kWrite) has_isp_write = true;
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    if (s1.is_isp(i) && s1.kind(i) == chk::OpKind::kWrite) {
+      has_isp_write = true;
+    }
   }
   EXPECT_TRUE(has_isp_write);
   const auto federation_view = fed.federation_history();
-  for (const auto& op : federation_view.ops()) {
-    EXPECT_FALSE(op.is_isp);
+  for (std::size_t i = 0; i < federation_view.size(); ++i) {
+    EXPECT_FALSE(federation_view.is_isp(i));
   }
 }
 

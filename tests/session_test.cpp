@@ -111,8 +111,14 @@ TEST(SessionAll, ReportsGuaranteeNameInDetail) {
 }
 
 TEST(SessionAll, PreconditionFailuresReported) {
+  // Duplicate writes alone are fine now; only a read that makes reads-from
+  // ambiguous defeats the session analysis (which needs the unique source).
   auto dup = H{}.wr(0, X, 5).wr(1, X, 5).history();
-  EXPECT_FALSE(SessionChecker{}.check_all(dup).ok);
+  EXPECT_TRUE(SessionChecker{}.check_all(dup).ok);
+  auto ambiguous = H{}.wr(0, X, 5).wr(1, X, 5).rd(2, X, 5).history();
+  auto r = SessionChecker{}.check_all(ambiguous);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.detail.find("ambiguous reads-from"), std::string::npos);
   auto thin = H{}.rd(0, X, 77).history();
   EXPECT_FALSE(SessionChecker{}.check_all(thin).ok);
 }

@@ -22,13 +22,13 @@ TEST(TraceIo, RoundTripPreservesOps) {
   ASSERT_EQ(parsed.history->size(), h.size());
   // Per-process program order survives.
   for (ProcId p : h.processes()) {
-    const auto& a = h.process_ops(p);
-    const auto& b = parsed.history->process_ops(p);
+    const History::Span a = h.span_of(p);
+    const History::Span b = parsed.history->span_of(p);
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
-      EXPECT_EQ(h.ops()[a[i]].kind, parsed.history->ops()[b[i]].kind);
-      EXPECT_EQ(h.ops()[a[i]].var, parsed.history->ops()[b[i]].var);
-      EXPECT_EQ(h.ops()[a[i]].value, parsed.history->ops()[b[i]].value);
+      EXPECT_EQ(h.kind(a.begin + i), parsed.history->kind(b.begin + i));
+      EXPECT_EQ(h.var(a.begin + i), parsed.history->var(b.begin + i));
+      EXPECT_EQ(h.value(a.begin + i), parsed.history->value(b.begin + i));
     }
   }
 }
@@ -51,8 +51,8 @@ TEST(TraceIo, ParsesMinimalFormatWithoutTimes) {
   auto parsed = parse_trace("w 0 0 0 1\nr 1 0 0 1\n");
   ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
   EXPECT_EQ(parsed.history->size(), 2u);
-  EXPECT_EQ(parsed.history->ops()[0].kind, OpKind::kWrite);
-  EXPECT_EQ(parsed.history->ops()[1].proc.system, SystemId{1});
+  EXPECT_EQ(parsed.history->kind(0), OpKind::kWrite);
+  EXPECT_EQ(parsed.history->proc(1).system, SystemId{1});
 }
 
 TEST(TraceIo, ParsesCommentsAndBlankLines) {
@@ -64,9 +64,9 @@ TEST(TraceIo, ParsesCommentsAndBlankLines) {
 TEST(TraceIo, ParsesIspFlag) {
   auto parsed = parse_trace("w 0 2 0 1 5 9 isp\n");
   ASSERT_TRUE(parsed.history.has_value()) << parsed.error;
-  EXPECT_TRUE(parsed.history->ops()[0].is_isp);
-  EXPECT_EQ(parsed.history->ops()[0].invoked, sim::Time{5});
-  EXPECT_EQ(parsed.history->ops()[0].responded, sim::Time{9});
+  EXPECT_TRUE(parsed.history->is_isp(0));
+  EXPECT_EQ(parsed.history->invoked(0), sim::Time{5});
+  EXPECT_EQ(parsed.history->responded(0), sim::Time{9});
 }
 
 TEST(TraceIo, RejectsUnknownKind) {

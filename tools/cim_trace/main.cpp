@@ -16,14 +16,18 @@
 // docs/OBSERVABILITY.md); pass `-` to read stdin. merge consumes one file
 // per mesh node plus (optionally) the federation metrics snapshot for the
 // heartbeat-measured clock offsets — see docs/TRACE_TOOLS.md "merge".
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "checker/causal_checker.h"
 #include "checker/online_monitor.h"
+#include "checker/trace_history.h"
 #include "obs/perfetto_export.h"
 #include "obs/span_index.h"
 #include "obs/trace_merge.h"
@@ -159,26 +163,101 @@ int cmd_spans(const std::vector<ParsedTraceEvent>& events) {
   return 0;
 }
 
-int cmd_check(const std::vector<ParsedTraceEvent>& events) {
+int cmd_check(const std::string& path) {
+  // Stream the JSONL line by line: each record feeds the online monitor and
+  // the columnar history builder directly, so memory stays at the encoded
+  // column size (~14 B/op) no matter how large the trace is — the event
+  // vector the other commands materialize is never built.
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::cerr << "cim_trace: cannot open " << path << "\n";
+      return 2;
+    }
+    in = &file;
+  }
   cim::chk::OnlineMonitor monitor{cim::chk::MonitorOptions{.enabled = true}};
-  for (const ParsedTraceEvent& ev : events) monitor.observe(ev);
-  if (monitor.violation_count() == 0) {
-    std::cout << "ok: " << events.size()
-              << " records, no causal violations detected\n";
-    return 0;
+  cim::chk::TraceHistoryBuilder builder;
+  std::string line;
+  std::size_t records = 0, bad = 0;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    ParsedTraceEvent ev;
+    if (!cim::obs::parse_trace_line(line, ev, nullptr)) {
+      ++bad;
+      continue;
+    }
+    ++records;
+    monitor.observe(ev);
+    builder.observe(ev);
   }
-  cim::stats::Table table(
-      {"kind", "t_ns", "proc", "var", "wid", "expect_seq", "got_seq"});
-  for (const cim::chk::Violation& v : monitor.violations()) {
-    std::ostringstream proc, wid;
-    proc << v.proc;
-    wid << v.wid;
-    table.add_row(v.kind, v.t, proc.str(), v.var.value, wid.str(),
-                  v.expected_seq, v.got_seq);
+  if (records == 0) {
+    std::cerr << "cim_trace: " << path << ": no trace records\n";
+    return 2;
   }
-  table.print(std::cout);
-  std::cout << "\n" << monitor.violation_count() << " violation(s)\n";
-  return 1;
+
+  // Offline pass: the federation history α^T (application ops only; ISP
+  // copies are the propagation mechanism, not part of the checked
+  // computation) through the bad-pattern checker.
+  cim::chk::History full = builder.build();
+  const cim::chk::TraceHistoryBuilder::Stats& tstats = builder.stats();
+  cim::chk::History app =
+      full.filter([](const cim::chk::Op& op) { return !op.is_isp; });
+  const auto t0 = std::chrono::steady_clock::now();
+  const cim::chk::CheckResult res =
+      cim::chk::CausalChecker{}.check(app, cim::chk::Level::kCM);
+  const double check_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::ostringstream summary;
+  summary << records << " records, " << tstats.ops << " ops (" << app.size()
+          << " app, " << tstats.isp_ops << " isp), bytes_per_op="
+          << std::fixed << std::setprecision(1) << full.bytes_per_op()
+          << ", offline=" << cim::chk::to_string(res.pattern)
+          << ", check_ms=" << std::setprecision(1) << check_ms;
+  if (bad > 0) summary << ", " << bad << " malformed line(s)";
+  if (tstats.pending > 0 || tstats.orphan_dones > 0) {
+    summary << ", " << tstats.pending << " incomplete, "
+            << tstats.orphan_dones << " orphaned";
+  }
+
+  int exit_code = 0;
+  if (monitor.violation_count() > 0) {
+    cim::stats::Table table(
+        {"kind", "t_ns", "proc", "var", "wid", "expect_seq", "got_seq"});
+    for (const cim::chk::Violation& v : monitor.violations()) {
+      std::ostringstream proc, wid;
+      proc << v.proc;
+      wid << v.wid;
+      table.add_row(v.kind, v.t, proc.str(), v.var.value, wid.str(),
+                    v.expected_seq, v.got_seq);
+    }
+    table.print(std::cout);
+    std::cout << monitor.violation_count() << " online violation(s)\n";
+    exit_code = 1;
+  }
+  if (!res.ok()) {
+    if (res.pattern == cim::chk::BadPattern::kThinAirRead) {
+      // A dropped write (ring-buffer overflow, crash) makes its readers
+      // look thin-air; indistinguishable from a real violation offline, so
+      // warn without failing.
+      std::cout << "warning: " << res.detail
+                << " (possibly a dropped trace record)\n";
+    } else if (res.pattern == cim::chk::BadPattern::kResidualLimit) {
+      std::cout << "warning: " << res.detail << "\n";
+    } else {
+      std::cout << "violation (" << cim::chk::to_string(res.pattern)
+                << "): " << res.detail << "\n";
+      exit_code = 1;
+    }
+  }
+  std::cout << (exit_code == 0 ? "ok: " : "failed: ") << summary.str()
+            << "\n";
+  return exit_code;
 }
 
 int cmd_export(const std::vector<ParsedTraceEvent>& events,
@@ -286,6 +365,10 @@ int main(int argc, char** argv) {
   if (trace_paths.size() != 1) return usage();
   const std::string& trace_path = trace_paths.front();
 
+  // check streams the file itself (bounded memory); everything else loads
+  // the event vector up front.
+  if (cmd == "check") return cmd_check(trace_path);
+
   std::vector<ParsedTraceEvent> events;
   // summarize/spans produce reports: degraded input fails loudly (see
   // load_strict); check/export keep best-effort parsing.
@@ -297,7 +380,6 @@ int main(int argc, char** argv) {
 
   if (cmd == "summarize") return cmd_summarize(events);
   if (cmd == "spans") return cmd_spans(events);
-  if (cmd == "check") return cmd_check(events);
   if (cmd == "export") {
     if (!perfetto) {
       std::cerr << "cim_trace: export currently requires --perfetto\n";
